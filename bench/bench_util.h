@@ -1,0 +1,75 @@
+// Shared helpers for the reproduction benches.
+//
+// Every table/figure binary prints (a) the workload statistics, (b) the rows
+// in the same layout as the paper, and (c) the qualitative criteria the
+// reproduction is judged on (EXPERIMENTS.md records paper-vs-measured).
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/sizer.h"
+#include "netlist/circuit.h"
+#include "ssta/ssta.h"
+
+namespace statsize::bench {
+
+/// Circuit mean-delay (or mu + k sigma) range across the two uniform sizings
+/// [all gates at limit, all gates at 1].
+struct MetricRange {
+  double lo = 0.0;  ///< fastest (all gates at max speed)
+  double hi = 0.0;  ///< slowest (all gates at 1)
+
+  double at(double frac) const { return lo + frac * (hi - lo); }
+};
+
+inline MetricRange metric_range(const netlist::Circuit& c, const core::SizingSpec& spec,
+                                double sigma_weight) {
+  const ssta::DelayCalculator calc(c, spec.sigma_model);
+  std::vector<double> s(static_cast<std::size_t>(c.num_nodes()), spec.max_speed);
+  MetricRange r;
+  r.lo = ssta::run_ssta(calc, s).circuit_delay.quantile_offset(sigma_weight);
+  std::fill(s.begin(), s.end(), 1.0);
+  r.hi = ssta::run_ssta(calc, s).circuit_delay.quantile_offset(sigma_weight);
+  return r;
+}
+
+/// Method selection: STATSIZE_METHOD=full|reduced|auto (default auto: the
+/// paper's full-space formulation up to `full_space_limit` gates, the
+/// reduced-space adjoint mode beyond — full-space on thousand-gate circuits
+/// reproduces the paper's hours-scale LANCELOT times, see Table 1 CPU column).
+inline core::Method select_method(const netlist::Circuit& c, int full_space_limit = 300) {
+  const char* env = std::getenv("STATSIZE_METHOD");
+  const std::string mode = env != nullptr ? env : "auto";
+  if (mode == "full") return core::Method::kFullSpace;
+  if (mode == "reduced") return core::Method::kReducedSpace;
+  return c.num_gates() <= full_space_limit ? core::Method::kFullSpace
+                                           : core::Method::kReducedSpace;
+}
+
+inline const char* method_name(core::Method m) {
+  return m == core::Method::kFullSpace ? "full-space" : "reduced";
+}
+
+inline void print_workload(const char* name, const netlist::Circuit& c) {
+  const netlist::CircuitStats s = netlist::compute_stats(c);
+  std::printf("# workload %-8s: %4d cells, %d PIs, %d POs, depth %d, avg fanin %.2f\n", name,
+              s.num_gates, s.num_inputs, s.num_outputs, s.depth, s.avg_fanin);
+}
+
+/// "41 m 13.5 s"-style CPU formatting, as in the paper's Table 1.
+inline std::string format_cpu(double seconds) {
+  char buf[64];
+  if (seconds >= 60.0) {
+    const int minutes = static_cast<int>(seconds / 60.0);
+    std::snprintf(buf, sizeof(buf), "%d m %.1f s", minutes, seconds - 60.0 * minutes);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f s", seconds);
+  }
+  return buf;
+}
+
+}  // namespace statsize::bench

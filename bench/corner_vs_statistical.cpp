@@ -1,0 +1,125 @@
+// E10 — the paper's motivating claim, quantified: "The statistical treatment
+// of delay uncertainty can replace the traditional best case / typical /
+// worst case delay analysis, which is known to give very pessimistic
+// estimates in many cases" (sec. 1).
+//
+// Two sizing methodologies meet the same deadline D on the same circuits:
+//
+//   corner flow       size deterministically against worst-case gate delays
+//                     (every cell at mu + 3 sigma_element, i.e. delay scaled
+//                     by 1 + 3 kappa), constraint: worst-case delay <= D
+//   statistical flow  the paper's method: min area s.t. mu + 3 sigma <= D
+//
+// Both results are then judged on the true statistical silicon: Monte Carlo
+// yield at D and the area spent. The statistical flow should match the
+// corner flow's (over-)achieved yield target (~99.8%) at visibly lower area;
+// at tight deadlines the corner flow is *infeasible* even though the
+// statistical flow still closes — margin stacking at its purest.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/sizer.h"
+#include "netlist/generators.h"
+#include "ssta/monte_carlo.h"
+#include "ssta/ssta.h"
+
+int main() {
+  using namespace statsize;
+
+  const double kappa = 0.25;
+  const double corner_factor = 1.0 + 3.0 * kappa;
+
+  std::printf("=== E10: corner-methodology baseline vs statistical sizing ===\n");
+  std::printf("(corner = every gate at mu+3sigma_element, factor %.2f)\n\n", corner_factor);
+  std::printf("%-8s %10s | %10s %10s | %10s %10s | %s\n", "circuit", "deadline", "stat sumS",
+              "yield", "corner sumS", "yield", "corner feasible?");
+
+  int failures = 0;
+  for (const std::string name : {"apex2", "apex1"}) {
+    const netlist::Circuit c = netlist::make_mcnc_like(name);
+    const netlist::CellLibrary corner_lib =
+        netlist::scale_library_delays(c.library(), corner_factor);
+    const netlist::Circuit corner_circuit = netlist::clone_with_library(c, corner_lib);
+
+    core::SizingSpec stat_spec;
+    stat_spec.sigma_model = {kappa, 0.0};
+    const bench::MetricRange m3 = bench::metric_range(c, stat_spec, 3.0);
+    // The corner flow's achievable (worst-case-delay) range sits far above
+    // the statistical mu+3sigma range: circuit-level sigma is only ~1-2% of
+    // mu, so a 75% per-element margin is enormous at circuit level. Probe
+    // deadlines from both regimes.
+    core::SizingSpec corner_probe;
+    corner_probe.sigma_model = {0.0, 0.0};
+    const bench::MetricRange wc = bench::metric_range(corner_circuit, corner_probe, 0.0);
+
+    const double deadlines[] = {m3.at(0.3), m3.at(0.7), wc.at(0.25), wc.at(0.6)};
+    for (const double deadline : deadlines) {
+
+      // Statistical flow.
+      stat_spec.objective = core::Objective::min_area();
+      stat_spec.delay_constraint = core::DelayConstraint::at_most(deadline, 3.0);
+      core::SizerOptions opt;
+      opt.method = core::Method::kReducedSpace;
+      const core::SizingResult rs = core::Sizer(c, stat_spec).run(opt);
+
+      // Corner flow: deterministic sizing on the worst-case library. A small
+      // kappa keeps the max operator smooth (kappa = 0 degenerates Clark to
+      // the nonsmooth deterministic max and gradient methods stall on it);
+      // the 2% sigma it induces is negligible against the 75% corner margin.
+      core::SizingSpec corner_spec;
+      corner_spec.sigma_model = {0.02, 0.0};
+      corner_spec.objective = core::Objective::min_area();
+      corner_spec.delay_constraint = core::DelayConstraint::at_most(deadline, 0.0);
+      // The corner solves only need enough accuracy to compare areas and
+      // yields; keep their iteration budget modest.
+      core::SizerOptions corner_opt = opt;
+      corner_opt.optimality_tol = 5e-4;
+      corner_opt.max_outer_iterations = 15;
+      corner_opt.max_inner_iterations = 1200;
+      const core::SizingResult rc = core::Sizer(corner_circuit, corner_spec).run(corner_opt);
+
+      // Judge both on the true statistical silicon.
+      const ssta::DelayCalculator calc(c, {kappa, 0.0});
+      ssta::MonteCarloOptions mco;
+      mco.num_samples = 20000;
+      mco.seed = 5;
+      const double y_stat =
+          ssta::run_monte_carlo(c, calc.all_delays(rs.speed), mco).yield(deadline);
+      double y_corner = 0.0;
+      if (rc.converged) {
+        y_corner = ssta::run_monte_carlo(c, calc.all_delays(rc.speed), mco).yield(deadline);
+      }
+
+      std::printf("%-8s %10.2f | %10.1f %9.1f%% | %10.1f %9.1f%% | %s\n", name.c_str(),
+                  deadline, rs.sum_speed, 100.0 * y_stat, rc.converged ? rc.sum_speed : 0.0,
+                  100.0 * y_corner, rc.converged ? "yes" : "NO (margin-stacked)");
+
+      // The analytic mu+3sigma guard targets 99.8%; on reconvergent netlists
+      // the independence assumption understates the true sigma (see E9), so
+      // the realized yield lands a few points short — the gap the paper's
+      // future-work (and our canonical engine) addresses. Require >= 85%.
+      if (!rs.converged || y_stat < 0.85) {
+        std::printf("  [FAIL] statistical flow must close with high yield\n");
+        ++failures;
+      }
+      if (rc.converged && rc.sum_speed < rs.sum_speed - 1e-6) {
+        std::printf("  [FAIL] corner flow should not beat statistical area\n");
+        ++failures;
+      }
+      if (rc.converged && y_corner < 0.999) {
+        std::printf("  [FAIL] a feasible corner flow is over-margined: yield ~100%%\n");
+        ++failures;
+      }
+    }
+  }
+
+  std::printf(
+      "\nReading: whenever the corner flow closes at all, it pays more area for the\n"
+      "same (saturated) yield; at tight deadlines it cannot close although the\n"
+      "statistical flow still can — the pessimism the paper's introduction names.\n");
+  std::printf("\n%s\n", failures == 0 ? "E10: all criteria hold" : "E10: criteria FAILED");
+  return failures == 0 ? 0 : 1;
+}

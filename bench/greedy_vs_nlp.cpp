@@ -1,0 +1,62 @@
+// E11 — what exactness buys: the paper's NLP sizing vs a TILOS-style greedy
+// sensitivity heuristic (the dominant pre-mathematical-programming approach)
+// at identical delay targets. Reported: area spent and wall time, across
+// target tightness and circuit size.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "core/greedy.h"
+#include "core/sizer.h"
+#include "netlist/generators.h"
+
+int main() {
+  using namespace statsize;
+
+  std::printf("=== E11: greedy sensitivity heuristic vs exact NLP sizing ===\n\n");
+  std::printf("%-8s %8s | %10s %8s %8s | %10s %8s | %9s\n", "circuit", "target", "greedy S",
+              "rounds", "time", "nlp S", "time", "area gap");
+
+  int failures = 0;
+  for (const std::string name : {"apex2", "apex1"}) {
+    const netlist::Circuit c = netlist::make_mcnc_like(name);
+    core::SizingSpec spec;
+    const bench::MetricRange range = bench::metric_range(c, spec, 0.0);
+
+    for (double frac : {0.25, 0.5, 0.75}) {
+      const double target = range.at(frac);
+
+      const core::GreedyResult greedy = core::greedy_size(c, spec, target, 0.0);
+
+      spec.objective = core::Objective::min_area();
+      spec.delay_constraint = core::DelayConstraint::at_most(target);
+      core::SizerOptions opt;
+      opt.method = core::Method::kReducedSpace;
+      const core::SizingResult nlp = core::Sizer(c, spec).run(opt);
+
+      const double gap = greedy.sum_speed / nlp.sum_speed - 1.0;
+      std::printf("%-8s %8.2f | %10.1f %8d %7.2fs | %10.1f %7.2fs | %8.2f%%%s%s\n",
+                  name.c_str(), target, greedy.sum_speed, greedy.rounds,
+                  greedy.wall_seconds, nlp.sum_speed, nlp.wall_seconds, 100.0 * gap,
+                  greedy.met_target ? "" : "  (greedy missed target)",
+                  nlp.converged ? "" : "  (nlp not converged)");
+
+      if (!nlp.converged || nlp.constraint_violation > 1e-3) {
+        std::printf("  [FAIL] NLP must meet the target\n");
+        ++failures;
+      }
+      if (greedy.met_target && nlp.sum_speed > greedy.sum_speed * 1.005) {
+        std::printf("  [FAIL] exact NLP must not need more area than the heuristic\n");
+        ++failures;
+      }
+    }
+  }
+
+  std::printf(
+      "\nReading: the heuristic tracks the optimum loosely at easy targets and\n"
+      "falls behind (or fails outright) as the target tightens — the gap is the\n"
+      "value of solving the sizing problem exactly, the paper's core pitch.\n");
+  std::printf("\n%s\n", failures == 0 ? "E11: all criteria hold" : "E11: criteria FAILED");
+  return failures == 0 ? 0 : 1;
+}

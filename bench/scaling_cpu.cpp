@@ -1,0 +1,67 @@
+// E7 — the scalability trend behind Table 1's CPU column ("the method is
+// able to deal with circuits of up to a few thousand gates"). Sweeps circuit
+// size, solves min-mu sizing, and reports wall time for both methods (the
+// full-space NLP is capped at 300 gates by default; STATSIZE_METHOD=full
+// lifts that to reproduce the paper's hours-scale behaviour).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_util.h"
+#include "core/sizer.h"
+#include "netlist/generators.h"
+
+int main() {
+  using namespace statsize;
+
+  std::printf("=== E7: CPU-time scaling of statistical sizing (min mu) ===\n\n");
+  std::printf("%8s %8s | %12s %10s | %12s %10s\n", "gates", "depth", "reduced", "mu",
+              "full-space", "mu");
+
+  const char* env = std::getenv("STATSIZE_METHOD");
+  const bool force_full = env != nullptr && std::string(env) == "full";
+
+  int failures = 0;
+  double prev_reduced = 0.0;
+  for (int gates : {50, 100, 200, 400, 800, 1600}) {
+    netlist::RandomDagParams p;
+    p.num_gates = gates;
+    p.num_inputs = 16 + gates / 20;
+    p.depth = 8 + gates / 80;
+    p.seed = 1000 + static_cast<std::uint64_t>(gates);
+    const netlist::Circuit c = netlist::make_random_dag(p);
+
+    core::SizingSpec spec;
+    spec.objective = core::Objective::min_delay(0.0);
+
+    core::SizerOptions ro;
+    ro.method = core::Method::kReducedSpace;
+    const core::SizingResult rr = core::Sizer(c, spec).run(ro);
+
+    std::string fs_time = "(skipped)";
+    std::string fs_mu = "";
+    if (gates <= 300 || force_full) {
+      core::SizerOptions fo;
+      fo.method = core::Method::kFullSpace;
+      const core::SizingResult rf = core::Sizer(c, spec).run(fo);
+      fs_time = bench::format_cpu(rf.wall_seconds);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.2f", rf.circuit_delay.mu);
+      fs_mu = buf;
+      if (rf.circuit_delay.mu > rr.circuit_delay.mu * 1.01) {
+        std::printf("  [FAIL] full-space clearly worse than reduced at %d gates\n", gates);
+        ++failures;
+      }
+    }
+    std::printf("%8d %8d | %12s %10.2f | %12s %10s\n", gates, c.depth(),
+                bench::format_cpu(rr.wall_seconds).c_str(), rr.circuit_delay.mu,
+                fs_time.c_str(), fs_mu.c_str());
+    prev_reduced = rr.wall_seconds;
+  }
+  (void)prev_reduced;
+
+  std::printf("\nE7 SCALING: %s\n", failures == 0 ? "completed (trend recorded above)"
+                                                  : "FAILURES detected");
+  return failures == 0 ? 0 : 1;
+}

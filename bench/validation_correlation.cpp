@@ -1,0 +1,75 @@
+// E9 — the paper's future-work extension, evaluated: correlation-aware
+// canonical-form SSTA vs the paper's independence-assuming propagation vs
+// Monte Carlo ground truth, across increasingly reconvergent circuits.
+//
+// The paper (sec. 3) justifies independence by the small errors reported in
+// [2]; E5 shows that on heavily reconvergent synthetic netlists the sigma
+// error is in fact large. This bench shows the canonical-form engine closes
+// most of that gap at analytic (non-sampling) cost.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "netlist/generators.h"
+#include "ssta/canonical.h"
+#include "ssta/monte_carlo.h"
+#include "ssta/ssta.h"
+
+int main() {
+  using namespace statsize;
+
+  std::printf("=== E9: independence SSTA vs canonical (correlation-aware) SSTA vs MC ===\n\n");
+  std::printf("%-8s | %8s %8s %8s | %8s %8s %8s | %12s\n", "circuit", "mu_ind", "mu_can",
+              "mu_mc", "sd_ind", "sd_can", "sd_mc", "sd err ratio");
+
+  int failures = 0;
+  for (const std::string name : {"tree", "apex2", "apex1", "k2"}) {
+    const netlist::Circuit c =
+        name == "tree" ? netlist::make_tree_circuit() : netlist::make_mcnc_like(name);
+    const ssta::DelayCalculator calc(c, {0.25, 0.0});
+    const std::vector<double> speed(static_cast<std::size_t>(c.num_nodes()), 1.0);
+    const auto delays = calc.all_delays(speed);
+
+    const stat::NormalRV ind = ssta::run_ssta(c, delays).circuit_delay;
+    const stat::NormalRV can = ssta::run_canonical_ssta(c, delays).circuit_delay_normal();
+    ssta::MonteCarloOptions opt;
+    opt.num_samples = 50000;
+    opt.seed = 23;
+    opt.truncate_negative_delays = false;
+    const ssta::MonteCarloResult mc = ssta::run_monte_carlo(c, delays, opt);
+
+    const double e_ind = std::abs(ind.sigma() - mc.stddev);
+    const double e_can = std::abs(can.sigma() - mc.stddev);
+    const double ratio = e_can / std::max(e_ind, 1e-12);
+    std::printf("%-8s | %8.2f %8.2f %8.2f | %8.3f %8.3f %8.3f | %9.2fx\n", name.c_str(),
+                ind.mu, can.mu, mc.mean, ind.sigma(), can.sigma(), mc.stddev, ratio);
+
+    if (name == "tree") {
+      if (e_can > 0.05 || e_ind > 0.05) {
+        std::printf("  [FAIL] on the reconvergence-free tree both engines must be exact\n");
+        ++failures;
+      }
+    } else {
+      if (e_can > 0.6 * e_ind) {
+        std::printf("  [FAIL] canonical engine should recover most of the sigma error\n");
+        ++failures;
+      }
+      if (std::abs(can.mu - mc.mean) > std::abs(ind.mu - mc.mean) + 0.02 * mc.mean) {
+        std::printf("  [FAIL] canonical mu should not regress vs independence\n");
+        ++failures;
+      }
+    }
+  }
+
+  std::printf(
+      "\nReading: the independence assumption (paper eq. 6) overestimates mu a little\n"
+      "and underestimates sigma badly once paths reconverge; carrying per-gate\n"
+      "sources in canonical forms fixes both at analytic cost. This implements and\n"
+      "validates the paper's 'future work' correlation handling.\n");
+  std::printf("\n%s\n", failures == 0 ? "E9 VALIDATION: all criteria hold"
+                                      : "E9 VALIDATION: some criteria FAILED");
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+// E5 — circuit-level validation of the statistical timing engine and the
+// paper's yield statements:
+//   * sec. 1: circuit-level delay uncertainty is much smaller than the
+//     25% element-level uncertainty, and corner analysis is pessimistic;
+//   * sec. 4: a circuit sized so that mu / mu+sigma / mu+3sigma meets the
+//     bound is met by ~50% / 84.1% / 99.8% of manufactured circuits.
+// Monte Carlo (no independence assumption) is the referee, which also
+// quantifies the reconvergence error the paper's future-work section names.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "netlist/generators.h"
+#include "ssta/monte_carlo.h"
+#include "ssta/ssta.h"
+
+int main() {
+  using namespace statsize;
+
+  std::printf("=== E5: SSTA vs Monte Carlo + realized yield ===\n\n");
+  std::printf("%-8s | %8s %8s | %8s %8s | %7s | %9s | %8s %8s %8s\n", "circuit", "mu_ssta",
+              "mu_mc", "sd_ssta", "sd_mc", "sd/mu", "corner+3s", "y(mu)", "y(+1s)", "y(+3s)");
+
+  int failures = 0;
+  for (const std::string name : {"tree", "apex2", "apex1", "k2"}) {
+    const netlist::Circuit c =
+        name == "tree" ? netlist::make_tree_circuit() : netlist::make_mcnc_like(name);
+    const ssta::SigmaModel sm{0.25, 0.0};
+    const ssta::DelayCalculator calc(c, sm);
+    const std::vector<double> speed(static_cast<std::size_t>(c.num_nodes()), 1.0);
+    const auto delays = calc.all_delays(speed);
+
+    const ssta::TimingReport an = ssta::run_ssta(c, delays);
+    ssta::MonteCarloOptions opt;
+    opt.num_samples = 50000;
+    opt.seed = 11;
+    opt.truncate_negative_delays = false;
+    const ssta::MonteCarloResult mc = ssta::run_monte_carlo(c, delays, opt);
+    const double worst = ssta::run_sta(c, delays, ssta::Corner::kWorst).circuit_delay;
+
+    const double y0 = mc.yield(an.circuit_delay.quantile_offset(0.0));
+    const double y1 = mc.yield(an.circuit_delay.quantile_offset(1.0));
+    const double y3 = mc.yield(an.circuit_delay.quantile_offset(3.0));
+    std::printf("%-8s | %8.2f %8.2f | %8.3f %8.3f | %6.1f%% | %9.2f | %7.1f%% %7.1f%% %7.1f%%\n",
+                name.c_str(), an.circuit_delay.mu, mc.mean, an.circuit_delay.sigma(),
+                mc.stddev, 100.0 * an.circuit_delay.sigma() / an.circuit_delay.mu, worst,
+                100.0 * y0, 100.0 * y1, 100.0 * y3);
+
+    // Criteria. The tree has no reconvergence, so SSTA must track MC tightly
+    // and the yield levels must land on the paper's 50/84.1/99.8. The big
+    // reconvergent DAGs keep the qualitative claims (shrunken sigma, corner
+    // pessimism) but their yields drift — that drift is the reconvergence
+    // error the paper's future work targets, recorded in EXPERIMENTS.md.
+    if (name == "tree") {
+      if (std::abs(y0 - 0.50) > 0.03 || std::abs(y1 - 0.841) > 0.02 ||
+          std::abs(y3 - 0.998) > 0.005) {
+        std::printf("  [FAIL] tree yield levels should be ~50/84.1/99.8\n");
+        ++failures;
+      }
+      if (std::abs(an.circuit_delay.mu - mc.mean) > 0.01 * mc.mean) {
+        std::printf("  [FAIL] tree SSTA mean off MC by >1%%\n");
+        ++failures;
+      }
+    }
+    if (an.circuit_delay.sigma() / an.circuit_delay.mu > 0.15) {
+      std::printf("  [FAIL] circuit-level sigma/mu should be far below the 25%% element level\n");
+      ++failures;
+    }
+    if (an.circuit_delay.quantile_offset(3.0) >= worst) {
+      std::printf("  [FAIL] statistical mu+3sigma should undercut the all-worst corner\n");
+      ++failures;
+    }
+  }
+
+  std::printf("\n%s\n", failures == 0 ? "E5 VALIDATION: all criteria hold"
+                                      : "E5 VALIDATION: some criteria FAILED");
+  return failures == 0 ? 0 : 1;
+}

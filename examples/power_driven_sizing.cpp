@@ -1,0 +1,87 @@
+// Power-driven sizing — the paper's weighted-objective extension (sec. 4:
+// "We can choose a weighted sum of sizing factors in the objective function.
+// This can model area, or, if we take into account capacitances and switching
+// activity under zero delay model in the weights, power.", citing the first
+// author's glitch-power work [8]).
+//
+// The example estimates per-gate switching activity under random inputs,
+// builds capacitance-times-activity power weights, and compares area-driven
+// versus power-driven sizing under the same mu + 3 sigma delay bound: the
+// power objective shifts speed (and thus capacitance) away from high-activity
+// gates at equal timing.
+//
+//   $ ./examples/power_driven_sizing [circuit]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/sizer.h"
+#include "netlist/generators.h"
+#include "ssta/activity.h"
+#include "ssta/ssta.h"
+
+namespace {
+
+using namespace statsize;
+
+double power_of(const netlist::Circuit& c, const std::vector<double>& weights,
+                const std::vector<double>& speed) {
+  double p = 0.0;
+  for (netlist::NodeId id : c.topo_order()) {
+    if (c.node(id).kind == netlist::NodeKind::kGate) {
+      p += weights[static_cast<std::size_t>(id)] * speed[static_cast<std::size_t>(id)];
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "apex2";
+  const netlist::Circuit c =
+      name == "tree" ? netlist::make_tree_circuit() : netlist::make_mcnc_like(name);
+  std::printf("circuit %s: %d gates\n", name.c_str(), c.num_gates());
+
+  const std::vector<double> weights = ssta::power_weights(c);
+
+  // Delay bound: 45% into the feasible mu+3sigma range.
+  core::SizingSpec spec;
+  const ssta::DelayCalculator calc(c, spec.sigma_model);
+  std::vector<double> s(static_cast<std::size_t>(c.num_nodes()), spec.max_speed);
+  const double lo = ssta::run_ssta(calc, s).circuit_delay.quantile_offset(3.0);
+  std::fill(s.begin(), s.end(), 1.0);
+  const double hi = ssta::run_ssta(calc, s).circuit_delay.quantile_offset(3.0);
+  const double bound = lo + 0.45 * (hi - lo);
+  spec.delay_constraint = core::DelayConstraint::at_most(bound, 3.0);
+  std::printf("delay bound: mu+3sigma <= %.2f (range [%.2f, %.2f])\n\n", bound, lo, hi);
+
+  core::SizerOptions opt;
+  opt.method = core::Method::kReducedSpace;
+
+  spec.objective = core::Objective::min_area();
+  const core::SizingResult r_area = core::Sizer(c, spec).run(opt);
+  spec.objective = core::Objective::min_weighted(weights);
+  const core::SizingResult r_power = core::Sizer(c, spec).run(opt);
+
+  std::printf("%-14s | %10s %10s %10s %12s\n", "objective", "mu", "mu+3s", "sum S",
+              "dyn. power");
+  for (const auto* r : {&r_area, &r_power}) {
+    const bool is_power = r == &r_power;
+    std::printf("%-14s | %10.3f %10.3f %10.2f %12.4f%s\n",
+                is_power ? "min power" : "min area", r->circuit_delay.mu,
+                r->delay_metric(3.0), r->sum_speed, power_of(c, weights, r->speed),
+                r->converged ? "" : "  (not converged)");
+  }
+
+  const double saved = 1.0 - power_of(c, weights, r_power.speed) /
+                                 power_of(c, weights, r_area.speed);
+  std::printf(
+      "\nAt identical timing, the activity-weighted objective spends its speed\n"
+      "budget on low-activity gates: %.1f%% dynamic power saved vs area-driven\n"
+      "sizing (at the cost of %.1f%% more raw area).\n",
+      100.0 * saved,
+      100.0 * (r_power.sum_speed / r_area.sum_speed - 1.0));
+  return (r_area.converged && r_power.converged) ? 0 : 1;
+}

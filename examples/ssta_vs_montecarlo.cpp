@@ -1,0 +1,69 @@
+// Validates the analytic statistical timing engine against Monte Carlo on a
+// chosen circuit, and shows the corner-analysis pessimism the paper's
+// introduction argues against: the all-worst-case corner exceeds the
+// statistical mu + 3 sigma, which itself is far below 3x element uncertainty.
+//
+//   $ ./examples/ssta_vs_montecarlo [circuit] [samples]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "netlist/generators.h"
+#include "ssta/monte_carlo.h"
+#include "ssta/ssta.h"
+
+int main(int argc, char** argv) {
+  using namespace statsize;
+
+  const std::string name = argc > 1 ? argv[1] : "apex1";
+  const int samples = argc > 2 ? std::atoi(argv[2]) : 50000;
+  const netlist::Circuit c =
+      name == "tree" ? netlist::make_tree_circuit() : netlist::make_mcnc_like(name);
+
+  const ssta::SigmaModel sigma_model{0.25, 0.0};  // 25% element uncertainty
+  const ssta::DelayCalculator calc(c, sigma_model);
+  const std::vector<double> speed(static_cast<std::size_t>(c.num_nodes()), 1.0);
+  const auto delays = calc.all_delays(speed);
+
+  const ssta::TimingReport analytic = ssta::run_ssta(c, delays);
+  ssta::MonteCarloOptions opt;
+  opt.num_samples = samples;
+  opt.seed = 7;
+  opt.truncate_negative_delays = false;
+  const ssta::MonteCarloResult mc = ssta::run_monte_carlo(c, delays, opt);
+
+  std::printf("circuit %s: %d gates, depth %d, %zu outputs\n", name.c_str(), c.num_gates(),
+              c.depth(), c.outputs().size());
+  std::printf("\n%-28s %10s %10s\n", "", "mu", "sigma");
+  std::printf("%-28s %10.3f %10.3f\n", "analytic SSTA (Clark max)", analytic.circuit_delay.mu,
+              analytic.circuit_delay.sigma());
+  std::printf("%-28s %10.3f %10.3f   (%d samples)\n", "Monte Carlo", mc.mean, mc.stddev,
+              samples);
+  std::printf("relative error: mu %.2f%%, sigma %.1f%%\n",
+              100.0 * (analytic.circuit_delay.mu - mc.mean) / mc.mean,
+              100.0 * (analytic.circuit_delay.sigma() - mc.stddev) / mc.stddev);
+
+  const double worst = ssta::run_sta(c, delays, ssta::Corner::kWorst).circuit_delay;
+  const double typical = ssta::run_sta(c, delays, ssta::Corner::kTypical).circuit_delay;
+  std::printf("\ncorner analysis: typical = %.3f, all-worst-case = %.3f\n", typical, worst);
+  std::printf("statistical mu+3sigma = %.3f  (pessimism avoided: %.1f%%)\n",
+              analytic.circuit_delay.quantile_offset(3.0),
+              100.0 * (worst - analytic.circuit_delay.quantile_offset(3.0)) / worst);
+  std::printf(
+      "\ncircuit-level relative uncertainty sigma/mu = %.1f%% versus 25%% per gate —\n"
+      "the averaging effect of series paths plus the max operator (paper sec. 1).\n",
+      100.0 * analytic.circuit_delay.sigma() / analytic.circuit_delay.mu);
+
+  if (name == "tree" || c.num_gates() <= 200) {
+    const auto crit = ssta::monte_carlo_criticality(c, delays, opt);
+    std::printf("\nmost critical gates (MC criticality):\n");
+    for (netlist::NodeId id : c.topo_order()) {
+      if (c.node(id).kind == netlist::NodeKind::kGate && crit[static_cast<std::size_t>(id)] > 0.25) {
+        std::printf("  %-8s %.2f\n", c.node(id).name.c_str(), crit[static_cast<std::size_t>(id)]);
+      }
+    }
+  }
+  return 0;
+}

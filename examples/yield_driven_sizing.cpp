@@ -1,0 +1,71 @@
+// Yield-driven sizing: the paper's headline use case. Minimize area subject
+// to a delay bound expressed on mu, mu + sigma, or mu + 3 sigma, then measure
+// the *realized* yield with Monte Carlo. Constraining only the mean leaves
+// ~50% of manufactured circuits too slow; the 3-sigma constraint buys ~99.8%
+// yield for a small area premium (paper sec. 4).
+//
+//   $ ./examples/yield_driven_sizing [circuit] [slack_fraction]
+//
+// circuit: apex1 | apex2 | k2 | tree (default apex2)
+// slack_fraction: where the deadline sits in the feasible mu+3sigma range
+//                 (default 0.5).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/sizer.h"
+#include "netlist/generators.h"
+#include "ssta/monte_carlo.h"
+#include "ssta/ssta.h"
+
+int main(int argc, char** argv) {
+  using namespace statsize;
+
+  const std::string name = argc > 1 ? argv[1] : "apex2";
+  const double frac = argc > 2 ? std::atof(argv[2]) : 0.5;
+  const netlist::Circuit c =
+      name == "tree" ? netlist::make_tree_circuit() : netlist::make_mcnc_like(name);
+  std::printf("circuit %s: %d gates, depth %d\n", name.c_str(), c.num_gates(), c.depth());
+
+  core::SizingSpec spec;
+  spec.objective = core::Objective::min_area();
+
+  // Feasible range of the mu+3sigma metric, from the two uniform sizings.
+  const ssta::DelayCalculator calc(c, spec.sigma_model);
+  std::vector<double> s(static_cast<std::size_t>(c.num_nodes()), 1.0);
+  const double hi = ssta::run_ssta(calc, s).circuit_delay.quantile_offset(3.0);
+  std::fill(s.begin(), s.end(), spec.max_speed);
+  const double lo = ssta::run_ssta(calc, s).circuit_delay.quantile_offset(3.0);
+  const double deadline = lo + frac * (hi - lo);
+  std::printf("mu+3sigma range [%.2f, %.2f]; deadline D = %.2f\n\n", lo, hi, deadline);
+
+  core::SizerOptions opt;
+  opt.method = core::Method::kReducedSpace;  // fast for big circuits
+
+  std::printf("%-22s %10s %10s %10s %12s %10s\n", "constraint", "mu", "sigma", "sum S",
+              "MC yield@D", "wall s");
+  for (double k : {0.0, 1.0, 3.0}) {
+    spec.delay_constraint = core::DelayConstraint::at_most(deadline, k);
+    const core::Sizer sizer(c, spec);
+    const core::SizingResult r = sizer.run(opt);
+
+    ssta::MonteCarloOptions mc;
+    mc.num_samples = 20000;
+    mc.seed = 2026;
+    const ssta::MonteCarloResult sim =
+        ssta::run_monte_carlo(c, calc.all_delays(r.speed), mc);
+
+    std::printf("mu+%gsigma <= %-8.2f %10.3f %10.3f %10.2f %11.1f%% %10.2f%s\n", k, deadline,
+                r.circuit_delay.mu, r.circuit_delay.sigma(), r.sum_speed,
+                100.0 * sim.yield(deadline), r.wall_seconds,
+                r.converged ? "" : "  (not converged)");
+  }
+
+  std::printf(
+      "\nReading: every row meets its *analytic* constraint exactly, but only the\n"
+      "rows that constrain mu + k sigma push the realized (Monte Carlo) yield to\n"
+      "the paper's 84.1%% / 99.8%% levels. The area premium is the sum-S delta.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// NLP element functions wrapping the analytic statistical-max operator.
+//
+// The sizing formulation (eq. 17) contains, per pairwise max, two equality
+// constraints:
+//
+//   mu_U  - max_mu (muA, muB, varA, varB) = 0
+//   var_U - max_var(muA, muB, varA, varB) = 0
+//
+// ClarkElement provides max_mu / max_var as ElementFunctions with the exact
+// gradient (hand-derived Clark formulas) and Hessian (second-order forward
+// autodiff over the closed form) — the "analytical first and second order
+// derivatives" the paper derives eqs. 10/12 for.
+//
+// Operand slots may be bound to constants (e.g. a primary-input arrival of
+// exactly (0, 0)); only unbound slots count toward the element's arity.
+
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "nlp/element.h"
+#include "stat/clark.h"
+
+namespace statsize::core {
+
+class ClarkElement final : public nlp::ElementFunction {
+ public:
+  enum class Output { kMu, kVar };
+
+  /// Slot order is (muA, muB, varA, varB). A NaN in `fixed` marks the slot as
+  /// a live variable; any other value pins it.
+  ClarkElement(Output output, std::array<double, 4> fixed);
+
+  /// All four slots live — the common case.
+  explicit ClarkElement(Output output)
+      : ClarkElement(output, {kLive, kLive, kLive, kLive}) {}
+
+  int arity() const override { return arity_; }
+  double eval(const double* x, double* grad, double* hess) const override;
+
+  static constexpr double kLive = std::numeric_limits<double>::quiet_NaN();
+
+ private:
+  Output output_;
+  std::array<double, 4> fixed_;
+  std::array<int, 4> slot_of_local_{};  ///< local arg index -> slot
+  int arity_ = 0;
+};
+
+/// N-ary statistical max as a single element — the paper's future-work item
+/// "express the mean and standard deviation of the maximum of multiple (more
+/// than two) operandi explicitly, rather than as the repeated maximum of two
+/// operandi". The distribution of an m-ary max of normals has no closed-form
+/// normal-moment match for m > 2, so the *moments* are still produced by the
+/// left fold of the pairwise Clark operator; what this element changes is the
+/// NLP: the intermediate fold results stop being variables tied by equality
+/// constraints and become internal to one element, whose exact gradient and
+/// Hessian come from second-order autodiff through the whole fold.
+///
+/// Local argument order: mu_1..mu_m, var_1..var_m. An optional constant
+/// initial operand (e.g. the folded primary-input arrivals) seeds the fold.
+class NaryClarkElement final : public nlp::ElementFunction {
+ public:
+  static constexpr int kMaxOperands = 4;
+
+  NaryClarkElement(ClarkElement::Output output, int num_operands, bool has_const_init,
+                   stat::NormalRV const_init);
+
+  int arity() const override { return 2 * num_operands_; }
+  double eval(const double* x, double* grad, double* hess) const override;
+
+ private:
+  template <int M>
+  double eval_impl(const double* x, double* grad, double* hess) const;
+
+  ClarkElement::Output output_;
+  int num_operands_;
+  bool has_const_init_;
+  stat::NormalRV const_init_;
+};
+
+}  // namespace statsize::core

@@ -1,0 +1,155 @@
+#include "core/reduced_space.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ssta/ssta.h"
+#include "stat/clark.h"
+
+namespace statsize::core {
+
+using netlist::NodeId;
+using netlist::NodeKind;
+using stat::ClarkGrad;
+using stat::NormalRV;
+
+ReducedEvaluator::ReducedEvaluator(const netlist::Circuit& circuit, ssta::SigmaModel sigma_model)
+    : circuit_(&circuit), sigma_model_(sigma_model) {}
+
+NormalRV ReducedEvaluator::eval(const std::vector<double>& speed) const {
+  const ssta::DelayCalculator calc(*circuit_, sigma_model_);
+  return ssta::run_ssta(calc, speed).circuit_delay;
+}
+
+NormalRV ReducedEvaluator::eval_with_grad(const std::vector<double>& speed, double seed_mu,
+                                          double seed_var, std::vector<double>& grad) const {
+  const netlist::Circuit& c = *circuit_;
+  const std::size_t n = static_cast<std::size_t>(c.num_nodes());
+  if (speed.size() != n) throw std::invalid_argument("speed must be indexed by NodeId");
+
+  const ssta::DelayCalculator calc(c, sigma_model_);
+
+  // ---- Forward sweep, recording the Clark gradient of every pairwise max.
+  // Fold convention everywhere: operand A = running accumulator, operand B =
+  // the new fanin/output arrival.
+  std::vector<NormalRV> arrival(n);
+  std::vector<NormalRV> delay(n);
+  std::vector<ClarkGrad> steps;           // per-gate folds, then PO folds
+  steps.reserve(n);
+  std::vector<std::size_t> step_begin(n, 0);
+
+  for (NodeId id : c.topo_order()) {
+    const netlist::Node& node = c.node(id);
+    const std::size_t i = static_cast<std::size_t>(id);
+    if (node.kind == NodeKind::kPrimaryInput) continue;
+    step_begin[i] = steps.size();
+    NormalRV u = arrival[static_cast<std::size_t>(node.fanins[0])];
+    for (std::size_t k = 1; k < node.fanins.size(); ++k) {
+      ClarkGrad g;
+      u = stat::clark_max_grad(u, arrival[static_cast<std::size_t>(node.fanins[k])], g);
+      steps.push_back(g);
+    }
+    delay[i] = calc.delay(id, speed);
+    arrival[i] = stat::add(u, delay[i]);
+  }
+
+  const std::vector<NodeId>& outs = c.outputs();
+  const std::size_t out_step_begin = steps.size();
+  NormalRV tmax = arrival[static_cast<std::size_t>(outs[0])];
+  for (std::size_t k = 1; k < outs.size(); ++k) {
+    ClarkGrad g;
+    tmax = stat::clark_max_grad(tmax, arrival[static_cast<std::size_t>(outs[k])], g);
+    steps.push_back(g);
+  }
+
+  // ---- Adjoint sweep.
+  grad.assign(n, 0.0);
+  std::vector<double> amu(n, 0.0);   // adjoint of arrival mu
+  std::vector<double> avar(n, 0.0);  // adjoint of arrival var
+
+  // Through the primary-output fold (reverse order). The accumulator adjoint
+  // flows backward through operand-A slots; operand-B feeds each output.
+  {
+    double acc_mu = seed_mu;
+    double acc_var = seed_var;
+    for (std::size_t k = outs.size(); k-- > 1;) {
+      const ClarkGrad& g = steps[out_step_begin + (k - 1)];
+      const std::size_t o = static_cast<std::size_t>(outs[k]);
+      amu[o] += acc_mu * g.dmu[1] + acc_var * g.dvar[1];
+      avar[o] += acc_mu * g.dmu[3] + acc_var * g.dvar[3];
+      const double new_mu = acc_mu * g.dmu[0] + acc_var * g.dvar[0];
+      const double new_var = acc_mu * g.dmu[2] + acc_var * g.dvar[2];
+      acc_mu = new_mu;
+      acc_var = new_var;
+    }
+    amu[static_cast<std::size_t>(outs[0])] += acc_mu;
+    avar[static_cast<std::size_t>(outs[0])] += acc_var;
+  }
+
+  // Through the gates in reverse topological order.
+  const std::vector<NodeId>& topo = c.topo_order();
+  const double kappa = sigma_model_.kappa;
+  const double offset = sigma_model_.offset;
+  for (std::size_t t = topo.size(); t-- > 0;) {
+    const NodeId id = topo[t];
+    const netlist::Node& node = c.node(id);
+    if (node.kind != NodeKind::kGate) continue;
+    const std::size_t i = static_cast<std::size_t>(id);
+    const double a_mu = amu[i];
+    const double a_var = avar[i];
+    if (a_mu == 0.0 && a_var == 0.0) continue;
+
+    // T = U + t: gate-delay adjoints equal the arrival adjoints.
+    // var_t = (kappa mu_t + offset)^2 chains var sensitivity onto mu_t.
+    const double sigma_t = kappa * delay[i].mu + offset;
+    const double adj_mu_t = a_mu + a_var * 2.0 * kappa * sigma_t;
+
+    // mu_t = t_int + c * load / S: sensitivities to this gate's own S and to
+    // every fanout's S (their pins are part of the load).
+    const netlist::CellType& cell = c.library().cell(node.cell);
+    const double s_own = speed[i];
+    const double load = c.load_capacitance(id, speed);
+    grad[i] += adj_mu_t * (-cell.c * load / (s_own * s_own));
+    for (NodeId fo : node.fanouts) {
+      const std::size_t fi = static_cast<std::size_t>(fo);
+      grad[fi] += adj_mu_t * cell.c * c.library().cell(c.node(fo).cell).c_in / s_own;
+    }
+
+    // Through this gate's fanin fold, reverse order.
+    double acc_mu = a_mu;
+    double acc_var = a_var;
+    for (std::size_t k = node.fanins.size(); k-- > 1;) {
+      const ClarkGrad& g = steps[step_begin[i] + (k - 1)];
+      const std::size_t f = static_cast<std::size_t>(node.fanins[k]);
+      amu[f] += acc_mu * g.dmu[1] + acc_var * g.dvar[1];
+      avar[f] += acc_mu * g.dmu[3] + acc_var * g.dvar[3];
+      const double new_mu = acc_mu * g.dmu[0] + acc_var * g.dvar[0];
+      const double new_var = acc_mu * g.dmu[2] + acc_var * g.dvar[2];
+      acc_mu = new_mu;
+      acc_var = new_var;
+    }
+    const std::size_t f0 = static_cast<std::size_t>(node.fanins[0]);
+    amu[f0] += acc_mu;
+    avar[f0] += acc_var;
+  }
+  return tmax;
+}
+
+double ReducedEvaluator::eval_metric(const std::vector<double>& speed, double sigma_weight,
+                                     std::vector<double>* grad) const {
+  if (grad == nullptr) {
+    const NormalRV t = eval(speed);
+    return t.mu + sigma_weight * t.sigma();
+  }
+  // d(mu + k sigma) = d mu + k/(2 sigma) d var; the seeds need sigma, which
+  // a cheap forward pass provides first.
+  const NormalRV probe = eval(speed);
+  const double sigma = probe.sigma();
+  const double seed_var = (sigma_weight != 0.0 && sigma > 1e-12)
+                              ? sigma_weight / (2.0 * sigma)
+                              : 0.0;
+  const NormalRV t = eval_with_grad(speed, 1.0, seed_var, *grad);
+  return t.mu + sigma_weight * t.sigma();
+}
+
+}  // namespace statsize::core

@@ -1,0 +1,50 @@
+// Reduced-space evaluation of the sizing objectives: the speed factors S are
+// the only free variables; arrival statistics are *functions* of S computed
+// by a forward SSTA sweep, and gradients come from one reverse (adjoint)
+// sweep through the same computation graph using the hand-derived Clark
+// derivatives.
+//
+// This is not the paper's formulation (which keeps all timing quantities as
+// NLP variables — see full_space.h); it is the ablation partner (DESIGN.md
+// sec. 5.1) and the scalability mode: one gradient costs two circuit sweeps
+// regardless of circuit size, and the optimizer only sees |gates| variables.
+
+#pragma once
+
+#include <vector>
+
+#include "core/spec.h"
+#include "netlist/circuit.h"
+#include "ssta/delay_model.h"
+#include "stat/normal.h"
+
+namespace statsize::core {
+
+class ReducedEvaluator {
+ public:
+  ReducedEvaluator(const netlist::Circuit& circuit, ssta::SigmaModel sigma_model);
+
+  const netlist::Circuit& circuit() const { return *circuit_; }
+
+  /// Forward sweep only: the circuit-delay distribution at `speed`.
+  stat::NormalRV eval(const std::vector<double>& speed) const;
+
+  /// Forward + adjoint: returns Tmax and fills `grad` (indexed by NodeId;
+  /// non-gate entries 0) with the gradient of
+  ///     seed_mu * mu_Tmax + seed_var * var_Tmax
+  /// with respect to every speed factor. Linear combinations cover all
+  /// objectives: e.g. d(mu + k sigma)/dS uses seed_mu = 1,
+  /// seed_var = k / (2 sigma).
+  stat::NormalRV eval_with_grad(const std::vector<double>& speed, double seed_mu,
+                                double seed_var, std::vector<double>& grad) const;
+
+  /// Gradient of mu + k * sigma directly (the common case).
+  double eval_metric(const std::vector<double>& speed, double sigma_weight,
+                     std::vector<double>* grad) const;
+
+ private:
+  const netlist::Circuit* circuit_;
+  ssta::SigmaModel sigma_model_;
+};
+
+}  // namespace statsize::core

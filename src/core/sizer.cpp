@@ -1,0 +1,318 @@
+#include "core/sizer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "core/full_space.h"
+#include "core/reduced_space.h"
+#include "nlp/auglag.h"
+#include "nlp/projected_lbfgs.h"
+#include "ssta/ssta.h"
+
+namespace statsize::core {
+
+using netlist::NodeId;
+using netlist::NodeKind;
+
+Sizer::Sizer(const netlist::Circuit& circuit, SizingSpec spec)
+    : circuit_(&circuit), spec_(std::move(spec)) {
+  if (!circuit.finalized()) throw std::invalid_argument("circuit must be finalized");
+  if (spec_.max_speed < 1.0) throw std::invalid_argument("max_speed must be >= 1");
+  if (spec_.objective.kind == ObjectiveKind::kSigma && !spec_.delay_constraint) {
+    throw std::invalid_argument(
+        "sigma objectives need a delay constraint (otherwise sigma->min is the "
+        "trivial all-max or all-min sizing)");
+  }
+  if (spec_.objective.kind == ObjectiveKind::kWeighted &&
+      static_cast<int>(spec_.objective.weights.size()) != circuit.num_nodes()) {
+    throw std::invalid_argument("weighted objective needs one weight per NodeId");
+  }
+}
+
+std::vector<double> Sizer::default_start() const {
+  double s0 = 1.0;
+  if (spec_.delay_constraint) {
+    // Area-min under a delay bound starts from the fastest sizing (feasible
+    // whenever the bound is achievable); equality-pinned problems start from
+    // the middle of the sizing range so both directions are reachable.
+    s0 = spec_.delay_constraint->equality ? 0.5 * (1.0 + spec_.max_speed) : spec_.max_speed;
+  }
+  return std::vector<double>(static_cast<std::size_t>(circuit_->num_nodes()), s0);
+}
+
+void Sizer::finish(SizingResult& result) const {
+  const ssta::DelayCalculator calc(*circuit_, spec_.sigma_model);
+  result.circuit_delay = ssta::run_ssta(calc, result.speed).circuit_delay;
+  result.sum_speed = ssta::DelayCalculator::total_speed(*circuit_, result.speed);
+  result.area = ssta::DelayCalculator::total_area(*circuit_, result.speed);
+  if (spec_.delay_constraint) {
+    const DelayConstraint& dc = *spec_.delay_constraint;
+    const double metric = result.delay_metric(dc.sigma_weight);
+    const double h = metric - dc.bound;
+    result.constraint_violation = dc.equality ? std::abs(h) : std::max(0.0, h);
+  }
+}
+
+SizingResult Sizer::run(const SizerOptions& options) const {
+  return run(options, default_start());
+}
+
+SizingResult Sizer::run(const SizerOptions& options,
+                        const std::vector<double>& initial_speed) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  SizingResult result = options.method == Method::kFullSpace
+                            ? run_full_space(options, initial_speed)
+                            : run_reduced_space(options, initial_speed);
+  finish(result);
+  result.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return result;
+}
+
+namespace {
+
+/// Lexicographic quality of a sizing: constraint violation first (rounded to
+/// the feasibility tolerance), then objective value, both evaluated on the
+/// *true* propagated timing rather than NLP variables.
+struct Score {
+  double violation = 0.0;
+  double objective = 0.0;
+
+  bool better_than(const Score& o, double feas_tol) const {
+    const double va = std::max(violation - feas_tol, 0.0);
+    const double vb = std::max(o.violation - feas_tol, 0.0);
+    if (std::abs(va - vb) > 1e-12) return va < vb;
+    return objective < o.objective;
+  }
+};
+
+}  // namespace
+
+SizingResult Sizer::run_full_space(const SizerOptions& options,
+                                   const std::vector<double>& start) const {
+  std::vector<double> s0 = start;
+  SizingResult warm;
+  if (options.warm_start_full_space) {
+    SizerOptions pre = options;
+    pre.method = Method::kReducedSpace;
+    pre.verbose = false;
+    warm = run_reduced_space(pre, start);
+    s0 = warm.speed;
+  }
+  FullSpaceFormulation form = build_full_space(*circuit_, spec_, s0);
+
+  nlp::AugLagOptions al;
+  al.feasibility_tol = options.feasibility_tol;
+  al.optimality_tol = options.optimality_tol;
+  al.max_outer_iterations = options.max_outer_iterations;
+  al.max_inner_iterations = options.max_inner_iterations;
+  al.verbose = options.verbose;
+  const nlp::SolveResult sol = nlp::solve_augmented_lagrangian(*form.problem, al);
+
+  SizingResult result;
+  result.converged = sol.ok();
+  result.status = "full-space/" + sol.status_string();
+  result.speed = form.speeds_from(sol.x);
+  result.objective_value = sol.objective;
+  result.iterations = sol.inner_iterations;
+
+  // A non-converged augmented-Lagrangian run can drift off the warm-start
+  // optimum; never return something worse than the point we started from.
+  if (!result.converged && options.warm_start_full_space) {
+    auto score_of = [this](const std::vector<double>& speed) {
+      const ReducedEvaluator eval(*circuit_, spec_.sigma_model);
+      const stat::NormalRV t = eval.eval(speed);
+      Score s;
+      switch (spec_.objective.kind) {
+        case ObjectiveKind::kDelay:
+          s.objective = t.mu + spec_.objective.sigma_weight * t.sigma();
+          break;
+        case ObjectiveKind::kArea:
+          s.objective = ssta::DelayCalculator::total_speed(*circuit_, speed);
+          break;
+        case ObjectiveKind::kSigma:
+          s.objective = spec_.objective.sign * t.sigma();
+          break;
+        case ObjectiveKind::kWeighted: {
+          double w = 0.0;
+          for (std::size_t i = 0; i < speed.size(); ++i) {
+            if (circuit_->node(static_cast<netlist::NodeId>(i)).kind == NodeKind::kGate) {
+              w += spec_.objective.weights[i] * speed[i];
+            }
+          }
+          s.objective = w;
+          break;
+        }
+      }
+      if (spec_.delay_constraint) {
+        const DelayConstraint& dc = *spec_.delay_constraint;
+        const double h = t.mu + dc.sigma_weight * t.sigma() - dc.bound;
+        s.violation = dc.equality ? std::abs(h) : std::max(0.0, h);
+      }
+      return s;
+    };
+    if (score_of(warm.speed).better_than(score_of(result.speed), options.feasibility_tol)) {
+      result.speed = warm.speed;
+      result.converged = warm.converged;
+      result.status += "+fallback:" + warm.status;
+      result.iterations += warm.iterations;
+    }
+  }
+  return result;
+}
+
+SizingResult Sizer::run_reduced_space(const SizerOptions& options,
+                                      const std::vector<double>& start) const {
+  const netlist::Circuit& c = *circuit_;
+  const ReducedEvaluator eval(c, spec_.sigma_model);
+
+  // Optimizer variables: speed factor per gate.
+  std::vector<NodeId> gates;
+  for (NodeId id : c.topo_order()) {
+    if (c.node(id).kind == NodeKind::kGate) gates.push_back(id);
+  }
+  const std::size_t ng = gates.size();
+  std::vector<double> x(ng);
+  for (std::size_t i = 0; i < ng; ++i) {
+    x[i] = std::clamp(start[static_cast<std::size_t>(gates[i])], 1.0, spec_.max_speed);
+  }
+  const std::vector<double> lo(ng, 1.0);
+  const std::vector<double> hi(ng, spec_.max_speed);
+
+  std::vector<double> speed(static_cast<std::size_t>(c.num_nodes()), 1.0);
+  std::vector<double> full_grad;
+  double lambda = 0.0;
+  double rho = 10.0;
+
+  const bool has_constraint = spec_.delay_constraint.has_value();
+  const double obj_k =
+      spec_.objective.kind == ObjectiveKind::kDelay ? spec_.objective.sigma_weight : 0.0;
+
+  // F(S) = objective + augmented-Lagrangian constraint terms; one adjoint
+  // sweep delivers the gradient of any linear combination of (mu, var).
+  auto eval_al = [&](const std::vector<double>& xs, std::vector<double>& grad) {
+    for (std::size_t i = 0; i < ng; ++i) speed[static_cast<std::size_t>(gates[i])] = xs[i];
+    const stat::NormalRV probe = eval.eval(speed);
+    const double sigma = probe.sigma();
+    const double inv2s = sigma > 1e-12 ? 0.5 / sigma : 0.0;
+
+    double f = 0.0;
+    double seed_mu = 0.0;
+    double seed_var = 0.0;
+    switch (spec_.objective.kind) {
+      case ObjectiveKind::kDelay:
+        f = probe.mu + obj_k * sigma;
+        seed_mu = 1.0;
+        seed_var = obj_k * inv2s;
+        break;
+      case ObjectiveKind::kArea:
+        for (std::size_t i = 0; i < ng; ++i) f += xs[i];
+        break;
+      case ObjectiveKind::kSigma:
+        f = spec_.objective.sign * sigma;
+        seed_var = spec_.objective.sign * inv2s;
+        break;
+      case ObjectiveKind::kWeighted:
+        for (std::size_t i = 0; i < ng; ++i) {
+          f += spec_.objective.weights[static_cast<std::size_t>(gates[i])] * xs[i];
+        }
+        break;
+    }
+    if (has_constraint) {
+      const DelayConstraint& dc = *spec_.delay_constraint;
+      const double h = probe.mu + dc.sigma_weight * sigma - dc.bound;
+      double dpen_dh;
+      if (dc.equality) {
+        f += lambda * h + 0.5 * rho * h * h;
+        dpen_dh = lambda + rho * h;
+      } else {
+        const double m = std::max(0.0, lambda + rho * h);
+        f += (m * m - lambda * lambda) / (2.0 * rho);
+        dpen_dh = m;
+      }
+      seed_mu += dpen_dh;
+      seed_var += dpen_dh * dc.sigma_weight * inv2s;
+    }
+
+    if (seed_mu != 0.0 || seed_var != 0.0) {
+      eval.eval_with_grad(speed, seed_mu, seed_var, full_grad);
+    } else {
+      full_grad.assign(speed.size(), 0.0);
+    }
+    grad.resize(ng);
+    for (std::size_t i = 0; i < ng; ++i) {
+      grad[i] = full_grad[static_cast<std::size_t>(gates[i])];
+      if (spec_.objective.kind == ObjectiveKind::kArea) {
+        grad[i] += 1.0;
+      } else if (spec_.objective.kind == ObjectiveKind::kWeighted) {
+        grad[i] += spec_.objective.weights[static_cast<std::size_t>(gates[i])];
+      }
+    }
+    return f;
+  };
+
+  SizingResult result;
+  nlp::LbfgsOptions lb;
+  lb.tol = options.optimality_tol;
+  lb.max_iterations = options.max_inner_iterations;
+  lb.verbose = false;
+
+  if (!has_constraint) {
+    const nlp::LbfgsResult r = minimize_projected_lbfgs(eval_al, x, lo, hi, lb);
+    result.converged = r.converged;
+    result.iterations = r.iterations;
+    result.status = std::string("reduced/") + (r.converged ? "converged" : "max-iterations");
+  } else {
+    const DelayConstraint& dc = *spec_.delay_constraint;
+    // The delay metric is O(bound); judge feasibility relative to it so the
+    // same tolerance works for 7-unit trees and 150-unit netlists.
+    const double feas = options.feasibility_tol * (1.0 + std::abs(dc.bound));
+    bool done = false;
+    int total_it = 0;
+    double viol = 0.0;
+    for (int outer = 0; outer < options.max_outer_iterations && !done; ++outer) {
+      // LANCELOT-style omega schedule: early subproblems are solved loosely
+      // (their multipliers are wrong anyway), tightening toward the final
+      // optimality tolerance.
+      nlp::LbfgsOptions lb_outer = lb;
+      lb_outer.tol = std::max(lb.tol, 1e-2 / std::pow(4.0, outer));
+      const nlp::LbfgsResult r = minimize_projected_lbfgs(eval_al, x, lo, hi, lb_outer);
+      total_it += r.iterations;
+      for (std::size_t i = 0; i < ng; ++i) speed[static_cast<std::size_t>(gates[i])] = x[i];
+      const stat::NormalRV probe = eval.eval(speed);
+      const double h = probe.mu + dc.sigma_weight * probe.sigma() - dc.bound;
+      viol = dc.equality ? std::abs(h) : std::max(0.0, h);
+      if (options.verbose) {
+        std::printf("[sizer-reduced] outer=%d viol=%.3e pg=%.3e rho=%.1e\n", outer, viol,
+                    r.projected_gradient, rho);
+      }
+      if (viol <= feas && lb_outer.tol <= 2.0 * lb.tol &&
+          r.projected_gradient <= 10.0 * options.optimality_tol) {
+        done = true;
+        break;
+      }
+      // Multiplier / penalty updates (PHR).
+      if (dc.equality) {
+        lambda += rho * h;
+      } else {
+        lambda = std::max(0.0, lambda + rho * h);
+      }
+      if (viol > 0.25 * feas) rho = std::min(rho * 4.0, 1e9);
+    }
+    result.converged = done;
+    result.iterations = total_it;
+    result.status = std::string("reduced/") + (done ? "converged" : "max-iterations");
+  }
+
+  result.speed.assign(static_cast<std::size_t>(c.num_nodes()), 1.0);
+  for (std::size_t i = 0; i < ng; ++i) {
+    result.speed[static_cast<std::size_t>(gates[i])] = x[i];
+  }
+  std::vector<double> g;
+  result.objective_value = eval_al(x, g);
+  return result;
+}
+
+}  // namespace statsize::core

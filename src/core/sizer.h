@@ -1,0 +1,88 @@
+// High-level gate-sizing API — the facade a downstream user calls.
+//
+//   Circuit c = netlist::make_tree_circuit();
+//   core::SizingSpec spec;
+//   spec.objective = core::Objective::min_delay(3.0);   // min mu + 3 sigma
+//   core::Sizer sizer(c, spec);
+//   core::SizingResult r = sizer.run();
+//   // r.speed[g], r.circuit_delay, r.sum_speed ...
+//
+// Two solution methods are provided (DESIGN.md sec. 5.1):
+//  * kFullSpace — the paper's formulation (eq. 17) solved with the
+//    augmented-Lagrangian / trust-region stack, exactly as the authors used
+//    LANCELOT. Every timing quantity is an NLP variable.
+//  * kReducedSpace — speed factors only; timing evaluated by forward SSTA
+//    with adjoint gradients, bound-constrained L-BFGS inside a scalar
+//    augmented-Lagrangian loop for the delay constraint.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/spec.h"
+#include "netlist/circuit.h"
+#include "stat/normal.h"
+
+namespace statsize::core {
+
+enum class Method { kFullSpace, kReducedSpace };
+
+struct SizerOptions {
+  Method method = Method::kFullSpace;
+  double feasibility_tol = 1e-6;
+  double optimality_tol = 2e-4;
+  int max_outer_iterations = 40;
+  int max_inner_iterations = 3000;
+  /// Full-space runs first solve the cheap reduced-space problem and start
+  /// the augmented Lagrangian from that sizing (the timing variables are
+  /// re-propagated, so the start is feasible). Dramatically fewer outer
+  /// iterations on anything beyond toy circuits; disable to reproduce the
+  /// paper's cold-start behaviour.
+  bool warm_start_full_space = true;
+  bool verbose = false;
+};
+
+struct SizingResult {
+  bool converged = false;
+  std::string status;               ///< solver status string
+  std::vector<double> speed;        ///< per NodeId (1.0 for non-gates)
+  stat::NormalRV circuit_delay;     ///< SSTA at the final sizes
+  double sum_speed = 0.0;           ///< Tables' "sum S_i" column
+  double area = 0.0;                ///< cell-area weighted
+  double objective_value = 0.0;
+  double constraint_violation = 0.0;
+  int iterations = 0;               ///< total inner iterations
+  double wall_seconds = 0.0;
+
+  /// mu + k sigma of the final circuit delay.
+  double delay_metric(double sigma_weight) const {
+    return circuit_delay.quantile_offset(sigma_weight);
+  }
+};
+
+class Sizer {
+ public:
+  Sizer(const netlist::Circuit& circuit, SizingSpec spec);
+
+  /// Runs the optimization; `initial_speed` (indexed by NodeId) overrides the
+  /// default start (S=1 for delay objectives; S=limit when a delay constraint
+  /// must first be met).
+  SizingResult run(const SizerOptions& options = {}) const;
+  SizingResult run(const SizerOptions& options, const std::vector<double>& initial_speed) const;
+
+  const SizingSpec& spec() const { return spec_; }
+
+ private:
+  SizingResult run_full_space(const SizerOptions& options,
+                              const std::vector<double>& start) const;
+  SizingResult run_reduced_space(const SizerOptions& options,
+                                 const std::vector<double>& start) const;
+  std::vector<double> default_start() const;
+  void finish(SizingResult& result) const;
+
+  const netlist::Circuit* circuit_;
+  SizingSpec spec_;
+};
+
+}  // namespace statsize::core

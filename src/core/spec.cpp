@@ -1,0 +1,34 @@
+#include "core/spec.h"
+
+#include <sstream>
+
+namespace statsize::core {
+
+namespace {
+
+std::string metric_name(double sigma_weight) {
+  if (sigma_weight == 0.0) return "mu";
+  std::ostringstream os;
+  os << "mu+" << sigma_weight << "sigma";
+  return os.str();
+}
+
+}  // namespace
+
+std::string Objective::description() const {
+  switch (kind) {
+    case ObjectiveKind::kDelay: return "min " + metric_name(sigma_weight);
+    case ObjectiveKind::kArea: return "min sum(S)";
+    case ObjectiveKind::kSigma: return sign > 0 ? "min sigma" : "max sigma";
+    case ObjectiveKind::kWeighted: return "min weighted(S)";
+  }
+  return "?";
+}
+
+std::string DelayConstraint::description() const {
+  std::ostringstream os;
+  os << metric_name(sigma_weight) << (equality ? " = " : " <= ") << bound;
+  return os.str();
+}
+
+}  // namespace statsize::core

@@ -1,0 +1,76 @@
+// Sizing problem specification: which objective, which delay constraint,
+// which sizing limits, which sigma model — covering every row of the paper's
+// Tables 1 and 2.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ssta/delay_model.h"
+
+namespace statsize::core {
+
+enum class ObjectiveKind {
+  kDelay,     ///< minimize mu_Tmax + sigma_weight * sigma_Tmax
+  kArea,      ///< minimize sum of speed factors (the paper's area measure)
+  kSigma,     ///< minimize (sign=+1) or maximize (sign=-1) sigma_Tmax
+  kWeighted,  ///< minimize sum of weight_g * S_g (paper sec. 4: with
+              ///< capacitance x switching-activity weights this models power;
+              ///< see ssta::power_weights)
+};
+
+struct Objective {
+  ObjectiveKind kind = ObjectiveKind::kDelay;
+  double sigma_weight = 0.0;  ///< the k in mu + k sigma (kDelay only)
+  double sign = 1.0;          ///< +1 minimize, -1 maximize (kSigma only)
+  std::vector<double> weights;  ///< per-NodeId weights (kWeighted only)
+
+  static Objective min_delay(double sigma_weight = 0.0) {
+    return {ObjectiveKind::kDelay, sigma_weight, 1.0, {}};
+  }
+  static Objective min_area() { return {ObjectiveKind::kArea, 0.0, 1.0, {}}; }
+  static Objective min_sigma() { return {ObjectiveKind::kSigma, 0.0, 1.0, {}}; }
+  static Objective max_sigma() { return {ObjectiveKind::kSigma, 0.0, -1.0, {}}; }
+
+  /// `weights` indexed by NodeId (non-gate entries ignored).
+  static Objective min_weighted(std::vector<double> weights) {
+    return {ObjectiveKind::kWeighted, 0.0, 1.0, std::move(weights)};
+  }
+
+  std::string description() const;
+};
+
+/// mu_Tmax + sigma_weight * sigma_Tmax  (<= | ==)  bound.
+struct DelayConstraint {
+  double sigma_weight = 0.0;
+  double bound = 0.0;
+  bool equality = false;  ///< Table 2 pins mu_Tmax exactly; Table 1 uses <=
+
+  static DelayConstraint at_most(double bound, double sigma_weight = 0.0) {
+    return {sigma_weight, bound, false};
+  }
+  static DelayConstraint exactly(double bound, double sigma_weight = 0.0) {
+    return {sigma_weight, bound, true};
+  }
+
+  std::string description() const;
+};
+
+struct SizingSpec {
+  Objective objective;
+  std::optional<DelayConstraint> delay_constraint;
+  double max_speed = 3.0;  ///< the paper's `limit` (its example uses 3)
+  ssta::SigmaModel sigma_model{0.25, 0.0};  ///< eq. 18e: sigma = mu / 4
+
+  /// Full-space formulation option implementing the paper's future-work item:
+  /// express each gate's fanin maximum as ONE n-ary element instead of a
+  /// chain of pairwise maxima with intermediate (mu_U, var_U) variables.
+  /// Fewer variables and constraints, denser element Hessians; the optimum is
+  /// identical (bench ablation_formulation compares). Ignored by the
+  /// reduced-space method, which never materializes fold variables anyway.
+  bool nary_fanin_max = false;
+};
+
+}  // namespace statsize::core

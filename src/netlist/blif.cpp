@@ -1,0 +1,201 @@
+#include "netlist/blif.h"
+
+#include <fstream>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace statsize::netlist {
+
+namespace {
+
+struct NamesNode {
+  std::vector<std::string> fanins;
+  std::string output;
+  int line = 0;
+};
+
+struct BlifIr {
+  std::string model = "top";
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::vector<NamesNode> nodes;
+};
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> toks;
+  std::istringstream iss(line);
+  std::string t;
+  while (iss >> t) toks.push_back(t);
+  return toks;
+}
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::runtime_error("BLIF parse error at line " + std::to_string(line) + ": " + what);
+}
+
+BlifIr parse_ir(std::istream& in) {
+  BlifIr ir;
+  std::string raw;
+  std::string logical;
+  int line_no = 0;
+  int logical_start = 0;
+  bool saw_end = false;
+
+  auto process = [&](const std::string& line, int at) {
+    const std::vector<std::string> toks = tokenize(line);
+    if (toks.empty()) return;
+    const std::string& head = toks[0];
+    if (head[0] != '.') return;  // truth-table row of the preceding .names
+    if (head == ".model") {
+      if (toks.size() >= 2) ir.model = toks[1];
+    } else if (head == ".inputs") {
+      ir.inputs.insert(ir.inputs.end(), toks.begin() + 1, toks.end());
+    } else if (head == ".outputs") {
+      ir.outputs.insert(ir.outputs.end(), toks.begin() + 1, toks.end());
+    } else if (head == ".names") {
+      if (toks.size() < 2) fail(at, ".names needs at least an output signal");
+      NamesNode n;
+      n.fanins.assign(toks.begin() + 1, toks.end() - 1);
+      n.output = toks.back();
+      n.line = at;
+      ir.nodes.push_back(std::move(n));
+    } else if (head == ".end") {
+      saw_end = true;
+    } else if (head == ".latch" || head == ".subckt" || head == ".gate") {
+      fail(at, "unsupported construct " + head + " (combinational structural BLIF only)");
+    }
+    // Other dot-directives (.default_input_arrival etc.) are ignored.
+  };
+
+  while (std::getline(in, raw)) {
+    ++line_no;
+    if (const auto hash = raw.find('#'); hash != std::string::npos) raw.erase(hash);
+    if (logical.empty()) logical_start = line_no;
+    if (!raw.empty() && raw.back() == '\\') {
+      raw.pop_back();
+      logical += raw + " ";
+      continue;
+    }
+    logical += raw;
+    process(logical, logical_start);
+    logical.clear();
+    if (saw_end) break;
+  }
+  if (!logical.empty()) process(logical, logical_start);
+  if (ir.outputs.empty()) throw std::runtime_error("BLIF has no .outputs");
+  return ir;
+}
+
+}  // namespace
+
+Circuit read_blif(std::istream& in, const CellLibrary& library) {
+  const BlifIr ir = parse_ir(in);
+
+  // Index signal definitions.
+  std::map<std::string, int> def;  // -1 = primary input, >= 0 = node index
+  for (const std::string& s : ir.inputs) {
+    if (!def.emplace(s, -1).second) throw std::runtime_error("duplicate input signal " + s);
+  }
+  for (std::size_t i = 0; i < ir.nodes.size(); ++i) {
+    if (!def.emplace(ir.nodes[i].output, static_cast<int>(i)).second) {
+      fail(ir.nodes[i].line, "signal " + ir.nodes[i].output + " defined twice");
+    }
+  }
+
+  Circuit c(library);
+  std::map<std::string, NodeId> built;
+  for (const std::string& s : ir.inputs) built[s] = c.add_input(s);
+
+  // Iterative DFS so deep netlists do not overflow the stack.
+  enum class Mark : char { kNone, kOnStack, kDone };
+  std::vector<Mark> mark(ir.nodes.size(), Mark::kNone);
+
+  auto build_node = [&](int root) {
+    std::vector<std::pair<int, std::size_t>> stack;  // node index, next fanin
+    stack.emplace_back(root, 0);
+    mark[static_cast<std::size_t>(root)] = Mark::kOnStack;
+    while (!stack.empty()) {
+      auto& [idx, next] = stack.back();
+      const NamesNode& n = ir.nodes[static_cast<std::size_t>(idx)];
+      if (next < n.fanins.size()) {
+        const std::string& sig = n.fanins[next++];
+        const auto it = def.find(sig);
+        if (it == def.end()) fail(n.line, "signal " + sig + " is never defined");
+        if (it->second < 0) continue;  // primary input, already built
+        const int child = it->second;
+        if (mark[static_cast<std::size_t>(child)] == Mark::kDone) continue;
+        if (mark[static_cast<std::size_t>(child)] == Mark::kOnStack) {
+          fail(n.line, "combinational cycle through signal " + sig);
+        }
+        mark[static_cast<std::size_t>(child)] = Mark::kOnStack;
+        stack.emplace_back(child, 0);
+        continue;
+      }
+      // All fanins realized: build this gate (constants become aux inputs so
+      // timing treats them as time-zero sources).
+      if (n.fanins.empty()) {
+        built[n.output] = c.add_input(n.output);
+      } else {
+        const int cell = library.cell_for_inputs(static_cast<int>(n.fanins.size()));
+        if (cell < 0) {
+          fail(n.line, "no library cell with " + std::to_string(n.fanins.size()) + " inputs");
+        }
+        std::vector<NodeId> fanins;
+        fanins.reserve(n.fanins.size());
+        for (const std::string& sig : n.fanins) fanins.push_back(built.at(sig));
+        built[n.output] = c.add_gate(cell, std::move(fanins), n.output);
+      }
+      mark[static_cast<std::size_t>(idx)] = Mark::kDone;
+      stack.pop_back();
+    }
+  };
+
+  for (std::size_t i = 0; i < ir.nodes.size(); ++i) {
+    if (mark[i] == Mark::kNone) build_node(static_cast<int>(i));
+  }
+
+  for (const std::string& s : ir.outputs) {
+    const auto it = built.find(s);
+    if (it == built.end()) throw std::runtime_error("output signal " + s + " is never defined");
+    c.mark_output(it->second);
+  }
+  c.finalize();
+  return c;
+}
+
+Circuit read_blif_file(const std::string& path, const CellLibrary& library) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open BLIF file: " + path);
+  return read_blif(in, library);
+}
+
+void write_blif(std::ostream& out, const Circuit& circuit, const std::string& model) {
+  out << ".model " << model << "\n.inputs";
+  for (NodeId id : circuit.topo_order()) {
+    if (circuit.node(id).kind == NodeKind::kPrimaryInput) out << " " << circuit.node(id).name;
+  }
+  out << "\n.outputs";
+  for (NodeId id : circuit.outputs()) out << " " << circuit.node(id).name;
+  out << "\n";
+  for (NodeId id : circuit.topo_order()) {
+    const Node& n = circuit.node(id);
+    if (n.kind != NodeKind::kGate) continue;
+    out << ".names";
+    for (NodeId f : n.fanins) out << " " << circuit.node(f).name;
+    out << " " << n.name << "\n";
+    // NAND truth table: output is 1 whenever any input is 0.
+    const std::size_t pins = n.fanins.size();
+    for (std::size_t i = 0; i < pins; ++i) {
+      std::string row(pins, '-');
+      row[i] = '0';
+      out << row << " 1\n";
+    }
+  }
+  out << ".end\n";
+}
+
+}  // namespace statsize::netlist

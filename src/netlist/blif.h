@@ -1,0 +1,35 @@
+// Minimal structural BLIF reader/writer.
+//
+// The paper sizes MCNC benchmark circuits (apex1, apex2, k2) that were
+// distributed as BLIF. This importer accepts the structural subset —
+// .model/.inputs/.outputs/.names/.end — and maps every k-input .names node to
+// the library's generic k-input cell (the Boolean function is irrelevant to
+// timing under this delay model, only pin counts and topology matter). The
+// writer emits a BLIF whose .names blocks carry NAND truth tables, so a
+// round-trip preserves structure exactly.
+//
+// Limitations (diagnosed with exceptions, never silently ignored):
+//  * no .latch (combinational circuits only, as in the paper)
+//  * no .subckt / hierarchical models
+//  * a .names with more inputs than any library cell is rejected
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/circuit.h"
+
+namespace statsize::netlist {
+
+/// Parses a BLIF network from `in`. Throws std::runtime_error with a
+/// line-numbered message on malformed input.
+Circuit read_blif(std::istream& in, const CellLibrary& library = CellLibrary::standard());
+
+Circuit read_blif_file(const std::string& path,
+                       const CellLibrary& library = CellLibrary::standard());
+
+/// Writes `circuit` as structural BLIF (model name `model`).
+void write_blif(std::ostream& out, const Circuit& circuit, const std::string& model = "top");
+
+}  // namespace statsize::netlist

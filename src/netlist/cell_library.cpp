@@ -1,0 +1,78 @@
+#include "netlist/cell_library.h"
+
+#include <stdexcept>
+
+namespace statsize::netlist {
+
+int CellLibrary::add(CellType cell) {
+  if (cell.name.empty()) throw std::invalid_argument("cell name must be non-empty");
+  if (find(cell.name) >= 0) throw std::invalid_argument("duplicate cell name: " + cell.name);
+  if (cell.num_inputs < 1) throw std::invalid_argument("cell needs at least one input");
+  if (cell.t_int <= 0.0 || cell.c <= 0.0 || cell.c_in <= 0.0 || cell.area <= 0.0) {
+    throw std::invalid_argument("cell electrical constants must be positive");
+  }
+  cells_.push_back(std::move(cell));
+  return static_cast<int>(cells_.size()) - 1;
+}
+
+int CellLibrary::find(std::string_view name) const {
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int CellLibrary::cell_for_inputs(int n) const {
+  // Prefer the NAND family (the paper's tree circuit is all NANDs), then any
+  // cell with a matching pin count.
+  const std::string nand_name = "NAND" + std::to_string(n);
+  if (const int id = find(nand_name); id >= 0) return id;
+  if (n == 1) {
+    if (const int id = find("INV"); id >= 0) return id;
+  }
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].num_inputs == n) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const CellLibrary& CellLibrary::standard() {
+  static const CellLibrary lib = [] {
+    CellLibrary l;
+    // name, pins, t_int, c, c_in, area — normalized units. Multi-input cells
+    // are intrinsically slower and present more pin capacitance; XOR is the
+    // heaviest two-input function. Pin capacitances are deliberately small
+    // relative to typical wire/pad loads (a wire-load-dominated regime, as in
+    // the paper's era): this is what makes output-side upsizing profitable
+    // and reproduces the Table 3 speed-factor ordering.
+    l.add({"INV", 1, 0.60, 1.00, 0.65, 1.0, CellFunction::kInv});
+    l.add({"BUF", 1, 1.00, 0.90, 0.65, 1.5, CellFunction::kBuf});
+    l.add({"NAND2", 2, 1.00, 1.00, 0.80, 2.0, CellFunction::kNand});
+    l.add({"NAND3", 3, 1.25, 1.10, 0.90, 3.0, CellFunction::kNand});
+    l.add({"NAND4", 4, 1.50, 1.20, 1.00, 4.0, CellFunction::kNand});
+    l.add({"NOR2", 2, 1.10, 1.10, 0.85, 2.0, CellFunction::kNor});
+    l.add({"NOR3", 3, 1.40, 1.25, 0.95, 3.0, CellFunction::kNor});
+    l.add({"NOR4", 4, 1.70, 1.40, 1.10, 4.0, CellFunction::kNor});
+    l.add({"AND2", 2, 1.30, 1.00, 0.75, 2.5, CellFunction::kAnd});
+    l.add({"OR2", 2, 1.40, 1.05, 0.80, 2.5, CellFunction::kOr});
+    l.add({"XOR2", 2, 1.80, 1.15, 1.05, 3.5, CellFunction::kXor});
+    l.add({"AOI21", 3, 1.35, 1.15, 0.90, 3.0, CellFunction::kAoi21});
+    l.add({"OAI21", 3, 1.40, 1.15, 0.90, 3.0, CellFunction::kOai21});
+    return l;
+  }();
+  return lib;
+}
+
+CellLibrary scale_library_delays(const CellLibrary& library, double delay_factor) {
+  if (delay_factor <= 0.0) throw std::invalid_argument("delay factor must be positive");
+  CellLibrary scaled;
+  for (int i = 0; i < library.size(); ++i) {
+    CellType cell = library.cell(i);
+    cell.t_int *= delay_factor;
+    cell.c *= delay_factor;
+    scaled.add(std::move(cell));
+  }
+  return scaled;
+}
+
+}  // namespace statsize::netlist

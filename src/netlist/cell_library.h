@@ -1,0 +1,85 @@
+// Characterized cell library for the sizable-gate delay model of Berkelaar &
+// Jess (EDAC'90), which the paper builds on (sec. 4, eq. 14):
+//
+//   t_cell = t_int + c * (C_load + sum_i C_in,i * S_i) / S_cell
+//
+// Every cell carries the constants of that model: the intrinsic delay t_int
+// (invariant under sizing — the resistance decrease cancels the internal
+// capacitance increase), the delay-per-capacitance constant c, the input
+// capacitance C_in presented to drivers at S = 1 (it scales linearly with the
+// cell's own speed factor), and the area at S = 1 (area scales linearly with
+// S as shown in [3] and [8]).
+//
+// Units are normalized: delays in "nominal inverter delays", capacitances in
+// "inverter input capacitances". The paper's own constants are not published;
+// DESIGN.md records this substitution.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace statsize::netlist {
+
+/// Boolean function of a cell — needed by the switching-activity engine that
+/// feeds power-weighted sizing (paper sec. 4: weights of the sum-of-speed
+/// objective "can model ... power" when they carry capacitance and switching
+/// activity under the zero-delay model).
+enum class CellFunction {
+  kBuf,    ///< y = a
+  kInv,    ///< y = !a
+  kAnd,    ///< y = a & b & ...
+  kNand,   ///< y = !(a & b & ...)
+  kOr,     ///< y = a | b | ...
+  kNor,    ///< y = !(a | b | ...)
+  kXor,    ///< y = a ^ b ^ ...
+  kAoi21,  ///< y = !((a & b) | c)
+  kOai21,  ///< y = !((a | b) & c)
+};
+
+struct CellType {
+  std::string name;
+  int num_inputs = 0;
+  double t_int = 1.0;  ///< intrinsic delay, does not change while sizing
+  double c = 1.0;      ///< propagation-delay-per-capacitance constant
+  double c_in = 1.0;   ///< input (gate-oxide) capacitance per pin at S = 1
+  double area = 1.0;   ///< cell area at S = 1
+  CellFunction function = CellFunction::kNand;
+};
+
+/// Returns a copy of `library` with every cell's delay constants (t_int and
+/// c) multiplied by `delay_factor`. Used to build worst-case corner libraries
+/// (e.g. factor 1 + 3 kappa puts every gate at its mu + 3 sigma delay) for
+/// the corner-methodology baseline the paper argues against.
+class CellLibrary;
+CellLibrary scale_library_delays(const CellLibrary& library, double delay_factor);
+
+/// An immutable-after-construction registry of cell types. Cell ids are dense
+/// indices assigned in insertion order.
+class CellLibrary {
+ public:
+  /// Adds a cell; returns its id. Throws std::invalid_argument on duplicate
+  /// names or non-positive electrical constants.
+  int add(CellType cell);
+
+  const CellType& cell(int id) const { return cells_.at(static_cast<std::size_t>(id)); }
+  int size() const { return static_cast<int>(cells_.size()); }
+
+  /// Id of the cell named `name`, or -1 if absent.
+  int find(std::string_view name) const;
+
+  /// Id of a generic `n`-input cell (used when importing BLIF networks whose
+  /// nodes are arbitrary k-input functions), or -1 if the library has none.
+  int cell_for_inputs(int n) const;
+
+  /// The library used throughout the reproduction: INV/BUF plus NAND/NOR/
+  /// AND/OR/XOR families up to 4 inputs, with constants chosen so the Fig. 3
+  /// tree circuit lands in the paper's delay range.
+  static const CellLibrary& standard();
+
+ private:
+  std::vector<CellType> cells_;
+};
+
+}  // namespace statsize::netlist

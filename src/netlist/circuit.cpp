@@ -1,0 +1,170 @@
+#include "netlist/circuit.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace statsize::netlist {
+
+void Circuit::require_mutable() const {
+  if (finalized_) throw std::runtime_error("circuit is finalized; no further edits allowed");
+}
+
+void Circuit::require_finalized() const {
+  if (!finalized_) throw std::runtime_error("circuit must be finalized first");
+}
+
+NodeId Circuit::add_input(std::string name) {
+  require_mutable();
+  Node n;
+  n.kind = NodeKind::kPrimaryInput;
+  n.name = name.empty() ? "pi" + std::to_string(num_inputs_) : std::move(name);
+  nodes_.push_back(std::move(n));
+  ++num_inputs_;
+  return static_cast<NodeId>(nodes_.size()) - 1;
+}
+
+NodeId Circuit::add_gate(int cell, std::vector<NodeId> fanins, std::string name) {
+  require_mutable();
+  const CellType& type = library_->cell(cell);  // throws on bad id
+  if (static_cast<int>(fanins.size()) != type.num_inputs) {
+    throw std::invalid_argument("gate " + name + ": cell " + type.name + " expects " +
+                                std::to_string(type.num_inputs) + " fanins, got " +
+                                std::to_string(fanins.size()));
+  }
+  const NodeId self = static_cast<NodeId>(nodes_.size());
+  for (NodeId f : fanins) {
+    if (f < 0 || f >= self) throw std::invalid_argument("fanin id out of range (forward ref?)");
+  }
+  Node n;
+  n.kind = NodeKind::kGate;
+  n.cell = cell;
+  n.name = name.empty() ? "g" + std::to_string(num_gates_) : std::move(name);
+  n.fanins = std::move(fanins);
+  nodes_.push_back(std::move(n));
+  ++num_gates_;
+  return self;
+}
+
+void Circuit::mark_output(NodeId id, double pad_load) {
+  require_mutable();
+  Node& n = nodes_.at(static_cast<std::size_t>(id));
+  n.is_output = true;
+  n.pad_load = pad_load;
+  outputs_.push_back(id);
+}
+
+void Circuit::set_wire_load(NodeId id, double load) {
+  require_mutable();
+  if (load < 0.0) throw std::invalid_argument("wire load must be non-negative");
+  nodes_.at(static_cast<std::size_t>(id)).wire_load = load;
+}
+
+void Circuit::finalize() {
+  require_mutable();
+  if (outputs_.empty()) throw std::runtime_error("circuit has no primary outputs");
+
+  for (Node& n : nodes_) n.fanouts.clear();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (NodeId f : nodes_[i].fanins) {
+      nodes_[static_cast<std::size_t>(f)].fanouts.push_back(static_cast<NodeId>(i));
+    }
+  }
+
+  // Because add_gate only accepts already-existing fanins, node-id order is
+  // already topological; keep an explicit order vector anyway so importers
+  // that relax that invariant later only need to change this function.
+  topo_.resize(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) topo_[i] = static_cast<NodeId>(i);
+
+  // Every gate must transitively feed an output; dangling gates indicate a
+  // construction bug upstream (and would carry unconstrained NLP variables).
+  std::vector<char> live(nodes_.size(), 0);
+  std::vector<NodeId> stack(outputs_.begin(), outputs_.end());
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    if (live[static_cast<std::size_t>(id)]) continue;
+    live[static_cast<std::size_t>(id)] = 1;
+    for (NodeId f : nodes_[static_cast<std::size_t>(id)].fanins) stack.push_back(f);
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].kind == NodeKind::kGate && !live[i]) {
+      throw std::runtime_error("gate '" + nodes_[i].name + "' does not reach any output");
+    }
+  }
+  finalized_ = true;
+}
+
+const std::vector<NodeId>& Circuit::topo_order() const {
+  require_finalized();
+  return topo_;
+}
+
+double Circuit::load_capacitance(NodeId id, const std::vector<double>& speed) const {
+  require_finalized();
+  const Node& n = node(id);
+  double cap = n.wire_load + (n.is_output ? n.pad_load : 0.0);
+  for (NodeId fo : n.fanouts) {
+    const Node& sink = node(fo);
+    cap += library_->cell(sink.cell).c_in * speed[static_cast<std::size_t>(fo)];
+  }
+  return cap;
+}
+
+int Circuit::depth() const {
+  require_finalized();
+  std::vector<int> level(nodes_.size(), 0);
+  int max_level = 0;
+  for (NodeId id : topo_) {
+    const Node& n = node(id);
+    if (n.kind != NodeKind::kGate) continue;
+    int lvl = 1;
+    for (NodeId f : n.fanins) lvl = std::max(lvl, level[static_cast<std::size_t>(f)] + 1);
+    level[static_cast<std::size_t>(id)] = lvl;
+    max_level = std::max(max_level, lvl);
+  }
+  return max_level;
+}
+
+CircuitStats compute_stats(const Circuit& circuit) {
+  CircuitStats s;
+  s.num_gates = circuit.num_gates();
+  s.num_inputs = circuit.num_inputs();
+  s.num_outputs = static_cast<int>(circuit.outputs().size());
+  s.depth = circuit.depth();
+  long fanin_sum = 0;
+  long fanout_sum = 0;
+  for (NodeId id : circuit.topo_order()) {
+    const Node& n = circuit.node(id);
+    if (n.kind == NodeKind::kGate) fanin_sum += static_cast<long>(n.fanins.size());
+    fanout_sum += static_cast<long>(n.fanouts.size());
+    s.max_fanout = std::max(s.max_fanout, static_cast<int>(n.fanouts.size()));
+  }
+  if (s.num_gates > 0) s.avg_fanin = static_cast<double>(fanin_sum) / s.num_gates;
+  const int drivers = s.num_gates + s.num_inputs;
+  if (drivers > 0) s.avg_fanout = static_cast<double>(fanout_sum) / drivers;
+  return s;
+}
+
+Circuit clone_with_library(const Circuit& circuit, const CellLibrary& library) {
+  if (library.size() < circuit.library().size()) {
+    throw std::invalid_argument("replacement library is missing cells");
+  }
+  Circuit clone(library);
+  for (NodeId id : circuit.topo_order()) {
+    const Node& n = circuit.node(id);
+    NodeId copied;
+    if (n.kind == NodeKind::kPrimaryInput) {
+      copied = clone.add_input(n.name);
+    } else {
+      copied = clone.add_gate(n.cell, n.fanins, n.name);
+      clone.set_wire_load(copied, n.wire_load);
+    }
+    if (copied != id) throw std::logic_error("clone produced different node ids");
+    if (n.is_output) clone.mark_output(id, n.pad_load);
+  }
+  clone.finalize();
+  return clone;
+}
+
+}  // namespace statsize::netlist

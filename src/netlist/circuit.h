@@ -1,0 +1,114 @@
+// Combinational circuit DAG — the structural substrate the timing engines and
+// the sizing formulation operate on.
+//
+// The graph distinguishes primary inputs (schedule-time sources) from gates.
+// Primary outputs are gates (or inputs) flagged as driving an output pad; the
+// paper takes the statistical maximum over exactly these nodes to form the
+// total circuit delay distribution (sec. 4).
+//
+// A circuit is built incrementally (add_input / add_gate / mark_output) and
+// then frozen by finalize(), which derives fanout lists, computes a
+// topological order, and validates the structure (pin counts, acyclicity,
+// no dangling gates). Mutating calls after finalize() throw.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/cell_library.h"
+
+namespace statsize::netlist {
+
+using NodeId = std::int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+enum class NodeKind : std::uint8_t { kPrimaryInput, kGate };
+
+struct Node {
+  NodeKind kind = NodeKind::kGate;
+  int cell = -1;  ///< id into the circuit's CellLibrary; -1 for inputs
+  std::string name;
+  std::vector<NodeId> fanins;
+  std::vector<NodeId> fanouts;  ///< derived by finalize()
+  bool is_output = false;
+  double wire_load = 0.0;  ///< C_load: wiring capacitance on this node's output
+  double pad_load = 0.0;   ///< extra capacitance when driving a primary output
+};
+
+class Circuit {
+ public:
+  explicit Circuit(const CellLibrary& library) : library_(&library) {}
+
+  NodeId add_input(std::string name);
+
+  /// Adds a gate of type `cell` driven by `fanins` (inputs or earlier gates).
+  /// An empty name is auto-generated ("g<N>").
+  NodeId add_gate(int cell, std::vector<NodeId> fanins, std::string name = {});
+
+  /// Flags `id` as driving a primary output pad with capacitance `pad_load`.
+  void mark_output(NodeId id, double pad_load = 1.0);
+
+  void set_wire_load(NodeId id, double load);
+
+  /// Freezes the circuit: derives fanouts, topologically sorts, validates.
+  /// Throws std::runtime_error on cycles or structural errors.
+  void finalize();
+
+  bool finalized() const { return finalized_; }
+
+  const CellLibrary& library() const { return *library_; }
+  const Node& node(NodeId id) const { return nodes_.at(static_cast<std::size_t>(id)); }
+  const CellType& cell_of(NodeId id) const { return library_->cell(node(id).cell); }
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_gates() const { return num_gates_; }
+  int num_inputs() const { return num_inputs_; }
+  const std::vector<NodeId>& outputs() const { return outputs_; }
+
+  /// All nodes, inputs first is NOT guaranteed — use topo_order for
+  /// dependency-respecting traversal (every fanin precedes its fanouts).
+  const std::vector<NodeId>& topo_order() const;
+
+  /// Total load capacitance seen by node `id` at the given speed factors:
+  /// wire + pad + sum over fanout gates of C_in * S_fanout (eq. 14's
+  /// C_load + sum C_in,i S_i). `speed` is indexed by NodeId; inputs ignore it.
+  double load_capacitance(NodeId id, const std::vector<double>& speed) const;
+
+  /// Logic depth in gate levels (longest input-to-output path).
+  int depth() const;
+
+ private:
+  void require_mutable() const;
+  void require_finalized() const;
+
+  const CellLibrary* library_;
+  std::vector<Node> nodes_;
+  std::vector<NodeId> outputs_;
+  std::vector<NodeId> topo_;
+  int num_gates_ = 0;
+  int num_inputs_ = 0;
+  bool finalized_ = false;
+};
+
+/// Aggregate structural statistics (used by benches to report workload shape).
+struct CircuitStats {
+  int num_gates = 0;
+  int num_inputs = 0;
+  int num_outputs = 0;
+  int depth = 0;
+  double avg_fanin = 0.0;
+  double avg_fanout = 0.0;
+  int max_fanout = 0;
+};
+
+CircuitStats compute_stats(const Circuit& circuit);
+
+/// Structural copy of `circuit` bound to another library (cells matched by
+/// id, so `library` must be index-compatible — e.g. produced by
+/// scale_library_delays). The caller keeps `library` alive for the clone's
+/// lifetime.
+Circuit clone_with_library(const Circuit& circuit, const CellLibrary& library);
+
+}  // namespace statsize::netlist

@@ -1,0 +1,240 @@
+#include "netlist/generators.h"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+namespace statsize::netlist {
+
+Circuit make_tree_circuit(const CellLibrary& library) {
+  const int nand2 = library.find("NAND2");
+  if (nand2 < 0) throw std::invalid_argument("library lacks NAND2");
+  Circuit c(library);
+  std::vector<NodeId> pi;
+  pi.reserve(8);
+  for (int i = 0; i < 8; ++i) pi.push_back(c.add_input("pi" + std::to_string(i)));
+  const NodeId a = c.add_gate(nand2, {pi[0], pi[1]}, "A");
+  const NodeId b = c.add_gate(nand2, {pi[2], pi[3]}, "B");
+  const NodeId d = c.add_gate(nand2, {pi[4], pi[5]}, "D");
+  const NodeId e = c.add_gate(nand2, {pi[6], pi[7]}, "E");
+  const NodeId f_c = c.add_gate(nand2, {a, b}, "C");
+  const NodeId f_f = c.add_gate(nand2, {d, e}, "F");
+  const NodeId g = c.add_gate(nand2, {f_c, f_f}, "G");
+  for (NodeId id : {a, b, d, e, f_c, f_f, g}) c.set_wire_load(id, 1.0);
+  c.mark_output(g, /*pad_load=*/2.0);
+  c.finalize();
+  return c;
+}
+
+Circuit make_balanced_tree(int levels, const CellLibrary& library) {
+  if (levels < 1) throw std::invalid_argument("levels must be >= 1");
+  const int nand2 = library.find("NAND2");
+  Circuit c(library);
+  // Build bottom-up: leaves first. Level `levels` has 2^(levels-1) gates.
+  const int num_leaves = 1 << (levels - 1);
+  std::vector<NodeId> frontier;
+  frontier.reserve(static_cast<std::size_t>(num_leaves));
+  for (int i = 0; i < num_leaves; ++i) {
+    const NodeId p0 = c.add_input({});
+    const NodeId p1 = c.add_input({});
+    frontier.push_back(c.add_gate(nand2, {p0, p1}));
+  }
+  while (frontier.size() > 1) {
+    std::vector<NodeId> next;
+    next.reserve(frontier.size() / 2);
+    for (std::size_t i = 0; i + 1 < frontier.size(); i += 2) {
+      next.push_back(c.add_gate(nand2, {frontier[i], frontier[i + 1]}));
+    }
+    frontier = std::move(next);
+  }
+  c.mark_output(frontier.front(), 1.5);
+  c.finalize();
+  return c;
+}
+
+Circuit make_chain(int length, const CellLibrary& library) {
+  if (length < 1) throw std::invalid_argument("length must be >= 1");
+  const int inv = library.find("INV");
+  Circuit c(library);
+  NodeId prev = c.add_input("pi0");
+  for (int i = 0; i < length; ++i) {
+    prev = c.add_gate(inv, {prev});
+    c.set_wire_load(prev, 0.1);
+  }
+  c.mark_output(prev, 1.0);
+  c.finalize();
+  return c;
+}
+
+namespace {
+
+/// Mapped-logic-like cell mix (cumulative weights over the standard library).
+int pick_cell(const CellLibrary& lib, std::mt19937_64& rng) {
+  struct Entry {
+    const char* name;
+    double weight;
+  };
+  static constexpr Entry kMix[] = {{"INV", 0.12},  {"NAND2", 0.32}, {"NOR2", 0.18},
+                                   {"NAND3", 0.12}, {"AOI21", 0.08}, {"OAI21", 0.05},
+                                   {"NAND4", 0.05}, {"AND2", 0.04},  {"OR2", 0.03},
+                                   {"XOR2", 0.01}};
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  double r = u(rng);
+  for (const Entry& e : kMix) {
+    r -= e.weight;
+    if (r <= 0.0) {
+      const int id = lib.find(e.name);
+      if (id >= 0) return id;
+    }
+  }
+  return lib.find("NAND2");
+}
+
+}  // namespace
+
+Circuit make_random_dag(const RandomDagParams& params, const CellLibrary& library) {
+  if (params.num_gates < 1 || params.num_inputs < 1 || params.depth < 1) {
+    throw std::invalid_argument("random DAG parameters must be positive");
+  }
+  std::mt19937_64 rng(params.seed);
+  Circuit c(library);
+
+  std::vector<NodeId> inputs;
+  inputs.reserve(static_cast<std::size_t>(params.num_inputs));
+  for (int i = 0; i < params.num_inputs; ++i) inputs.push_back(c.add_input({}));
+
+  // Level sizes: a spindle profile (narrow at the ends, wide in the middle),
+  // which matches multi-level mapped logic better than a uniform split.
+  const int depth = std::min(params.depth, params.num_gates);
+  std::vector<int> level_size(static_cast<std::size_t>(depth), 0);
+  {
+    std::vector<double> w(static_cast<std::size_t>(depth));
+    double total = 0.0;
+    for (int l = 0; l < depth; ++l) {
+      const double x = (l + 0.5) / depth;
+      w[static_cast<std::size_t>(l)] = 0.5 + 2.0 * x * (1.0 - x);
+      total += w[static_cast<std::size_t>(l)];
+    }
+    int assigned = 0;
+    for (int l = 0; l < depth; ++l) {
+      level_size[static_cast<std::size_t>(l)] =
+          std::max(1, static_cast<int>(params.num_gates * w[static_cast<std::size_t>(l)] / total));
+      assigned += level_size[static_cast<std::size_t>(l)];
+    }
+    // Fix rounding drift on the widest level.
+    auto widest = std::max_element(level_size.begin(), level_size.end());
+    *widest += params.num_gates - assigned;
+    if (*widest < 1) throw std::invalid_argument("depth too large for gate count");
+  }
+
+  std::vector<std::vector<NodeId>> levels;  // levels[0] = PIs
+  levels.push_back(inputs);
+  std::exponential_distribution<double> wire_dist(
+      params.wire_load_mean > 0 ? 1.0 / params.wire_load_mean : 1e9);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+
+  std::vector<int> fanout_count(static_cast<std::size_t>(params.num_inputs + params.num_gates), 0);
+
+  for (int l = 0; l < depth; ++l) {
+    std::vector<NodeId> this_level;
+    this_level.reserve(static_cast<std::size_t>(level_size[static_cast<std::size_t>(l)]));
+    const std::vector<NodeId>& prev = levels.back();
+    for (int gidx = 0; gidx < level_size[static_cast<std::size_t>(l)]; ++gidx) {
+      const int cell = pick_cell(library, rng);
+      const int pins = library.cell(cell).num_inputs;
+      std::vector<NodeId> fanins;
+      fanins.reserve(static_cast<std::size_t>(pins));
+      // First fanin comes from the immediately preceding level so the target
+      // depth is realized; prefer nodes that are not yet consumed, so the
+      // previous level doesn't strand gates as accidental outputs.
+      {
+        std::vector<NodeId> unused;
+        for (NodeId n : prev) {
+          if (fanout_count[static_cast<std::size_t>(n)] == 0) unused.push_back(n);
+        }
+        const std::vector<NodeId>& pool = unused.empty() ? prev : unused;
+        fanins.push_back(pool[static_cast<std::size_t>(
+            std::uniform_int_distribution<std::size_t>(0, pool.size() - 1)(rng))]);
+      }
+      for (int p = 1; p < pins; ++p) {
+        NodeId pick = kInvalidNode;
+        for (int attempt = 0; attempt < 8 && pick == kInvalidNode; ++attempt) {
+          const std::vector<NodeId>* pool = nullptr;
+          if (u(rng) < params.locality) {
+            pool = &prev;
+          } else {
+            const std::size_t li = std::uniform_int_distribution<std::size_t>(
+                0, levels.size() - 1)(rng);
+            pool = &levels[li];
+          }
+          const NodeId cand = (*pool)[std::uniform_int_distribution<std::size_t>(
+              0, pool->size() - 1)(rng)];
+          if (std::find(fanins.begin(), fanins.end(), cand) == fanins.end()) pick = cand;
+        }
+        // Duplicate-avoidance failed (tiny pools): fall back to any PI.
+        if (pick == kInvalidNode) {
+          pick = inputs[std::uniform_int_distribution<std::size_t>(0, inputs.size() - 1)(rng)];
+        }
+        fanins.push_back(pick);
+      }
+      for (NodeId f : fanins) ++fanout_count[static_cast<std::size_t>(f)];
+      const NodeId g = c.add_gate(cell, std::move(fanins));
+      c.set_wire_load(g, wire_dist(rng));
+      this_level.push_back(g);
+    }
+    levels.push_back(std::move(this_level));
+  }
+
+  // Primary outputs: every gate nothing consumes, plus random last-level
+  // gates until num_outputs is reached.
+  int num_outputs = 0;
+  for (std::size_t lvl = 1; lvl < levels.size(); ++lvl) {
+    for (NodeId g : levels[lvl]) {
+      if (fanout_count[static_cast<std::size_t>(g)] == 0) {
+        c.mark_output(g, params.pad_load);
+        ++num_outputs;
+      }
+    }
+  }
+  // Top up to the requested output count from consumed last-level gates.
+  for (NodeId g : levels.back()) {
+    if (num_outputs >= params.num_outputs) break;
+    if (fanout_count[static_cast<std::size_t>(g)] > 0) {
+      c.mark_output(g, params.pad_load);
+      ++num_outputs;
+    }
+  }
+  if (num_outputs == 0) {
+    c.mark_output(levels.back().front(), params.pad_load);
+  }
+  c.finalize();
+  return c;
+}
+
+Circuit make_mcnc_like(const std::string& name, const CellLibrary& library) {
+  RandomDagParams p;
+  if (name == "apex1") {
+    p.num_gates = 982;
+    p.num_inputs = 45;
+    p.num_outputs = 45;
+    p.depth = 20;
+    p.seed = 0xA9E1;
+  } else if (name == "apex2") {
+    p.num_gates = 117;
+    p.num_inputs = 39;
+    p.num_outputs = 3;
+    p.depth = 12;
+    p.seed = 0xA9E2;
+  } else if (name == "k2") {
+    p.num_gates = 1692;
+    p.num_inputs = 46;
+    p.num_outputs = 45;
+    p.depth = 23;
+    p.seed = 0xC2;
+  } else {
+    throw std::invalid_argument("unknown MCNC-like preset: " + name);
+  }
+  return make_random_dag(p, library);
+}
+
+}  // namespace statsize::netlist

@@ -1,0 +1,57 @@
+// Circuit generators.
+//
+// make_tree_circuit reproduces the paper's Fig. 3 exactly (seven NAND2 gates:
+// A,B,D,E at the leaves, C = NAND(A,B), F = NAND(D,E), G = NAND(C,F)).
+//
+// make_random_dag produces deterministic pseudo-random multi-level circuits
+// with a controllable size/depth/fanin profile. The MCNC benchmark netlists
+// the paper sizes (apex1, apex2, k2) are not redistributable here, so
+// mcnc_like() provides presets with the same cell counts and plausible
+// mapped-logic shape; DESIGN.md sec. 2 documents the substitution. Real BLIF
+// netlists can be imported through netlist/blif.h instead.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/circuit.h"
+
+namespace statsize::netlist {
+
+/// Names gates "A".."G" to match the paper's figure and Table 3.
+Circuit make_tree_circuit(const CellLibrary& library = CellLibrary::standard());
+
+/// A balanced tree of 2-input gates with `levels` levels (2^levels - 1 gates).
+Circuit make_balanced_tree(int levels, const CellLibrary& library = CellLibrary::standard());
+
+/// A linear chain of `length` identical gates (useful for closed-form tests:
+/// means and variances simply accumulate along the chain).
+Circuit make_chain(int length, const CellLibrary& library = CellLibrary::standard());
+
+struct RandomDagParams {
+  int num_gates = 100;
+  int num_inputs = 16;
+  int num_outputs = 8;
+  int depth = 12;             ///< target logic depth (levels)
+  std::uint64_t seed = 1;
+  double locality = 0.7;      ///< probability a fanin comes from the previous level
+  double wire_load_mean = 0.8;
+  double pad_load = 1.5;
+};
+
+/// Deterministic levelized random DAG: gates are placed level by level; each
+/// gate's cell (and hence fanin count) is drawn from a mapped-logic-like
+/// distribution, and fanins are drawn from earlier levels with geometric
+/// locality. Gates left without fanouts become primary outputs (in addition
+/// to `num_outputs` randomly chosen top-level gates).
+Circuit make_random_dag(const RandomDagParams& params,
+                        const CellLibrary& library = CellLibrary::standard());
+
+/// Presets sized like the paper's Table 1 circuits:
+///   "apex1" -> 982 cells, "apex2" -> 117 cells, "k2" -> 1692 cells.
+/// Throws std::invalid_argument for unknown names.
+Circuit make_mcnc_like(const std::string& name,
+                       const CellLibrary& library = CellLibrary::standard());
+
+}  // namespace statsize::netlist

@@ -1,0 +1,305 @@
+#include "netlist/verilog.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace statsize::netlist {
+
+namespace {
+
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::runtime_error("Verilog parse error at line " + std::to_string(line) + ": " + what);
+}
+
+/// Lexer: identifiers, punctuation (( ) , ; .), with comments stripped.
+std::vector<Token> tokenize(std::istream& in) {
+  std::vector<Token> tokens;
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+    } else if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      while (i < n && text[i] != '\n') ++i;
+    } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= n) fail(line, "unterminated block comment");
+      i += 2;
+    } else if (c == '(' || c == ')' || c == ',' || c == ';' || c == '.') {
+      tokens.push_back({std::string(1, c), line});
+      ++i;
+    } else if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '\\' ||
+               c == '[' || c == ']' || c == '$') {
+      std::size_t j = i;
+      if (c == '\\') {  // escaped identifier: up to whitespace
+        ++j;
+        while (j < n && !std::isspace(static_cast<unsigned char>(text[j]))) ++j;
+      } else {
+        while (j < n && (std::isalnum(static_cast<unsigned char>(text[j])) ||
+                         text[j] == '_' || text[j] == '[' || text[j] == ']' ||
+                         text[j] == '$')) {
+          ++j;
+        }
+      }
+      tokens.push_back({text.substr(i, j - i), line});
+      i = j;
+    } else {
+      fail(line, std::string("unexpected character '") + c + "'");
+    }
+  }
+  return tokens;
+}
+
+bool is_output_pin(const std::string& pin) {
+  std::string up = pin;
+  std::transform(up.begin(), up.end(), up.begin(),
+                 [](unsigned char ch) { return static_cast<char>(std::toupper(ch)); });
+  return up == "Y" || up == "Z" || up == "OUT" || up == "O" || up == "Q";
+}
+
+struct Instance {
+  int cell = -1;
+  std::string name;
+  std::string output;               ///< net driven
+  std::vector<std::string> inputs;  ///< nets read, pin order
+  int line = 0;
+};
+
+}  // namespace
+
+Circuit read_verilog(std::istream& in, const CellLibrary& library) {
+  const std::vector<Token> toks = tokenize(in);
+  std::size_t pos = 0;
+  const auto peek = [&]() -> const Token& {
+    if (pos >= toks.size()) fail(toks.empty() ? 1 : toks.back().line, "unexpected end of file");
+    return toks[pos];
+  };
+  const auto next = [&]() -> const Token& {
+    const Token& t = peek();
+    ++pos;
+    return t;
+  };
+  const auto expect = [&](const std::string& want) {
+    const Token& t = next();
+    if (t.text != want) fail(t.line, "expected '" + want + "', got '" + t.text + "'");
+  };
+
+  if (peek().text != "module") fail(peek().line, "expected 'module'");
+  next();
+  next();  // module name
+  // Optional port list.
+  if (peek().text == "(") {
+    while (next().text != ")") {
+      if (pos >= toks.size()) fail(toks.back().line, "unterminated port list");
+    }
+  }
+  expect(";");
+
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::vector<Instance> instances;
+
+  while (peek().text != "endmodule") {
+    const Token head = next();
+    if (head.text == "input" || head.text == "output" || head.text == "wire") {
+      std::vector<std::string>* list =
+          head.text == "input" ? &inputs : (head.text == "output" ? &outputs : nullptr);
+      while (true) {
+        const Token t = next();
+        if (t.text == "[") fail(t.line, "buses are not supported");
+        if (list != nullptr) list->push_back(t.text);
+        const Token sep = next();
+        if (sep.text == ";") break;
+        if (sep.text != ",") fail(sep.line, "expected ',' or ';' in declaration");
+      }
+      continue;
+    }
+    // Cell instance: CELL name ( connections ) ;
+    Instance inst;
+    inst.line = head.line;
+    inst.cell = library.find(head.text);
+    inst.name = next().text;
+    expect("(");
+    std::vector<std::pair<std::string, std::string>> named;  // pin -> net
+    std::vector<std::string> positional;
+    while (true) {
+      if (peek().text == ")") {
+        next();
+        break;
+      }
+      if (peek().text == ".") {
+        next();
+        const std::string pin = next().text;
+        expect("(");
+        const std::string net = next().text;
+        expect(")");
+        named.emplace_back(pin, net);
+      } else {
+        positional.push_back(next().text);
+      }
+      if (peek().text == ",") next();
+    }
+    expect(";");
+
+    if (!named.empty() && !positional.empty()) {
+      fail(inst.line, "instance " + inst.name + " mixes named and positional connections");
+    }
+    if (!named.empty()) {
+      for (const auto& [pin, net] : named) {
+        if (is_output_pin(pin)) {
+          if (!inst.output.empty()) fail(inst.line, "instance " + inst.name + ": two outputs");
+          inst.output = net;
+        } else {
+          inst.inputs.push_back(net);
+        }
+      }
+      if (inst.output.empty()) {
+        fail(inst.line, "instance " + inst.name + ": no output pin (Y/Z/OUT/O/Q)");
+      }
+    } else {
+      if (positional.size() < 2) fail(inst.line, "instance " + inst.name + ": too few pins");
+      inst.output = positional.front();
+      inst.inputs.assign(positional.begin() + 1, positional.end());
+    }
+    if (inst.cell < 0) {
+      inst.cell = library.cell_for_inputs(static_cast<int>(inst.inputs.size()));
+      if (inst.cell < 0) {
+        fail(inst.line, "unknown cell '" + head.text + "' and no generic fallback for " +
+                            std::to_string(inst.inputs.size()) + " inputs");
+      }
+    }
+    if (library.cell(inst.cell).num_inputs != static_cast<int>(inst.inputs.size())) {
+      fail(inst.line, "instance " + inst.name + ": cell " + library.cell(inst.cell).name +
+                          " expects " + std::to_string(library.cell(inst.cell).num_inputs) +
+                          " inputs, got " + std::to_string(inst.inputs.size()));
+    }
+    instances.push_back(std::move(inst));
+  }
+
+  // ---- Build the circuit (instances may appear in any order).
+  std::map<std::string, int> driver;  // net -> instance index, or -1 for PI
+  for (const std::string& s : inputs) {
+    if (!driver.emplace(s, -1).second) throw std::runtime_error("duplicate input " + s);
+  }
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    if (!driver.emplace(instances[i].output, static_cast<int>(i)).second) {
+      fail(instances[i].line, "net " + instances[i].output + " has two drivers");
+    }
+  }
+
+  Circuit circuit(library);
+  std::map<std::string, NodeId> built;
+  for (const std::string& s : inputs) built[s] = circuit.add_input(s);
+
+  enum class Mark : char { kNone, kOnStack, kDone };
+  std::vector<Mark> mark(instances.size(), Mark::kNone);
+  auto build = [&](int root) {
+    std::vector<std::pair<int, std::size_t>> stack{{root, 0}};
+    mark[static_cast<std::size_t>(root)] = Mark::kOnStack;
+    while (!stack.empty()) {
+      auto& [idx, next_pin] = stack.back();
+      const Instance& inst = instances[static_cast<std::size_t>(idx)];
+      if (next_pin < inst.inputs.size()) {
+        const std::string& net = inst.inputs[next_pin++];
+        const auto it = driver.find(net);
+        if (it == driver.end()) fail(inst.line, "net " + net + " has no driver");
+        if (it->second < 0) continue;
+        const int child = it->second;
+        if (mark[static_cast<std::size_t>(child)] == Mark::kDone) continue;
+        if (mark[static_cast<std::size_t>(child)] == Mark::kOnStack) {
+          fail(inst.line, "combinational cycle through net " + net);
+        }
+        mark[static_cast<std::size_t>(child)] = Mark::kOnStack;
+        stack.emplace_back(child, 0);
+        continue;
+      }
+      std::vector<NodeId> fanins;
+      fanins.reserve(inst.inputs.size());
+      for (const std::string& net : inst.inputs) fanins.push_back(built.at(net));
+      built[inst.output] = circuit.add_gate(inst.cell, std::move(fanins), inst.name);
+      mark[static_cast<std::size_t>(idx)] = Mark::kDone;
+      stack.pop_back();
+    }
+  };
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    if (mark[i] == Mark::kNone) build(static_cast<int>(i));
+  }
+
+  if (outputs.empty()) throw std::runtime_error("Verilog module declares no outputs");
+  for (const std::string& s : outputs) {
+    const auto it = built.find(s);
+    if (it == built.end()) throw std::runtime_error("output net " + s + " has no driver");
+    circuit.mark_output(it->second);
+  }
+  circuit.finalize();
+  return circuit;
+}
+
+void write_verilog(std::ostream& out, const Circuit& circuit, const std::string& module_name) {
+  static const char* kPins[] = {"A", "B", "C", "D", "E", "F", "G", "H"};
+  out << "module " << module_name << " (";
+  bool first = true;
+  for (NodeId id : circuit.topo_order()) {
+    if (circuit.node(id).kind == NodeKind::kPrimaryInput) {
+      out << (first ? "" : ", ") << circuit.node(id).name;
+      first = false;
+    }
+  }
+  for (NodeId id : circuit.outputs()) out << ", " << circuit.node(id).name << "_po";
+  out << ");\n";
+  for (NodeId id : circuit.topo_order()) {
+    if (circuit.node(id).kind == NodeKind::kPrimaryInput) {
+      out << "  input " << circuit.node(id).name << ";\n";
+    }
+  }
+  for (NodeId id : circuit.outputs()) out << "  output " << circuit.node(id).name << "_po;\n";
+  for (NodeId id : circuit.topo_order()) {
+    if (circuit.node(id).kind == NodeKind::kGate) {
+      out << "  wire " << circuit.node(id).name << ";\n";
+    }
+  }
+  for (NodeId id : circuit.topo_order()) {
+    const Node& n = circuit.node(id);
+    if (n.kind != NodeKind::kGate) continue;
+    out << "  " << circuit.cell_of(id).name << " " << n.name << "_i (";
+    for (std::size_t i = 0; i < n.fanins.size(); ++i) {
+      out << "." << kPins[i] << "(" << circuit.node(n.fanins[i]).name << "), ";
+    }
+    out << ".Y(" << n.name << "));\n";
+  }
+  // Output pads as buffers so the _po nets have drivers.
+  for (NodeId id : circuit.outputs()) {
+    out << "  BUF " << circuit.node(id).name << "_pad (.A(" << circuit.node(id).name << "), .Y("
+        << circuit.node(id).name << "_po));\n";
+  }
+  out << "endmodule\n";
+}
+
+Circuit read_verilog_file(const std::string& path, const CellLibrary& library) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open Verilog file: " + path);
+  return read_verilog(in, library);
+}
+
+}  // namespace statsize::netlist

@@ -1,0 +1,40 @@
+// Minimal structural (gate-level) Verilog reader.
+//
+// Accepts the netlist subset that mapped-logic flows emit:
+//
+//   module top (a, b, y);
+//     input a, b;
+//     output y;
+//     wire n1;
+//     NAND2 g1 (.A(a), .B(b), .Y(n1));   // named connections, or
+//     INV   g2 (y, n1);                  // positional: output first
+//   endmodule
+//
+// Cell names resolve against the library (exact match first, then a generic
+// cell with the right pin count). For named connections the output pin is
+// recognized as Y, Z, OUT, O or Q (case-insensitive); all other pins are
+// inputs in order of appearance. Line (//) and block (/* */) comments are
+// stripped. Unsupported constructs (behavioral code, buses, parameters,
+// hierarchy) are hard errors with line numbers — silently skipping them
+// would corrupt timing.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/circuit.h"
+
+namespace statsize::netlist {
+
+Circuit read_verilog(std::istream& in, const CellLibrary& library = CellLibrary::standard());
+
+Circuit read_verilog_file(const std::string& path,
+                          const CellLibrary& library = CellLibrary::standard());
+
+/// Writes `circuit` as structural Verilog with named connections
+/// (.A/.B/.C/.D inputs in fanin order, .Y output).
+void write_verilog(std::ostream& out, const Circuit& circuit,
+                   const std::string& module_name = "top");
+
+}  // namespace statsize::netlist

@@ -1,0 +1,251 @@
+#include "nlp/auglag.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+#include "nlp/tron.h"
+
+namespace statsize::nlp {
+
+std::string SolveResult::status_string() const {
+  switch (status) {
+    case SolveStatus::kConverged: return "converged";
+    case SolveStatus::kAcceptable: return "acceptable";
+    case SolveStatus::kMaxIterations: return "max-iterations";
+    case SolveStatus::kStalled: return "stalled";
+  }
+  return "unknown";
+}
+
+AugLagModel::AugLagModel(const Problem& problem, std::vector<double> multipliers, double rho)
+    : problem_(&problem), multipliers_(std::move(multipliers)), rho_(rho) {
+  if (static_cast<int>(multipliers_.size()) != problem.num_constraints()) {
+    throw std::invalid_argument("multiplier count != constraint count");
+  }
+  // Preallocate snapshot storage: one slot per element instance, Hessians
+  // packed contiguously. Sparse constraint-gradient index structure is
+  // static; only values are refreshed per evaluation.
+  std::size_t hess_total = 0;
+  auto count_group = [&hess_total, this](const FunctionGroup& g) {
+    for (const ElementRef& e : g.elements) {
+      const int n = e.fn->arity();
+      snapshots_.push_back({e.fn, e.vars.data(), e.weight, nullptr});
+      hess_total += static_cast<std::size_t>(n * (n + 1) / 2);
+    }
+  };
+  count_group(problem.objective());
+  for (int j = 0; j < problem.num_constraints(); ++j) count_group(problem.constraint(j));
+  hess_storage_.resize(hess_total);
+  std::size_t offset = 0;
+  for (ElementSnapshot& s : snapshots_) {
+    const int n = s.fn->arity();
+    s.hess = hess_storage_.data() + offset;
+    offset += static_cast<std::size_t>(n * (n + 1) / 2);
+  }
+
+  c_.resize(static_cast<std::size_t>(problem.num_constraints()));
+  cgrad_idx_.resize(c_.size());
+  cgrad_val_.resize(c_.size());
+  for (int j = 0; j < problem.num_constraints(); ++j) {
+    const FunctionGroup& g = problem.constraint(j);
+    auto& idx = cgrad_idx_[static_cast<std::size_t>(j)];
+    for (const LinearTerm& t : g.linear) idx.push_back(t.var);
+    for (const ElementRef& e : g.elements) idx.insert(idx.end(), e.vars.begin(), e.vars.end());
+    cgrad_val_[static_cast<std::size_t>(j)].resize(idx.size());
+  }
+}
+
+double AugLagModel::eval(const std::vector<double>& x, std::vector<double>* grad) {
+  const Problem& p = *problem_;
+  if (grad == nullptr) {
+    // Value-only probe: cheap pass, snapshot untouched.
+    double psi = p.eval_objective(x);
+    for (int j = 0; j < p.num_constraints(); ++j) {
+      const double cj = p.constraint(j).eval(x);
+      psi += -multipliers_[static_cast<std::size_t>(j)] * cj + 0.5 * rho_ * cj * cj;
+    }
+    return psi;
+  }
+
+  grad->assign(static_cast<std::size_t>(p.num_vars()), 0.0);
+  double local[16];
+  double eg[16];
+  std::size_t snap = 0;
+
+  // Objective: value + gradient + Hessian snapshot.
+  double f = p.objective().constant;
+  for (const LinearTerm& t : p.objective().linear) {
+    f += t.coef * x[static_cast<std::size_t>(t.var)];
+    (*grad)[static_cast<std::size_t>(t.var)] += t.coef;
+  }
+  for (const ElementRef& e : p.objective().elements) {
+    const int n = e.fn->arity();
+    for (int i = 0; i < n; ++i) local[i] = x[static_cast<std::size_t>(e.vars[i])];
+    f += e.weight * e.fn->eval(local, eg, snapshots_[snap].hess);
+    for (int i = 0; i < n; ++i) (*grad)[static_cast<std::size_t>(e.vars[i])] += e.weight * eg[i];
+    snapshots_[snap].weight = e.weight;
+    ++snap;
+  }
+
+  double psi = f;
+  for (int j = 0; j < p.num_constraints(); ++j) {
+    const FunctionGroup& g = p.constraint(j);
+    auto& vals = cgrad_val_[static_cast<std::size_t>(j)];
+    std::size_t vi = 0;
+    double cj = g.constant;
+    for (const LinearTerm& t : g.linear) {
+      cj += t.coef * x[static_cast<std::size_t>(t.var)];
+      vals[vi++] = t.coef;
+    }
+    const std::size_t snap_begin = snap;
+    for (const ElementRef& e : g.elements) {
+      const int n = e.fn->arity();
+      for (int i = 0; i < n; ++i) local[i] = x[static_cast<std::size_t>(e.vars[i])];
+      cj += e.weight * e.fn->eval(local, eg, snapshots_[snap].hess);
+      for (int i = 0; i < n; ++i) vals[vi++] = e.weight * eg[i];
+      ++snap;
+    }
+    c_[static_cast<std::size_t>(j)] = cj;
+    const double y = rho_ * cj - multipliers_[static_cast<std::size_t>(j)];
+    // Element Hessians of this constraint enter H_Psi with weight y.
+    std::size_t sj = snap_begin;
+    for (const ElementRef& e : g.elements) {
+      snapshots_[sj].weight = y * e.weight;
+      ++sj;
+    }
+    // grad Psi += y * grad c_j.
+    const auto& idx = cgrad_idx_[static_cast<std::size_t>(j)];
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+      (*grad)[static_cast<std::size_t>(idx[k])] += y * vals[k];
+    }
+    psi += -multipliers_[static_cast<std::size_t>(j)] * cj + 0.5 * rho_ * cj * cj;
+  }
+  return psi;
+}
+
+void AugLagModel::hess_vec(const std::vector<double>& v, std::vector<double>& hv) const {
+  hv.assign(v.size(), 0.0);
+  double vl[16];
+  double out[16];
+  for (const ElementSnapshot& s : snapshots_) {
+    if (s.weight == 0.0) continue;
+    const int n = s.fn->arity();
+    for (int i = 0; i < n; ++i) vl[i] = v[static_cast<std::size_t>(s.vars[i])];
+    // Packed symmetric matvec.
+    for (int i = 0; i < n; ++i) out[i] = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double* row = s.hess;
+      for (int j = i; j < n; ++j) {
+        const double h = row[packed_index(n, i, j)];
+        out[i] += h * vl[j];
+        if (j != i) out[j] += h * vl[i];
+      }
+    }
+    for (int i = 0; i < n; ++i) hv[static_cast<std::size_t>(s.vars[i])] += s.weight * out[i];
+  }
+  // Gauss-Newton term: rho * sum_j (grad c_j . v) grad c_j.
+  for (std::size_t j = 0; j < c_.size(); ++j) {
+    const auto& idx = cgrad_idx_[j];
+    const auto& val = cgrad_val_[j];
+    double dot = 0.0;
+    for (std::size_t k = 0; k < idx.size(); ++k) dot += val[k] * v[static_cast<std::size_t>(idx[k])];
+    const double scale = rho_ * dot;
+    if (scale == 0.0) continue;
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+      hv[static_cast<std::size_t>(idx[k])] += scale * val[k];
+    }
+  }
+}
+
+SolveResult solve_augmented_lagrangian(const Problem& problem, const AugLagOptions& options) {
+  problem.validate();
+  const int m = problem.num_constraints();
+
+  SolveResult result;
+  result.x = problem.start();
+  for (int i = 0; i < problem.num_vars(); ++i) {
+    result.x[static_cast<std::size_t>(i)] =
+        std::clamp(result.x[static_cast<std::size_t>(i)], problem.lower()[static_cast<std::size_t>(i)],
+                   problem.upper()[static_cast<std::size_t>(i)]);
+  }
+  result.multipliers.assign(static_cast<std::size_t>(m), 0.0);
+
+  double rho = options.initial_rho;
+  double eta = 1.0 / std::pow(rho, 0.1);
+  double omega = 1.0 / rho;
+
+  AugLagModel model(problem, result.multipliers, rho);
+  double prev_objective = std::numeric_limits<double>::infinity();
+  int stagnant_outers = 0;
+  for (int outer = 0; outer < options.max_outer_iterations; ++outer) {
+    result.outer_iterations = outer + 1;
+    model.set_rho(rho);
+    model.set_multipliers(result.multipliers);
+
+    TrustRegionOptions tr;
+    tr.tol = std::max(omega, 0.1 * options.optimality_tol);
+    tr.max_iterations = options.max_inner_iterations;
+    const TrustRegionResult inner =
+        minimize_bound_constrained(model, result.x, problem.lower(), problem.upper(), tr);
+    result.inner_iterations += inner.iterations;
+    result.projected_gradient = inner.projected_gradient;
+
+    const double cnorm = problem.max_constraint_violation(result.x);
+    result.constraint_violation = cnorm;
+    result.objective = problem.eval_objective(result.x);
+    result.final_rho = rho;
+    if (options.verbose) {
+      std::printf("[auglag] outer=%d rho=%.1e f=%.6g ||c||=%.3e pg=%.3e inner_it=%d\n", outer,
+                  rho, result.objective, cnorm, inner.projected_gradient, inner.iterations);
+    }
+    if (options.on_outer) options.on_outer(outer, result.x, cnorm, inner.projected_gradient);
+
+    if (cnorm <= std::max(eta, options.feasibility_tol)) {
+      if (cnorm <= options.feasibility_tol &&
+          inner.projected_gradient <= options.optimality_tol) {
+        result.status = SolveStatus::kConverged;
+        return result;
+      }
+      // Feasible objective stagnation: the iterate sits at the optimum but the
+      // inner solver cannot certify stationarity (ill-conditioned curvature at
+      // active bounds). Burn no more budget — report "acceptable".
+      if (cnorm <= options.feasibility_tol &&
+          std::abs(result.objective - prev_objective) <=
+              1e-6 * (1.0 + std::abs(result.objective))) {
+        if (++stagnant_outers >= 3) {
+          result.status = SolveStatus::kAcceptable;
+          return result;
+        }
+      } else {
+        stagnant_outers = 0;
+      }
+      prev_objective = result.objective;
+      // First-order multiplier update; tighten both tolerances. (Re-evaluate
+      // the constraints at the final iterate: the model's cached values stem
+      // from the last gradient evaluation, which can predate a final
+      // trial-point acceptance.)
+      std::vector<double> c;
+      problem.eval_constraints(result.x, c);
+      for (int j = 0; j < m; ++j) {
+        result.multipliers[static_cast<std::size_t>(j)] -= rho * c[static_cast<std::size_t>(j)];
+      }
+      eta = std::max(eta / std::pow(rho, 0.9), 0.1 * options.feasibility_tol);
+      omega = std::max(omega / rho, 0.1 * options.optimality_tol);
+    } else {
+      if (rho >= options.max_rho) {
+        result.status = SolveStatus::kStalled;
+        return result;
+      }
+      rho = std::min(rho * options.rho_increase, options.max_rho);
+      eta = 1.0 / std::pow(rho, 0.1);
+      omega = std::max(1.0 / rho, 0.1 * options.optimality_tol);
+    }
+  }
+  result.status = SolveStatus::kMaxIterations;
+  return result;
+}
+
+}  // namespace statsize::nlp

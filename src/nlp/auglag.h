@@ -1,0 +1,110 @@
+// Augmented Lagrangian method for the Problem class — the same algorithm
+// family as LANCELOT (Conn–Gould–Toint): bound constraints are handled by the
+// inner solver, equality constraints by the multiplier/penalty outer loop
+//
+//   Psi(x; lambda, rho) = f(x) - sum_j lambda_j c_j(x) + (rho/2) sum_j c_j(x)^2
+//
+// with the classic update schedule (Nocedal & Wright, Alg. 17.4): when the
+// inner solve ends sufficiently feasible, first-order multiplier update
+// lambda <- lambda - rho c and tightened tolerances; otherwise rho increases.
+//
+// Hessian information is assembled from the per-element analytic Hessians:
+//
+//   H_Psi v = H_f v + sum_j (rho c_j - lambda_j) H_{c_j} v
+//             + rho sum_j (grad c_j . v) grad c_j
+//
+// which is exactly why the paper needed closed-form second derivatives of the
+// statistical max operator.
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nlp/model.h"
+#include "nlp/problem.h"
+
+namespace statsize::nlp {
+
+struct AugLagOptions {
+  double initial_rho = 10.0;
+  double rho_increase = 10.0;
+  double max_rho = 1e10;
+  double feasibility_tol = 1e-7;   ///< final ||c||_inf target
+  double optimality_tol = 1e-6;    ///< final projected-gradient target
+  int max_outer_iterations = 40;
+  int max_inner_iterations = 400;  ///< trust-region iterations per subproblem
+  bool verbose = false;
+  /// Optional per-outer-iteration callback (iteration, x, ||c||, projgrad).
+  std::function<void(int, const std::vector<double>&, double, double)> on_outer;
+};
+
+enum class SolveStatus {
+  kConverged,       ///< feasibility and first-order optimality tolerances met
+  kAcceptable,      ///< feasible and objective stagnant, but the inner solver
+                    ///< could not certify first-order optimality (typically
+                    ///< ill-conditioning near an active-bound solution)
+  kMaxIterations,   ///< outer budget exhausted; best iterate returned
+  kStalled,         ///< inner solver made no progress while infeasible
+};
+
+struct SolveResult {
+  SolveStatus status = SolveStatus::kMaxIterations;
+  std::vector<double> x;
+  std::vector<double> multipliers;
+  double objective = 0.0;
+  double constraint_violation = 0.0;
+  double projected_gradient = 0.0;
+  int outer_iterations = 0;
+  int inner_iterations = 0;
+  double final_rho = 0.0;
+
+  bool ok() const {
+    return status == SolveStatus::kConverged || status == SolveStatus::kAcceptable;
+  }
+  std::string status_string() const;
+};
+
+/// Solves `problem` starting from problem.start().
+SolveResult solve_augmented_lagrangian(const Problem& problem, const AugLagOptions& options = {});
+
+/// The Psi model itself — exposed for tests and for reuse by the
+/// reduced-space sizer's constraint handling.
+class AugLagModel final : public SmoothModel {
+ public:
+  AugLagModel(const Problem& problem, std::vector<double> multipliers, double rho);
+
+  int num_vars() const override { return problem_->num_vars(); }
+  double eval(const std::vector<double>& x, std::vector<double>* grad) override;
+  void hess_vec(const std::vector<double>& v, std::vector<double>& hv) const override;
+
+  void set_rho(double rho) { rho_ = rho; }
+  void set_multipliers(std::vector<double> m) { multipliers_ = std::move(m); }
+  const std::vector<double>& multipliers() const { return multipliers_; }
+  const std::vector<double>& constraint_values() const { return c_; }
+
+ private:
+  struct ElementSnapshot {
+    const ElementFunction* fn;
+    const int* vars;
+    double weight;       ///< group weight at snapshot time (incl. y_j factor)
+    double* hess;        ///< packed Hessian storage
+  };
+
+  void snapshot_group(const FunctionGroup& group, double scale, const std::vector<double>& x,
+                      std::vector<double>& grad);
+
+  const Problem* problem_;
+  std::vector<double> multipliers_;
+  double rho_;
+
+  // Snapshot state for hess_vec (refreshed on every gradient evaluation).
+  std::vector<double> c_;                       ///< constraint values
+  std::vector<ElementSnapshot> snapshots_;      ///< all elements with weights
+  std::vector<double> hess_storage_;            ///< packed Hessians, contiguous
+  std::vector<std::vector<int>> cgrad_idx_;     ///< sparse grad c_j indices
+  std::vector<std::vector<double>> cgrad_val_;  ///< sparse grad c_j values
+};
+
+}  // namespace statsize::nlp

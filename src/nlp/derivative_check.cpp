@@ -1,0 +1,77 @@
+#include "nlp/derivative_check.h"
+
+#include <cmath>
+
+namespace statsize::nlp {
+
+namespace {
+
+double check_group_gradient(const FunctionGroup& g, const std::vector<double>& x, double h) {
+  std::vector<double> grad(x.size(), 0.0);
+  g.accumulate_grad(x, 1.0, grad);
+  std::vector<double> xp = x;
+  double worst = 0.0;
+  // Only variables the group actually touches can have nonzero derivatives;
+  // checking those keeps the cost proportional to group size.
+  std::vector<int> touched;
+  for (const LinearTerm& t : g.linear) touched.push_back(t.var);
+  for (const ElementRef& e : g.elements) touched.insert(touched.end(), e.vars.begin(), e.vars.end());
+  for (int v : touched) {
+    const std::size_t i = static_cast<std::size_t>(v);
+    const double hi = h * (1.0 + std::abs(x[i]));
+    xp[i] = x[i] + hi;
+    const double fp = g.eval(xp);
+    xp[i] = x[i] - hi;
+    const double fm = g.eval(xp);
+    xp[i] = x[i];
+    const double fd = (fp - fm) / (2.0 * hi);
+    worst = std::max(worst, std::abs(grad[i] - fd) / (1.0 + std::abs(fd)));
+  }
+  return worst;
+}
+
+double check_group_hessians(const FunctionGroup& g, const std::vector<double>& x, double h) {
+  double worst = 0.0;
+  double local[16];
+  double gp[16];
+  double gm[16];
+  double hess[16 * 17 / 2];
+  for (const ElementRef& e : g.elements) {
+    const int n = e.fn->arity();
+    for (int i = 0; i < n; ++i) local[i] = x[static_cast<std::size_t>(e.vars[i])];
+    e.fn->eval(local, gp, hess);  // gp unused here; fills hess
+    for (int i = 0; i < n; ++i) {
+      const double hi = h * (1.0 + std::abs(local[i]));
+      const double saved = local[i];
+      local[i] = saved + hi;
+      e.fn->eval(local, gp, nullptr);
+      local[i] = saved - hi;
+      e.fn->eval(local, gm, nullptr);
+      local[i] = saved;
+      for (int j = 0; j < n; ++j) {
+        const double fd = (gp[j] - gm[j]) / (2.0 * hi);
+        const double an = hess[packed_index(n, i, j)];
+        worst = std::max(worst, std::abs(an - fd) / (1.0 + std::abs(fd)));
+      }
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+DerivativeReport check_problem_derivatives(const Problem& problem, const std::vector<double>& x,
+                                           double step) {
+  DerivativeReport report;
+  report.max_gradient_error = check_group_gradient(problem.objective(), x, step);
+  report.max_hessian_error = check_group_hessians(problem.objective(), x, step);
+  for (int j = 0; j < problem.num_constraints(); ++j) {
+    report.max_gradient_error = std::max(report.max_gradient_error,
+                                         check_group_gradient(problem.constraint(j), x, step));
+    report.max_hessian_error =
+        std::max(report.max_hessian_error, check_group_hessians(problem.constraint(j), x, step));
+  }
+  return report;
+}
+
+}  // namespace statsize::nlp

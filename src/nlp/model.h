@@ -1,0 +1,28 @@
+// Smooth unconstrained-model interface consumed by the bound-constrained
+// trust-region solver. The augmented Lagrangian (auglag.h) and plain test
+// functions both implement it.
+
+#pragma once
+
+#include <vector>
+
+namespace statsize::nlp {
+
+class SmoothModel {
+ public:
+  virtual ~SmoothModel() = default;
+
+  virtual int num_vars() const = 0;
+
+  /// Evaluates at `x`. When `grad` is non-null it is resized/filled and the
+  /// model must snapshot whatever second-order state hess_vec needs at this
+  /// point. Gradient-free calls (trial points) must NOT disturb that
+  /// snapshot — the trust-region loop probes trial points while keeping the
+  /// quadratic model anchored at the current iterate.
+  virtual double eval(const std::vector<double>& x, std::vector<double>* grad) = 0;
+
+  /// hv = H v with H the Hessian at the last gradient evaluation point.
+  virtual void hess_vec(const std::vector<double>& v, std::vector<double>& hv) const = 0;
+};
+
+}  // namespace statsize::nlp

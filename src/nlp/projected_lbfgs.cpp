@@ -1,0 +1,147 @@
+#include "nlp/projected_lbfgs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+
+namespace statsize::nlp {
+
+namespace {
+
+double clamp_to_box(double v, double lo, double hi) { return std::min(std::max(v, lo), hi); }
+
+double pg_norm(const std::vector<double>& x, const std::vector<double>& g,
+               const std::vector<double>& lo, const std::vector<double>& hi) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    worst = std::max(worst, std::abs(clamp_to_box(x[i] - g[i], lo[i], hi[i]) - x[i]));
+  }
+  return worst;
+}
+
+}  // namespace
+
+LbfgsResult minimize_projected_lbfgs(const GradFn& fn, std::vector<double>& x,
+                                     const std::vector<double>& lower,
+                                     const std::vector<double>& upper,
+                                     const LbfgsOptions& options) {
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) x[i] = clamp_to_box(x[i], lower[i], upper[i]);
+
+  struct Pair {
+    std::vector<double> s, y;
+    double rho;
+  };
+  std::deque<Pair> history;
+
+  std::vector<double> g(n);
+  std::vector<double> g_new(n);
+  std::vector<double> d(n);
+  std::vector<double> x_new(n);
+  std::vector<double> alpha_buf;
+
+  LbfgsResult result;
+  double f = fn(x, g);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    result.objective = f;
+    result.projected_gradient = pg_norm(x, g, lower, upper);
+    if (result.projected_gradient <= options.tol) {
+      result.converged = true;
+      return result;
+    }
+
+    // Two-loop recursion for d = -H g.
+    d = g;
+    alpha_buf.assign(history.size(), 0.0);
+    for (std::size_t k = history.size(); k-- > 0;) {
+      const Pair& p = history[k];
+      double sd = 0.0;
+      for (std::size_t i = 0; i < n; ++i) sd += p.s[i] * d[i];
+      alpha_buf[k] = p.rho * sd;
+      for (std::size_t i = 0; i < n; ++i) d[i] -= alpha_buf[k] * p.y[i];
+    }
+    if (!history.empty()) {
+      const Pair& last = history.back();
+      double yy = 0.0;
+      double sy = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        yy += last.y[i] * last.y[i];
+        sy += last.s[i] * last.y[i];
+      }
+      const double gamma = sy / std::max(yy, 1e-30);
+      for (std::size_t i = 0; i < n; ++i) d[i] *= gamma;
+    }
+    for (std::size_t k = 0; k < history.size(); ++k) {
+      const Pair& p = history[k];
+      double yd = 0.0;
+      for (std::size_t i = 0; i < n; ++i) yd += p.y[i] * d[i];
+      const double beta = p.rho * yd;
+      for (std::size_t i = 0; i < n; ++i) d[i] += (alpha_buf[k] - beta) * p.s[i];
+    }
+    for (std::size_t i = 0; i < n; ++i) d[i] = -d[i];
+
+    // Projected Armijo backtracking along P(x + a d). If the quasi-Newton
+    // direction fails outright (its projection can contain ascent components
+    // at any given step length — gt_dx is NOT monotone in the step), retry
+    // once from steepest descent with cleared curvature pairs.
+    bool accepted = false;
+    double step = 1.0;
+    for (int attempt = 0; attempt < 2 && !accepted; ++attempt) {
+      if (attempt == 1) {
+        if (history.empty()) break;  // d already was -g
+        history.clear();
+        for (std::size_t i = 0; i < n; ++i) d[i] = -g[i];
+      }
+      step = 1.0;
+      for (int bt = 0; bt < 60 && step >= options.min_step; ++bt, step *= 0.5) {
+        double gt_dx = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          x_new[i] = clamp_to_box(x[i] + step * d[i], lower[i], upper[i]);
+          gt_dx += g[i] * (x_new[i] - x[i]);
+        }
+        if (gt_dx >= 0.0) continue;  // non-descent at this length: shrink further
+        const double f_new = fn(x_new, g_new);
+        if (f_new <= f + 1e-4 * gt_dx + 1e-12 * (1.0 + std::abs(f))) {
+          Pair p;
+          p.s.resize(n);
+          p.y.resize(n);
+          double sy = 0.0;
+          double ss = 0.0;
+          double yy = 0.0;
+          for (std::size_t i = 0; i < n; ++i) {
+            p.s[i] = x_new[i] - x[i];
+            p.y[i] = g_new[i] - g[i];
+            sy += p.s[i] * p.y[i];
+            ss += p.s[i] * p.s[i];
+            yy += p.y[i] * p.y[i];
+          }
+          if (sy > 1e-10 * std::sqrt(ss * yy)) {
+            p.rho = 1.0 / sy;
+            history.push_back(std::move(p));
+            if (static_cast<int>(history.size()) > options.history) history.pop_front();
+          }
+          x = x_new;
+          f = f_new;
+          g = g_new;
+          accepted = true;
+          break;
+        }
+      }
+    }
+    if (options.verbose) {
+      std::printf("[lbfgs] it=%d f=%.8g pg=%.2e step=%.2e\n", iter, f,
+                  result.projected_gradient, step);
+    }
+    if (!accepted) {
+      // Line search failed even along steepest descent: stationary to
+      // numerical precision.
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace statsize::nlp

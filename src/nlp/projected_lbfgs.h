@@ -1,0 +1,38 @@
+// Projected L-BFGS for bound-constrained smooth minimization.
+//
+// Used by the reduced-space sizing mode, where the only variables are the
+// speed factors S in [1, limit] and the objective/constraint values come from
+// a forward SSTA sweep with adjoint gradients (no cheap Hessian available —
+// hence quasi-Newton instead of the Newton-CG machinery in tron.h).
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace statsize::nlp {
+
+/// Objective callback: returns f(x) and fills grad (same size as x).
+using GradFn = std::function<double(const std::vector<double>&, std::vector<double>&)>;
+
+struct LbfgsOptions {
+  double tol = 1e-6;  ///< projected-gradient infinity norm
+  int max_iterations = 500;
+  int history = 10;
+  double min_step = 1e-14;
+  bool verbose = false;
+};
+
+struct LbfgsResult {
+  double objective = 0.0;
+  double projected_gradient = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+LbfgsResult minimize_projected_lbfgs(const GradFn& fn, std::vector<double>& x,
+                                     const std::vector<double>& lower,
+                                     const std::vector<double>& upper,
+                                     const LbfgsOptions& options = {});
+
+}  // namespace statsize::nlp

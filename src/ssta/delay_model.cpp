@@ -1,0 +1,51 @@
+#include "ssta/delay_model.h"
+
+namespace statsize::ssta {
+
+using netlist::NodeId;
+using netlist::NodeKind;
+
+double DelayCalculator::mean_delay(NodeId id, const std::vector<double>& speed) const {
+  const netlist::Node& n = circuit_->node(id);
+  const netlist::CellType& cell = circuit_->library().cell(n.cell);
+  const double load = circuit_->load_capacitance(id, speed);
+  return cell.t_int + cell.c * load / speed[static_cast<std::size_t>(id)];
+}
+
+stat::NormalRV DelayCalculator::delay(NodeId id, const std::vector<double>& speed) const {
+  const double mu = mean_delay(id, speed);
+  return stat::NormalRV::from_sigma(mu, sigma_model_.sigma(mu));
+}
+
+std::vector<stat::NormalRV> DelayCalculator::all_delays(const std::vector<double>& speed) const {
+  std::vector<stat::NormalRV> delays(static_cast<std::size_t>(circuit_->num_nodes()));
+  for (NodeId id : circuit_->topo_order()) {
+    if (circuit_->node(id).kind == NodeKind::kGate) {
+      delays[static_cast<std::size_t>(id)] = delay(id, speed);
+    }
+  }
+  return delays;
+}
+
+double DelayCalculator::total_speed(const netlist::Circuit& circuit,
+                                    const std::vector<double>& speed) {
+  double sum = 0.0;
+  for (NodeId id : circuit.topo_order()) {
+    if (circuit.node(id).kind == NodeKind::kGate) sum += speed[static_cast<std::size_t>(id)];
+  }
+  return sum;
+}
+
+double DelayCalculator::total_area(const netlist::Circuit& circuit,
+                                   const std::vector<double>& speed) {
+  double sum = 0.0;
+  for (NodeId id : circuit.topo_order()) {
+    const netlist::Node& n = circuit.node(id);
+    if (n.kind == NodeKind::kGate) {
+      sum += circuit.library().cell(n.cell).area * speed[static_cast<std::size_t>(id)];
+    }
+  }
+  return sum;
+}
+
+}  // namespace statsize::ssta

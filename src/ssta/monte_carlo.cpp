@@ -1,0 +1,139 @@
+#include "ssta/monte_carlo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace statsize::ssta {
+
+using netlist::NodeId;
+using netlist::NodeKind;
+
+double MonteCarloResult::quantile(double p) const {
+  if (samples.empty()) throw std::runtime_error("no samples");
+  const double idx = p * (static_cast<double>(samples.size()) - 1.0);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+double MonteCarloResult::yield(double deadline) const {
+  if (samples.empty()) throw std::runtime_error("no samples");
+  const auto it = std::upper_bound(samples.begin(), samples.end(), deadline);
+  return static_cast<double>(it - samples.begin()) / static_cast<double>(samples.size());
+}
+
+namespace {
+
+/// One trial: sample delays, propagate, return (delay, critical PO).
+template <class SampleFn>
+double propagate_once(const netlist::Circuit& circuit, SampleFn&& sample_delay,
+                      std::vector<double>& arrival, NodeId* critical_output) {
+  for (NodeId id : circuit.topo_order()) {
+    const netlist::Node& n = circuit.node(id);
+    if (n.kind == NodeKind::kPrimaryInput) {
+      arrival[static_cast<std::size_t>(id)] = 0.0;
+      continue;
+    }
+    double u = arrival[static_cast<std::size_t>(n.fanins[0])];
+    for (std::size_t i = 1; i < n.fanins.size(); ++i) {
+      u = std::max(u, arrival[static_cast<std::size_t>(n.fanins[i])]);
+    }
+    arrival[static_cast<std::size_t>(id)] = u + sample_delay(id);
+  }
+  double total = -1.0;
+  NodeId crit = circuit.outputs().front();
+  for (NodeId o : circuit.outputs()) {
+    if (arrival[static_cast<std::size_t>(o)] > total) {
+      total = arrival[static_cast<std::size_t>(o)];
+      crit = o;
+    }
+  }
+  if (critical_output != nullptr) *critical_output = crit;
+  return total;
+}
+
+}  // namespace
+
+MonteCarloResult run_monte_carlo(const netlist::Circuit& circuit,
+                                 const std::vector<stat::NormalRV>& gate_delays,
+                                 const MonteCarloOptions& options) {
+  if (static_cast<int>(gate_delays.size()) != circuit.num_nodes()) {
+    throw std::invalid_argument("gate_delays must be indexed by NodeId");
+  }
+  std::mt19937_64 rng(options.seed);
+  std::normal_distribution<double> unit(0.0, 1.0);
+  std::vector<double> arrival(static_cast<std::size_t>(circuit.num_nodes()));
+
+  MonteCarloResult result;
+  result.samples.reserve(static_cast<std::size_t>(options.num_samples));
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int trial = 0; trial < options.num_samples; ++trial) {
+    auto sample_delay = [&](NodeId id) {
+      const stat::NormalRV& d = gate_delays[static_cast<std::size_t>(id)];
+      double t = d.mu + d.sigma() * unit(rng);
+      if (options.truncate_negative_delays && t < 0.0) t = 0.0;
+      return t;
+    };
+    const double total = propagate_once(circuit, sample_delay, arrival, nullptr);
+    result.samples.push_back(total);
+    sum += total;
+    sum2 += total * total;
+  }
+  std::sort(result.samples.begin(), result.samples.end());
+  const double n = static_cast<double>(options.num_samples);
+  result.mean = sum / n;
+  result.stddev = std::sqrt(std::max(0.0, sum2 / n - result.mean * result.mean));
+  result.min = result.samples.front();
+  result.max = result.samples.back();
+  return result;
+}
+
+std::vector<double> monte_carlo_criticality(const netlist::Circuit& circuit,
+                                            const std::vector<stat::NormalRV>& gate_delays,
+                                            const MonteCarloOptions& options) {
+  if (static_cast<int>(gate_delays.size()) != circuit.num_nodes()) {
+    throw std::invalid_argument("gate_delays must be indexed by NodeId");
+  }
+  std::mt19937_64 rng(options.seed);
+  std::normal_distribution<double> unit(0.0, 1.0);
+  std::vector<double> arrival(static_cast<std::size_t>(circuit.num_nodes()));
+  std::vector<double> sampled(static_cast<std::size_t>(circuit.num_nodes()));
+  std::vector<long> hits(static_cast<std::size_t>(circuit.num_nodes()), 0);
+
+  for (int trial = 0; trial < options.num_samples; ++trial) {
+    auto sample_delay = [&](NodeId id) {
+      const stat::NormalRV& d = gate_delays[static_cast<std::size_t>(id)];
+      double t = d.mu + d.sigma() * unit(rng);
+      if (options.truncate_negative_delays && t < 0.0) t = 0.0;
+      sampled[static_cast<std::size_t>(id)] = t;
+      return t;
+    };
+    NodeId crit = netlist::kInvalidNode;
+    propagate_once(circuit, sample_delay, arrival, &crit);
+    // Walk back along argmax fanins from the critical output to an input.
+    NodeId cur = crit;
+    while (circuit.node(cur).kind == NodeKind::kGate) {
+      ++hits[static_cast<std::size_t>(cur)];
+      const netlist::Node& n = circuit.node(cur);
+      NodeId best = n.fanins[0];
+      for (std::size_t i = 1; i < n.fanins.size(); ++i) {
+        if (arrival[static_cast<std::size_t>(n.fanins[i])] >
+            arrival[static_cast<std::size_t>(best)]) {
+          best = n.fanins[i];
+        }
+      }
+      cur = best;
+    }
+  }
+  std::vector<double> criticality(static_cast<std::size_t>(circuit.num_nodes()), 0.0);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    criticality[i] = static_cast<double>(hits[i]) / options.num_samples;
+  }
+  return criticality;
+}
+
+}  // namespace statsize::ssta

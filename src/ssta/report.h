@@ -1,0 +1,29 @@
+// Machine-readable export of timing / sizing analyses: a JSON document with
+// the circuit summary, the delay distribution (independence and, optionally,
+// correlation-aware), per-gate sizes, slacks, and the critical path. Consumed
+// by scripts and dashboards downstream of the `statsize` CLI (--json-out).
+
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "netlist/circuit.h"
+#include "ssta/slack.h"
+#include "ssta/ssta.h"
+
+namespace statsize::ssta {
+
+struct JsonReportOptions {
+  bool include_per_node = true;    ///< arrival/slack/speed for every gate
+  bool include_canonical = false;  ///< add the correlation-aware circuit delay
+  double deadline = 0.0;           ///< for slacks; <= 0 -> mu + 3 sigma
+};
+
+/// Writes the full analysis of `circuit` at `speed` as one JSON object.
+void write_json_report(std::ostream& out, const netlist::Circuit& circuit,
+                       const DelayCalculator& calc, const std::vector<double>& speed,
+                       const JsonReportOptions& options = {});
+
+}  // namespace statsize::ssta

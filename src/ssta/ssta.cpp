@@ -1,0 +1,86 @@
+#include "ssta/ssta.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stat/clark.h"
+
+namespace statsize::ssta {
+
+using netlist::NodeId;
+using netlist::NodeKind;
+using stat::NormalRV;
+
+TimingReport run_ssta(const netlist::Circuit& circuit, const std::vector<NormalRV>& gate_delays,
+                      const std::vector<NormalRV>& input_arrivals) {
+  if (static_cast<int>(gate_delays.size()) != circuit.num_nodes()) {
+    throw std::invalid_argument("gate_delays must be indexed by NodeId");
+  }
+  TimingReport report;
+  report.arrival.resize(static_cast<std::size_t>(circuit.num_nodes()));
+
+  int pi_index = 0;
+  for (NodeId id : circuit.topo_order()) {
+    const netlist::Node& n = circuit.node(id);
+    if (n.kind == NodeKind::kPrimaryInput) {
+      report.arrival[static_cast<std::size_t>(id)] =
+          input_arrivals[static_cast<std::size_t>(pi_index++)];
+      continue;
+    }
+    // U = statistical max over fanin arrivals (left fold of the pairwise
+    // Clark max, exactly as eq. 18b), then T = U + t (eq. 4).
+    NormalRV u = report.arrival[static_cast<std::size_t>(n.fanins[0])];
+    for (std::size_t i = 1; i < n.fanins.size(); ++i) {
+      u = stat::clark_max(u, report.arrival[static_cast<std::size_t>(n.fanins[i])]);
+    }
+    report.arrival[static_cast<std::size_t>(id)] =
+        stat::add(u, gate_delays[static_cast<std::size_t>(id)]);
+  }
+
+  const std::vector<NodeId>& outs = circuit.outputs();
+  NormalRV total = report.arrival[static_cast<std::size_t>(outs[0])];
+  for (std::size_t i = 1; i < outs.size(); ++i) {
+    total = stat::clark_max(total, report.arrival[static_cast<std::size_t>(outs[i])]);
+  }
+  report.circuit_delay = total;
+  return report;
+}
+
+TimingReport run_ssta(const netlist::Circuit& circuit, const std::vector<NormalRV>& gate_delays,
+                      NormalRV input_arrival) {
+  const std::vector<NormalRV> arrivals(static_cast<std::size_t>(circuit.num_inputs()),
+                                       input_arrival);
+  return run_ssta(circuit, gate_delays, arrivals);
+}
+
+TimingReport run_ssta(const DelayCalculator& calc, const std::vector<double>& speed) {
+  return run_ssta(calc.circuit(), calc.all_delays(speed));
+}
+
+StaReport run_sta(const netlist::Circuit& circuit, const std::vector<NormalRV>& gate_delays,
+                  Corner corner) {
+  if (static_cast<int>(gate_delays.size()) != circuit.num_nodes()) {
+    throw std::invalid_argument("gate_delays must be indexed by NodeId");
+  }
+  const double k = corner == Corner::kBest ? -3.0 : corner == Corner::kWorst ? 3.0 : 0.0;
+  StaReport report;
+  report.arrival.resize(static_cast<std::size_t>(circuit.num_nodes()), 0.0);
+  for (NodeId id : circuit.topo_order()) {
+    const netlist::Node& n = circuit.node(id);
+    if (n.kind == NodeKind::kPrimaryInput) continue;
+    double u = report.arrival[static_cast<std::size_t>(n.fanins[0])];
+    for (std::size_t i = 1; i < n.fanins.size(); ++i) {
+      u = std::max(u, report.arrival[static_cast<std::size_t>(n.fanins[i])]);
+    }
+    report.arrival[static_cast<std::size_t>(id)] =
+        u + gate_delays[static_cast<std::size_t>(id)].quantile_offset(k);
+  }
+  double total = 0.0;
+  for (NodeId o : circuit.outputs()) {
+    total = std::max(total, report.arrival[static_cast<std::size_t>(o)]);
+  }
+  report.circuit_delay = total;
+  return report;
+}
+
+}  // namespace statsize::ssta

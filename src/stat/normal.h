@@ -1,0 +1,58 @@
+// Normal-distribution primitives used throughout the statistical delay model.
+//
+// The paper (sec. 3) models every schedule time T and gate delay t as a
+// normally distributed random variable characterized by (mu, sigma). The NLP
+// formulation carries *variances* (sigma^2) rather than standard deviations
+// (sec. 4, "we also use only the squared version of standard deviations"),
+// so NormalRV stores (mu, var).
+
+#pragma once
+
+#include <cmath>
+
+namespace statsize::stat {
+
+inline constexpr double kInvSqrt2Pi = 0.39894228040143267794;
+inline constexpr double kInvSqrt2 = 0.70710678118654752440;
+inline constexpr double kSqrt2Pi = 2.50662827463100050242;
+
+/// Standard-normal probability density function (eq. 8 with mu=0, sigma=1).
+inline double normal_pdf(double x) { return kInvSqrt2Pi * std::exp(-0.5 * x * x); }
+
+/// Standard-normal cumulative distribution function. Computed via erfc for
+/// full relative accuracy in both tails; this is the phi(x) of eq. 11
+/// normalized by 1/sqrt(2 pi).
+inline double normal_cdf(double x) { return 0.5 * std::erfc(-x * kInvSqrt2); }
+
+/// Inverse standard-normal CDF (Acklam's rational approximation, refined by
+/// one Halley step; |relative error| < 1e-13 over (0, 1)).
+double normal_quantile(double p);
+
+/// A normal random variable N(mu, var). `var` must be non-negative.
+struct NormalRV {
+  double mu = 0.0;
+  double var = 0.0;
+
+  double sigma() const { return std::sqrt(var); }
+
+  static NormalRV from_sigma(double mu, double sigma) { return {mu, sigma * sigma}; }
+
+  /// mu + k * sigma — the confidence-weighted delay the paper optimizes
+  /// (k=0: 50% of circuits meet the bound; k=1: 84.1%; k=3: 99.8%).
+  double quantile_offset(double k) const { return mu + k * sigma(); }
+
+  /// P(X <= x).
+  double cdf(double x) const {
+    if (var <= 0.0) return x >= mu ? 1.0 : 0.0;
+    return normal_cdf((x - mu) / sigma());
+  }
+};
+
+/// Sum of two independent normals (eq. 4).
+inline NormalRV add(const NormalRV& a, const NormalRV& b) {
+  return {a.mu + b.mu, a.var + b.var};
+}
+
+inline NormalRV add(const NormalRV& a, double c) { return {a.mu + c, a.var}; }
+
+}  // namespace statsize::stat

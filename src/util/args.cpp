@@ -1,0 +1,154 @@
+#include "util/args.h"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace statsize::util {
+
+ArgParser::ArgParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void ArgParser::add_string(const std::string& name, const std::string& help,
+                           std::optional<std::string> default_value) {
+  if (!specs_.emplace(name, Spec{Kind::kString, help, std::move(default_value)}).second) {
+    throw std::logic_error("duplicate flag --" + name);
+  }
+  order_.push_back(name);
+}
+
+void ArgParser::add_double(const std::string& name, const std::string& help,
+                           std::optional<double> default_value) {
+  std::optional<std::string> def;
+  if (default_value) def = std::to_string(*default_value);
+  if (!specs_.emplace(name, Spec{Kind::kDouble, help, std::move(def)}).second) {
+    throw std::logic_error("duplicate flag --" + name);
+  }
+  order_.push_back(name);
+}
+
+void ArgParser::add_int(const std::string& name, const std::string& help,
+                        std::optional<int> default_value) {
+  std::optional<std::string> def;
+  if (default_value) def = std::to_string(*default_value);
+  if (!specs_.emplace(name, Spec{Kind::kInt, help, std::move(def)}).second) {
+    throw std::logic_error("duplicate flag --" + name);
+  }
+  order_.push_back(name);
+}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help) {
+  if (!specs_.emplace(name, Spec{Kind::kFlag, help, std::nullopt}).second) {
+    throw std::logic_error("duplicate flag --" + name);
+  }
+  order_.push_back(name);
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    const auto it = specs_.find(arg);
+    if (it == specs_.end()) throw std::invalid_argument("unknown flag --" + arg);
+    if (it->second.kind == Kind::kFlag) {
+      if (has_value) throw std::invalid_argument("flag --" + arg + " takes no value");
+      values_[arg] = "1";
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) throw std::invalid_argument("missing value for --" + arg);
+      value = argv[++i];
+    }
+    // Validate numeric forms eagerly so errors name the flag.
+    try {
+      std::size_t pos = 0;
+      if (it->second.kind == Kind::kDouble) {
+        (void)std::stod(value, &pos);
+      } else if (it->second.kind == Kind::kInt) {
+        (void)std::stoi(value, &pos);
+      }
+      if (it->second.kind != Kind::kString && pos != value.size()) throw std::exception();
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad value '" + value + "' for --" + arg);
+    }
+    values_[arg] = value;
+  }
+  return true;
+}
+
+bool ArgParser::has(const std::string& name) const {
+  return values_.count(name) > 0 ||
+         (specs_.count(name) > 0 && specs_.at(name).default_value.has_value());
+}
+
+const ArgParser::Spec& ArgParser::spec_of(const std::string& name, Kind kind) const {
+  const auto it = specs_.find(name);
+  if (it == specs_.end()) throw std::logic_error("flag --" + name + " was never registered");
+  if (it->second.kind != kind) throw std::logic_error("flag --" + name + " type mismatch");
+  return it->second;
+}
+
+std::string ArgParser::get_string(const std::string& name) const {
+  const Spec& spec = spec_of(name, Kind::kString);
+  const auto it = values_.find(name);
+  if (it != values_.end()) return it->second;
+  if (spec.default_value) return *spec.default_value;
+  throw std::invalid_argument("required flag --" + name + " not given");
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  const Spec& spec = spec_of(name, Kind::kDouble);
+  const auto it = values_.find(name);
+  if (it != values_.end()) return std::stod(it->second);
+  if (spec.default_value) return std::stod(*spec.default_value);
+  throw std::invalid_argument("required flag --" + name + " not given");
+}
+
+int ArgParser::get_int(const std::string& name) const {
+  const Spec& spec = spec_of(name, Kind::kInt);
+  const auto it = values_.find(name);
+  if (it != values_.end()) return std::stoi(it->second);
+  if (spec.default_value) return std::stoi(*spec.default_value);
+  throw std::invalid_argument("required flag --" + name + " not given");
+}
+
+bool ArgParser::get_flag(const std::string& name) const {
+  (void)spec_of(name, Kind::kFlag);
+  return values_.count(name) > 0;
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream os;
+  os << description_ << "\n\nOptions:\n";
+  for (const std::string& name : order_) {
+    const Spec& s = specs_.at(name);
+    os << "  --" << name;
+    switch (s.kind) {
+      case Kind::kString: os << " <string>"; break;
+      case Kind::kDouble: os << " <number>"; break;
+      case Kind::kInt: os << " <int>"; break;
+      case Kind::kFlag: break;
+    }
+    os << "\n      " << s.help;
+    if (s.default_value) os << " (default: " << *s.default_value << ")";
+    os << "\n";
+  }
+  os << "  --help\n      show this message\n";
+  return os.str();
+}
+
+}  // namespace statsize::util

@@ -1,0 +1,58 @@
+// Minimal command-line argument parser for the statsize tools.
+//
+// Flags are registered with a name, a help string and a default; parsing
+// accepts "--name value" and "--name=value" forms plus "--flag" for booleans.
+// Unknown flags and malformed values are hard errors (a tool that silently
+// ignores a typo in "--max-delay" would produce wrong chips).
+
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace statsize::util {
+
+class ArgParser {
+ public:
+  explicit ArgParser(std::string program_description);
+
+  /// Registration. Names are given without the leading "--".
+  void add_string(const std::string& name, const std::string& help,
+                  std::optional<std::string> default_value = std::nullopt);
+  void add_double(const std::string& name, const std::string& help,
+                  std::optional<double> default_value = std::nullopt);
+  void add_int(const std::string& name, const std::string& help,
+               std::optional<int> default_value = std::nullopt);
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) when --help was
+  /// requested; throws std::invalid_argument on errors.
+  bool parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get_string(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  int get_int(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+
+  std::string usage() const;
+
+ private:
+  enum class Kind { kString, kDouble, kInt, kFlag };
+  struct Spec {
+    Kind kind;
+    std::string help;
+    std::optional<std::string> default_value;
+  };
+
+  const Spec& spec_of(const std::string& name, Kind kind) const;
+
+  std::string description_;
+  std::vector<std::string> order_;  ///< registration order, for usage()
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace statsize::util

@@ -1,0 +1,142 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace statsize::util {
+
+void JsonWriter::pad() {
+  for (std::size_t i = 0; i < stack_.size() * static_cast<std::size_t>(indent_); ++i) {
+    *out_ << ' ';
+  }
+}
+
+void JsonWriter::comma_and_newline() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // value follows "key": inline
+  }
+  if (!stack_.empty()) {
+    if (!first_.back()) *out_ << ',';
+    first_.back() = false;
+    *out_ << '\n';
+    pad();
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma_and_newline();
+  *out_ << '{';
+  stack_.push_back('o');
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  const bool empty = first_.back();
+  stack_.pop_back();
+  first_.pop_back();
+  if (!empty) {
+    *out_ << '\n';
+    pad();
+  }
+  *out_ << '}';
+  if (stack_.empty()) *out_ << '\n';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma_and_newline();
+  *out_ << '[';
+  stack_.push_back('a');
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  const bool empty = first_.back();
+  stack_.pop_back();
+  first_.pop_back();
+  if (!empty) {
+    *out_ << '\n';
+    pad();
+  }
+  *out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  comma_and_newline();
+  *out_ << '"' << escape(name) << "\": ";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  comma_and_newline();
+  *out_ << '"' << escape(s) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double d) {
+  comma_and_newline();
+  if (std::isnan(d) || std::isinf(d)) {
+    *out_ << "null";  // JSON has no NaN/Inf
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  *out_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int i) {
+  comma_and_newline();
+  *out_ << i;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(long i) {
+  comma_and_newline();
+  *out_ << i;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  comma_and_newline();
+  *out_ << (b ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma_and_newline();
+  *out_ << "null";
+  return *this;
+}
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace statsize::util

@@ -1,0 +1,61 @@
+// Minimal JSON writer — enough to export timing/sizing reports for scripts
+// and dashboards without pulling in a dependency. Write-only by design (the
+// toolkit never needs to parse JSON), with correct string escaping and
+// round-trippable number formatting.
+
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace statsize::util {
+
+/// Streaming writer with explicit begin/end pairs and automatic commas:
+///
+///   JsonWriter w(out);
+///   w.begin_object();
+///   w.key("delay").begin_object();
+///   w.key("mu").value(7.25);
+///   w.key("sigma").value(0.81);
+///   w.end_object();
+///   w.key("gates").begin_array();
+///   w.value("A"); w.value("B");
+///   w.end_array();
+///   w.end_object();
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out, int indent = 2) : out_(&out), indent_(indent) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits the key of the next member (only valid directly inside an object).
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double d);
+  JsonWriter& value(int i);
+  JsonWriter& value(long i);
+  JsonWriter& value(bool b);
+  JsonWriter& null();
+
+  /// Escapes `s` per RFC 8259 (quotes, backslash, control characters).
+  static std::string escape(std::string_view s);
+
+ private:
+  void comma_and_newline();
+  void pad();
+
+  std::ostream* out_;
+  int indent_;
+  std::vector<char> stack_;   ///< 'o' or 'a'
+  std::vector<bool> first_;   ///< first element at each level
+  bool after_key_ = false;
+};
+
+}  // namespace statsize::util

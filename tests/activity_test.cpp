@@ -1,0 +1,144 @@
+// Tests for the switching-activity engine (the power-objective substrate):
+// closed-form signal probabilities per cell function, Monte Carlo agreement
+// on whole circuits, and the power-weight construction.
+
+#include "ssta/activity.h"
+
+#include "netlist/blif.h"
+#include "netlist/generators.h"
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace statsize::ssta {
+namespace {
+
+using netlist::CellFunction;
+using netlist::CellLibrary;
+using netlist::Circuit;
+using netlist::NodeId;
+
+/// Circuit with one gate of the given type fed by fresh inputs.
+Circuit single_gate(const char* cell_name) {
+  const CellLibrary& lib = CellLibrary::standard();
+  const int cell = lib.find(cell_name);
+  Circuit c(lib);
+  std::vector<NodeId> pis;
+  for (int i = 0; i < lib.cell(cell).num_inputs; ++i) pis.push_back(c.add_input({}));
+  const NodeId g = c.add_gate(cell, pis, "g");
+  c.mark_output(g);
+  c.finalize();
+  return c;
+}
+
+double output_probability(const Circuit& c, double pi_prob) {
+  return signal_probabilities(c, pi_prob)[static_cast<std::size_t>(c.outputs().front())];
+}
+
+TEST(Activity, SingleGateClosedForms) {
+  EXPECT_NEAR(output_probability(single_gate("INV"), 0.3), 0.7, 1e-12);
+  EXPECT_NEAR(output_probability(single_gate("BUF"), 0.3), 0.3, 1e-12);
+  EXPECT_NEAR(output_probability(single_gate("NAND2"), 0.5), 0.75, 1e-12);
+  EXPECT_NEAR(output_probability(single_gate("NAND3"), 0.5), 1.0 - 0.125, 1e-12);
+  EXPECT_NEAR(output_probability(single_gate("NOR2"), 0.5), 0.25, 1e-12);
+  EXPECT_NEAR(output_probability(single_gate("AND2"), 0.4), 0.16, 1e-12);
+  EXPECT_NEAR(output_probability(single_gate("OR2"), 0.4), 1.0 - 0.36, 1e-12);
+  EXPECT_NEAR(output_probability(single_gate("XOR2"), 0.4), 0.4 * 0.6 * 2, 1e-12);
+  // AOI21: !((a&b)|c) at p=0.5 -> (1-0.25)*(1-0.5) = 0.375
+  EXPECT_NEAR(output_probability(single_gate("AOI21"), 0.5), 0.375, 1e-12);
+  // OAI21: !((a|b)&c) at p=0.5 -> 1 - 0.75*0.5 = 0.625
+  EXPECT_NEAR(output_probability(single_gate("OAI21"), 0.5), 0.625, 1e-12);
+}
+
+TEST(Activity, ProbabilityEdgeCases) {
+  // Deterministic inputs give deterministic outputs.
+  EXPECT_NEAR(output_probability(single_gate("NAND2"), 1.0), 0.0, 1e-12);
+  EXPECT_NEAR(output_probability(single_gate("NAND2"), 0.0), 1.0, 1e-12);
+  EXPECT_THROW(signal_probabilities(single_gate("INV"), 1.5), std::invalid_argument);
+}
+
+TEST(Activity, SwitchingActivityIsTwoPOneMinusP) {
+  const Circuit c = single_gate("NAND2");
+  const auto p = signal_probabilities(c, 0.5);
+  const auto a = switching_activity(c, 0.5);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_NEAR(a[i], 2.0 * p[i] * (1.0 - p[i]), 1e-12);
+  }
+  // NAND2 at p=0.5: output p=0.75 -> activity 2*0.75*0.25 = 0.375.
+  EXPECT_NEAR(a[static_cast<std::size_t>(c.outputs().front())], 0.375, 1e-12);
+}
+
+TEST(Activity, TreeProbabilitiesMatchMonteCarlo) {
+  // The tree has no reconvergence, so the analytic propagation is exact.
+  const Circuit c = netlist::make_tree_circuit();
+  const auto analytic = signal_probabilities(c, 0.5);
+  const auto mc = signal_probabilities_monte_carlo(c, 60000, 3);
+  for (NodeId id : c.topo_order()) {
+    EXPECT_NEAR(analytic[static_cast<std::size_t>(id)], mc[static_cast<std::size_t>(id)],
+                0.01)
+        << id;
+  }
+}
+
+TEST(Activity, ReconvergentCircuitStaysClose) {
+  // With reconvergence the independence approximation has bounded error.
+  netlist::RandomDagParams p;
+  p.num_gates = 80;
+  p.num_inputs = 40;  // moderate reconvergence, like mapped logic
+  p.seed = 9;
+  const Circuit c = netlist::make_random_dag(p);
+  const auto analytic = signal_probabilities(c, 0.5);
+  const auto mc = signal_probabilities_monte_carlo(c, 40000, 5);
+  double worst = 0.0;
+  double total = 0.0;
+  for (NodeId id : c.topo_order()) {
+    const double err = std::abs(analytic[static_cast<std::size_t>(id)] -
+                                mc[static_cast<std::size_t>(id)]);
+    worst = std::max(worst, err);
+    total += err;
+  }
+  // Individual nodes fed by strongly correlated signals can be far off (the
+  // known weakness of independence-based probability propagation); the bulk
+  // of the circuit must stay accurate.
+  EXPECT_LT(total / c.num_nodes(), 0.10);
+  EXPECT_LT(worst, 0.6);
+}
+
+TEST(Activity, PowerWeightsArePositiveForGatesOnly) {
+  const Circuit c = netlist::make_mcnc_like("apex2");
+  const auto w = power_weights(c);
+  for (NodeId id : c.topo_order()) {
+    if (c.node(id).kind == netlist::NodeKind::kGate) {
+      EXPECT_GT(w[static_cast<std::size_t>(id)], 0.0);
+    } else {
+      EXPECT_EQ(w[static_cast<std::size_t>(id)], 0.0);
+    }
+  }
+}
+
+TEST(Activity, PowerWeightsScaleWithActivity) {
+  // An inverter fed by a constant-biased input (p near 1) toggles rarely; one
+  // fed by p=0.5 toggles maximally. Its driver-side weight must reflect that.
+  const CellLibrary& lib = CellLibrary::standard();
+  Circuit c(lib);
+  const NodeId a = c.add_input("a");
+  const NodeId g0 = c.add_gate(lib.find("INV"), {a}, "hot");
+  const NodeId g1 = c.add_gate(lib.find("INV"), {g0}, "out");
+  c.mark_output(g1);
+  c.finalize();
+  const auto w_balanced = power_weights(c, 0.5);
+  const auto w_biased = power_weights(c, 0.95);
+  EXPECT_GT(w_balanced[static_cast<std::size_t>(g0)], w_biased[static_cast<std::size_t>(g0)]);
+}
+
+TEST(Activity, MonteCarloSeedReproducible) {
+  const Circuit c = netlist::make_tree_circuit();
+  const auto a = signal_probabilities_monte_carlo(c, 2000, 42);
+  const auto b = signal_probabilities_monte_carlo(c, 2000, 42);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace statsize::ssta

@@ -1,0 +1,117 @@
+// Tests for the command-line argument parser used by the statsize tool.
+
+#include "util/args.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace statsize::util {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser p("test tool");
+  p.add_string("name", "a string", "default");
+  p.add_string("required-name", "a string without default");
+  p.add_double("ratio", "a double", 1.5);
+  p.add_int("count", "an int", 7);
+  p.add_flag("verbose", "a flag");
+  return p;
+}
+
+bool parse(ArgParser& p, std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return p.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, DefaultsApplyWhenUnset) {
+  ArgParser p = make_parser();
+  ASSERT_TRUE(parse(p, {}));
+  EXPECT_EQ(p.get_string("name"), "default");
+  EXPECT_DOUBLE_EQ(p.get_double("ratio"), 1.5);
+  EXPECT_EQ(p.get_int("count"), 7);
+  EXPECT_FALSE(p.get_flag("verbose"));
+  EXPECT_FALSE(p.has("required-name"));
+}
+
+TEST(ArgParser, SpaceAndEqualsFormsBothWork) {
+  ArgParser p = make_parser();
+  ASSERT_TRUE(parse(p, {"--name", "alpha", "--ratio=2.25", "--count", "42", "--verbose"}));
+  EXPECT_EQ(p.get_string("name"), "alpha");
+  EXPECT_DOUBLE_EQ(p.get_double("ratio"), 2.25);
+  EXPECT_EQ(p.get_int("count"), 42);
+  EXPECT_TRUE(p.get_flag("verbose"));
+}
+
+TEST(ArgParser, MissingRequiredValueThrowsOnAccess) {
+  ArgParser p = make_parser();
+  ASSERT_TRUE(parse(p, {}));
+  EXPECT_THROW(p.get_string("required-name"), std::invalid_argument);
+}
+
+TEST(ArgParser, RejectsUnknownFlag) {
+  ArgParser p = make_parser();
+  EXPECT_THROW(parse(p, {"--nope", "1"}), std::invalid_argument);
+}
+
+TEST(ArgParser, RejectsBadNumbers) {
+  {
+    ArgParser p = make_parser();
+    EXPECT_THROW(parse(p, {"--ratio", "abc"}), std::invalid_argument);
+  }
+  {
+    ArgParser p = make_parser();
+    EXPECT_THROW(parse(p, {"--count", "3.5"}), std::invalid_argument);
+  }
+}
+
+TEST(ArgParser, RejectsValueOnFlagAndPositional) {
+  {
+    ArgParser p = make_parser();
+    EXPECT_THROW(parse(p, {"--verbose=1"}), std::invalid_argument);
+  }
+  {
+    ArgParser p = make_parser();
+    EXPECT_THROW(parse(p, {"loose"}), std::invalid_argument);
+  }
+}
+
+TEST(ArgParser, MissingTrailingValue) {
+  ArgParser p = make_parser();
+  EXPECT_THROW(parse(p, {"--name"}), std::invalid_argument);
+}
+
+TEST(ArgParser, HelpReturnsFalseAndPrintsEveryFlag) {
+  ArgParser p = make_parser();
+  EXPECT_FALSE(parse(p, {"--help"}));
+  const std::string usage = p.usage();
+  for (const char* name : {"--name", "--ratio", "--count", "--verbose", "--help"}) {
+    EXPECT_NE(usage.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(usage.find("default: 7"), std::string::npos);
+}
+
+TEST(ArgParser, TypeMismatchIsAProgrammerError) {
+  ArgParser p = make_parser();
+  ASSERT_TRUE(parse(p, {"--count", "3"}));
+  EXPECT_THROW(p.get_string("count"), std::logic_error);
+  EXPECT_THROW(p.get_double("verbose"), std::logic_error);
+  EXPECT_THROW(p.get_int("never-registered"), std::logic_error);
+}
+
+TEST(ArgParser, DuplicateRegistrationThrows) {
+  ArgParser p("x");
+  p.add_flag("a", "first");
+  EXPECT_THROW(p.add_flag("a", "again"), std::logic_error);
+  EXPECT_THROW(p.add_int("a", "again", 1), std::logic_error);
+}
+
+TEST(ArgParser, LastValueWins) {
+  ArgParser p = make_parser();
+  ASSERT_TRUE(parse(p, {"--count", "1", "--count", "2"}));
+  EXPECT_EQ(p.get_int("count"), 2);
+}
+
+}  // namespace
+}  // namespace statsize::util

@@ -1,0 +1,190 @@
+// Derivative verification for the Clark max — the property the whole paper
+// rests on: eqs. 10/12/13 admit *analytic* first and second derivatives.
+//
+// Three independent derivative computations are cross-checked:
+//   1. hand-derived gradient (clark_max_grad)
+//   2. second-order forward autodiff (clark_max_full)
+//   3. central finite differences of the value / of the analytic gradient
+
+#include "stat/clark.h"
+
+#include <array>
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace statsize::stat {
+namespace {
+
+struct Point {
+  double mu_a, mu_b, var_a, var_b;
+
+  double& coord(int i) {
+    switch (i) {
+      case 0: return mu_a;
+      case 1: return mu_b;
+      case 2: return var_a;
+      default: return var_b;
+    }
+  }
+  double coord(int i) const { return const_cast<Point*>(this)->coord(i); }
+};
+
+NormalRV eval(const Point& p) {
+  return clark_max({p.mu_a, p.var_a}, {p.mu_b, p.var_b});
+}
+
+Point perturb(Point p, int i, double h) {
+  p.coord(i) += h;
+  return p;
+}
+
+class ClarkDerivative : public ::testing::TestWithParam<Point> {};
+
+TEST_P(ClarkDerivative, HandGradientMatchesFiniteDifferences) {
+  const Point p = GetParam();
+  ClarkGrad grad;
+  const NormalRV c = clark_max_grad({p.mu_a, p.var_a}, {p.mu_b, p.var_b}, grad);
+
+  for (int i = 0; i < 4; ++i) {
+    const double h = 1e-6 * (1.0 + std::abs(p.coord(i)));
+    const NormalRV up = eval(perturb(p, i, h));
+    const NormalRV dn = eval(perturb(p, i, -h));
+    const double fd_mu = (up.mu - dn.mu) / (2 * h);
+    const double fd_var = (up.var - dn.var) / (2 * h);
+    EXPECT_NEAR(grad.dmu[i], fd_mu, 1e-5 * (1 + std::abs(fd_mu))) << "var index " << i;
+    EXPECT_NEAR(grad.dvar[i], fd_var, 1e-5 * (1 + std::abs(fd_var))) << "var index " << i;
+  }
+  EXPECT_TRUE(std::isfinite(c.mu));
+}
+
+TEST_P(ClarkDerivative, HandGradientMatchesAutodiff) {
+  const Point p = GetParam();
+  ClarkGrad grad_hand;
+  ClarkGrad grad_ad;
+  ClarkHess hess;
+  const NormalRV c1 = clark_max_grad({p.mu_a, p.var_a}, {p.mu_b, p.var_b}, grad_hand);
+  const NormalRV c2 = clark_max_full({p.mu_a, p.var_a}, {p.mu_b, p.var_b}, grad_ad, hess);
+
+  EXPECT_NEAR(c1.mu, c2.mu, 1e-12 * (1 + std::abs(c1.mu)));
+  EXPECT_NEAR(c1.var, c2.var, 1e-11 * (1 + std::abs(c1.var)));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(grad_hand.dmu[i], grad_ad.dmu[i], 1e-10) << "dmu " << i;
+    EXPECT_NEAR(grad_hand.dvar[i], grad_ad.dvar[i], 1e-9 * (1 + std::abs(grad_ad.dvar[i])))
+        << "dvar " << i;
+  }
+}
+
+TEST_P(ClarkDerivative, AutodiffHessianMatchesFiniteDifferenceOfGradient) {
+  const Point p = GetParam();
+  ClarkGrad grad;
+  ClarkHess hess;
+  clark_max_full({p.mu_a, p.var_a}, {p.mu_b, p.var_b}, grad, hess);
+
+  for (int i = 0; i < 4; ++i) {
+    const double h = 1e-5 * (1.0 + std::abs(p.coord(i)));
+    ClarkGrad gp;
+    ClarkGrad gm;
+    const Point pp = perturb(p, i, h);
+    const Point pm = perturb(p, i, -h);
+    clark_max_grad({pp.mu_a, pp.var_a}, {pp.mu_b, pp.var_b}, gp);
+    clark_max_grad({pm.mu_a, pm.var_a}, {pm.mu_b, pm.var_b}, gm);
+    for (int j = 0; j < 4; ++j) {
+      const double fd_mu = (gp.dmu[j] - gm.dmu[j]) / (2 * h);
+      const double fd_var = (gp.dvar[j] - gm.dvar[j]) / (2 * h);
+      const int k = autodiff::Dual2<4>::hess_index(i, j);
+      EXPECT_NEAR(hess.mu[k], fd_mu, 2e-4 * (1 + std::abs(fd_mu))) << i << "," << j;
+      EXPECT_NEAR(hess.var[k], fd_var, 2e-4 * (1 + std::abs(fd_var))) << i << "," << j;
+    }
+  }
+}
+
+TEST_P(ClarkDerivative, MuGradientIsConvexCombination) {
+  // dmu/dmuA + dmu/dmuB == 1 (shift invariance) and both lie in [0, 1].
+  const Point p = GetParam();
+  ClarkGrad grad;
+  clark_max_grad({p.mu_a, p.var_a}, {p.mu_b, p.var_b}, grad);
+  EXPECT_NEAR(grad.dmu[0] + grad.dmu[1], 1.0, 1e-12);
+  EXPECT_GE(grad.dmu[0], 0.0);
+  EXPECT_LE(grad.dmu[0], 1.0);
+  EXPECT_GE(grad.dmu[2], 0.0);  // more input variance never reduces E[max]
+  EXPECT_GE(grad.dmu[3], 0.0);
+}
+
+TEST_P(ClarkDerivative, VarGradientShiftInvariance) {
+  // Shifting both means leaves var unchanged: dvar/dmuA + dvar/dmuB == 0.
+  const Point p = GetParam();
+  ClarkGrad grad;
+  clark_max_grad({p.mu_a, p.var_a}, {p.mu_b, p.var_b}, grad);
+  EXPECT_NEAR(grad.dvar[0] + grad.dvar[1], 0.0, 1e-9 * (1 + std::abs(grad.dvar[0])));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ClarkDerivative,
+    ::testing::Values(Point{0.0, 0.0, 1.0, 1.0},        // iid standard
+                      Point{1.0, 0.0, 1.0, 1.0},        // small gap
+                      Point{5.0, 0.0, 1.0, 1.0},        // large gap
+                      Point{0.0, 0.0, 0.04, 4.0},       // asymmetric sigma
+                      Point{3.0, 2.5, 0.25, 0.0},       // one deterministic
+                      Point{100.0, 99.0, 2.0, 3.0},     // large means
+                      Point{-4.0, 4.0, 9.0, 0.01},      // dominated
+                      Point{7.2, 7.2, 0.6, 0.6},        // exact tie
+                      Point{0.3, -0.7, 1.3, 2.1}));     // generic
+
+TEST(ClarkDerivativeDegenerate, DeterministicBranchGradients) {
+  ClarkGrad grad;
+  ClarkHess hess;
+  const NormalRV c = clark_max_full({5.0, 0.0}, {3.0, 0.0}, grad, hess);
+  EXPECT_DOUBLE_EQ(c.mu, 5.0);
+  EXPECT_DOUBLE_EQ(grad.dmu[0], 1.0);
+  EXPECT_DOUBLE_EQ(grad.dmu[1], 0.0);
+  EXPECT_DOUBLE_EQ(grad.dvar[2], 1.0);
+  EXPECT_DOUBLE_EQ(grad.dvar[3], 0.0);
+  for (double h : hess.mu) EXPECT_DOUBLE_EQ(h, 0.0);
+}
+
+TEST(ClarkDerivativeDegenerate, TieSplitsSubgradient) {
+  ClarkGrad grad;
+  const NormalRV c = clark_max_grad({2.0, 0.0}, {2.0, 0.0}, grad);
+  EXPECT_DOUBLE_EQ(c.mu, 2.0);
+  EXPECT_DOUBLE_EQ(grad.dmu[0], 0.5);
+  EXPECT_DOUBLE_EQ(grad.dmu[1], 0.5);
+}
+
+// Randomized agreement sweep with many points per seed; this is the heavy
+// regression net that protects the hand-derived formulas.
+class ClarkDerivativeFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClarkDerivativeFuzz, HandVsAutodiffEverywhere) {
+  std::mt19937 rng(GetParam());
+  std::uniform_real_distribution<double> mu_d(-20.0, 20.0);
+  std::uniform_real_distribution<double> v_d(1e-4, 25.0);
+  for (int i = 0; i < 300; ++i) {
+    const NormalRV a{mu_d(rng), v_d(rng)};
+    const NormalRV b{mu_d(rng), v_d(rng)};
+    ClarkGrad gh;
+    ClarkGrad ga;
+    ClarkHess hess;
+    clark_max_grad(a, b, gh);
+    clark_max_full(a, b, ga, hess);
+    for (int j = 0; j < 4; ++j) {
+      ASSERT_NEAR(gh.dmu[j], ga.dmu[j], 1e-9 * (1 + std::abs(ga.dmu[j])));
+      ASSERT_NEAR(gh.dvar[j], ga.dvar[j], 1e-8 * (1 + std::abs(ga.dvar[j])));
+    }
+    // Hessians of mu must be symmetric in operand exchange paired with
+    // index swap (0<->1, 2<->3).
+    using D4 = autodiff::Dual2<4>;
+    ClarkGrad ga2;
+    ClarkHess hess2;
+    clark_max_full(b, a, ga2, hess2);
+    ASSERT_NEAR(hess.mu[D4::hess_index(0, 0)], hess2.mu[D4::hess_index(1, 1)], 1e-9);
+    ASSERT_NEAR(hess.var[D4::hess_index(2, 2)], hess2.var[D4::hess_index(3, 3)],
+                1e-8 * (1 + std::abs(hess.var[D4::hess_index(2, 2)])));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClarkDerivativeFuzz, ::testing::Range(100, 106));
+
+}  // namespace
+}  // namespace statsize::stat

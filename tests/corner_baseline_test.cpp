@@ -1,0 +1,100 @@
+// Tests for the corner-methodology substrate: library delay scaling, circuit
+// cloning, and the end-to-end property that corner-sized circuits are
+// over-margined on the true statistical silicon.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/sizer.h"
+#include "netlist/circuit.h"
+#include "netlist/generators.h"
+#include "ssta/ssta.h"
+
+namespace statsize::netlist {
+namespace {
+
+TEST(ScaledLibrary, ScalesOnlyDelayConstants) {
+  const CellLibrary& base = CellLibrary::standard();
+  const CellLibrary scaled = scale_library_delays(base, 1.75);
+  ASSERT_EQ(scaled.size(), base.size());
+  for (int i = 0; i < base.size(); ++i) {
+    EXPECT_DOUBLE_EQ(scaled.cell(i).t_int, 1.75 * base.cell(i).t_int);
+    EXPECT_DOUBLE_EQ(scaled.cell(i).c, 1.75 * base.cell(i).c);
+    EXPECT_DOUBLE_EQ(scaled.cell(i).c_in, base.cell(i).c_in);
+    EXPECT_DOUBLE_EQ(scaled.cell(i).area, base.cell(i).area);
+    EXPECT_EQ(scaled.cell(i).name, base.cell(i).name);
+  }
+  EXPECT_THROW(scale_library_delays(base, 0.0), std::invalid_argument);
+}
+
+TEST(CloneWithLibrary, PreservesStructureExactly) {
+  const Circuit original = make_mcnc_like("apex2");
+  const CellLibrary scaled = scale_library_delays(original.library(), 2.0);
+  const Circuit clone = clone_with_library(original, scaled);
+
+  ASSERT_EQ(clone.num_nodes(), original.num_nodes());
+  for (NodeId id = 0; id < original.num_nodes(); ++id) {
+    const Node& a = original.node(id);
+    const Node& b = clone.node(id);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.cell, b.cell);
+    EXPECT_EQ(a.fanins, b.fanins);
+    EXPECT_EQ(a.is_output, b.is_output);
+    EXPECT_DOUBLE_EQ(a.wire_load, b.wire_load);
+    EXPECT_DOUBLE_EQ(a.pad_load, b.pad_load);
+  }
+  EXPECT_EQ(clone.outputs(), original.outputs());
+}
+
+TEST(CloneWithLibrary, ScaledDelaysScaleCircuitDelayExactly) {
+  // delay = f * (t_int + c * load / S): uniform scaling of t_int and c scales
+  // every path delay by f, so the deterministic circuit delay scales by f.
+  const Circuit original = make_tree_circuit();
+  const CellLibrary scaled = scale_library_delays(original.library(), 1.75);
+  const Circuit clone = clone_with_library(original, scaled);
+
+  const std::vector<double> speed(static_cast<std::size_t>(original.num_nodes()), 1.4);
+  const ssta::DelayCalculator calc0(original, {0.0, 0.0});
+  const ssta::DelayCalculator calc1(clone, {0.0, 0.0});
+  const double d0 = ssta::run_sta(original, calc0.all_delays(speed), ssta::Corner::kTypical)
+                        .circuit_delay;
+  const double d1 =
+      ssta::run_sta(clone, calc1.all_delays(speed), ssta::Corner::kTypical).circuit_delay;
+  EXPECT_NEAR(d1, 1.75 * d0, 1e-9);
+}
+
+TEST(CornerFlow, CornerSizedCircuitOverAchievesOnTrueSilicon) {
+  // Size the tree against the worst-case library (deadline mid-range), then
+  // evaluate with the true statistical model: the realized mu + 3 sigma must
+  // beat the deadline with margin to spare.
+  const double kappa = 0.25;
+  const Circuit c = make_tree_circuit();
+  const CellLibrary corner_lib = scale_library_delays(c.library(), 1.0 + 3.0 * kappa);
+  const Circuit corner = clone_with_library(c, corner_lib);
+
+  core::SizingSpec spec;
+  spec.sigma_model = {0.02, 0.0};  // smoothing only
+  spec.objective = core::Objective::min_area();
+  const ssta::DelayCalculator probe(corner, {0.0, 0.0});
+  std::vector<double> s(static_cast<std::size_t>(corner.num_nodes()), spec.max_speed);
+  const double lo = ssta::run_ssta(probe, s).circuit_delay.mu;
+  std::fill(s.begin(), s.end(), 1.0);
+  const double hi = ssta::run_ssta(probe, s).circuit_delay.mu;
+  const double deadline = 0.5 * (lo + hi);
+  spec.delay_constraint = core::DelayConstraint::at_most(deadline);
+
+  core::SizerOptions opt;
+  opt.method = core::Method::kReducedSpace;
+  const core::SizingResult r = core::Sizer(corner, spec).run(opt);
+  ASSERT_TRUE(r.converged) << r.status;
+
+  const ssta::DelayCalculator true_calc(c, {kappa, 0.0});
+  const stat::NormalRV truth = ssta::run_ssta(true_calc, r.speed).circuit_delay;
+  EXPECT_LT(truth.quantile_offset(3.0), deadline);
+  // ...and by a wide margin: that gap is the corner pessimism.
+  EXPECT_LT(truth.quantile_offset(3.0), 0.85 * deadline);
+}
+
+}  // namespace
+}  // namespace statsize::netlist

@@ -1,0 +1,103 @@
+// Tests for the JSON writer and the JSON analysis report.
+
+#include "ssta/report.h"
+#include "util/json.h"
+
+#include "netlist/generators.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace statsize {
+namespace {
+
+TEST(JsonWriter, ObjectsArraysAndCommas) {
+  std::ostringstream out;
+  util::JsonWriter w(out);
+  w.begin_object();
+  w.key("a").value(1);
+  w.key("b").begin_array();
+  w.value("x");
+  w.value(2.5);
+  w.value(true);
+  w.null();
+  w.end_array();
+  w.key("c").begin_object();
+  w.end_object();
+  w.end_object();
+  const std::string s = out.str();
+  // Structure is valid: balanced braces, commas between siblings only.
+  EXPECT_NE(s.find("\"a\": 1"), std::string::npos);
+  EXPECT_NE(s.find("\"x\","), std::string::npos);
+  EXPECT_NE(s.find("true"), std::string::npos);
+  EXPECT_NE(s.find("null"), std::string::npos);
+  EXPECT_NE(s.find("\"c\": {}"), std::string::npos);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '{'), std::count(s.begin(), s.end(), '}'));
+  EXPECT_EQ(std::count(s.begin(), s.end(), '['), std::count(s.begin(), s.end(), ']'));
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  EXPECT_EQ(util::JsonWriter::escape("plain"), "plain");
+  EXPECT_EQ(util::JsonWriter::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(util::JsonWriter::escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(util::JsonWriter::escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(util::JsonWriter::escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriter, NonFiniteNumbersBecomeNull) {
+  std::ostringstream out;
+  util::JsonWriter w(out);
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(1.5);
+  w.end_array();
+  const std::string s = out.str();
+  EXPECT_NE(s.find("null"), std::string::npos);
+  EXPECT_EQ(s.find("nan"), std::string::npos);
+  EXPECT_EQ(s.find("inf"), std::string::npos);
+}
+
+TEST(JsonWriter, RoundTripsDoublesExactly) {
+  std::ostringstream out;
+  util::JsonWriter w(out);
+  const double v = 6.9577763242898901;
+  w.begin_array();
+  w.value(v);
+  w.end_array();
+  const std::string s = out.str();
+  const std::size_t a = s.find_first_of("0123456789");
+  EXPECT_EQ(std::stod(s.substr(a)), v);
+}
+
+TEST(JsonReport, ContainsAllSections) {
+  const netlist::Circuit c = netlist::make_tree_circuit();
+  const ssta::DelayCalculator calc(c, {0.25, 0.0});
+  const std::vector<double> speed(static_cast<std::size_t>(c.num_nodes()), 1.0);
+  std::ostringstream out;
+  ssta::JsonReportOptions opt;
+  opt.include_canonical = true;
+  ssta::write_json_report(out, c, calc, speed, opt);
+  const std::string s = out.str();
+  for (const char* needle :
+       {"\"circuit\"", "\"gates\": 7", "\"delay\"", "\"mu\"", "\"canonical_mu\"",
+        "\"critical_path\"", "\"sum_speed\": 7", "\"meet_probability\""}) {
+    EXPECT_NE(s.find(needle), std::string::npos) << needle;
+  }
+  EXPECT_EQ(std::count(s.begin(), s.end(), '{'), std::count(s.begin(), s.end(), '}'));
+}
+
+TEST(JsonReport, PerNodeSectionIsOptional) {
+  const netlist::Circuit c = netlist::make_tree_circuit();
+  const ssta::DelayCalculator calc(c, {0.25, 0.0});
+  const std::vector<double> speed(static_cast<std::size_t>(c.num_nodes()), 1.0);
+  std::ostringstream out;
+  ssta::JsonReportOptions opt;
+  opt.include_per_node = false;
+  ssta::write_json_report(out, c, calc, speed, opt);
+  EXPECT_EQ(out.str().find("\"arrival_mu\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace statsize

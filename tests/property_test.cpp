@@ -1,0 +1,178 @@
+// Cross-cutting randomized property tests: invariants that must hold for any
+// circuit and any parameters, exercised over seeds with parameterized gtest.
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "core/sizer.h"
+#include "netlist/generators.h"
+#include "ssta/canonical.h"
+#include "ssta/monte_carlo.h"
+#include "ssta/ssta.h"
+#include "stat/clark.h"
+
+namespace statsize {
+namespace {
+
+using netlist::Circuit;
+using netlist::NodeId;
+using netlist::NodeKind;
+using stat::NormalRV;
+
+Circuit random_circuit(int seed, int gates = 80) {
+  netlist::RandomDagParams p;
+  p.num_gates = gates;
+  p.num_inputs = 12 + seed % 17;
+  p.seed = static_cast<std::uint64_t>(seed) * 7919 + 3;
+  return make_random_dag(p);
+}
+
+class CircuitProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(CircuitProperties, ArrivalDominatesEveryFanin) {
+  // mu of a gate's arrival >= mu of each fanin arrival (max + positive delay).
+  const Circuit c = random_circuit(GetParam());
+  const ssta::DelayCalculator calc(c, {0.25, 0.0});
+  const std::vector<double> speed(static_cast<std::size_t>(c.num_nodes()), 1.5);
+  const ssta::TimingReport r = ssta::run_ssta(c, calc.all_delays(speed));
+  for (NodeId id : c.topo_order()) {
+    const netlist::Node& n = c.node(id);
+    if (n.kind != NodeKind::kGate) continue;
+    for (NodeId f : n.fanins) {
+      ASSERT_GE(r.arrival[static_cast<std::size_t>(id)].mu,
+                r.arrival[static_cast<std::size_t>(f)].mu - 1e-12);
+    }
+  }
+}
+
+TEST_P(CircuitProperties, SlowingAnyGateNeverSpeedsTheCircuitMuchBeyondApproximation) {
+  // The TRUE statistical circuit delay is monotone in every gate-delay mean.
+  // The Clark moment-matching chain is *almost* monotone: raising one
+  // operand's mean can shrink a downstream max's matched variance (dominance
+  // narrows the mixture), which shrinks the next max's theta*phi mean bump —
+  // a second-order approximation artifact, observed at the 1e-3..1e-2 level.
+  // We pin exactly that: increases are unbounded, decreases must stay within
+  // the approximation noise.
+  const Circuit c = random_circuit(GetParam(), 50);
+  const ssta::DelayCalculator calc(c, {0.25, 0.0});
+  const std::vector<double> speed(static_cast<std::size_t>(c.num_nodes()), 1.5);
+  auto delays = calc.all_delays(speed);
+  const double base = ssta::run_ssta(c, delays).circuit_delay.mu;
+
+  int checked = 0;
+  for (NodeId id : c.topo_order()) {
+    if (c.node(id).kind != NodeKind::kGate) continue;
+    if (++checked % 5 != 0) continue;
+    const NormalRV saved = delays[static_cast<std::size_t>(id)];
+    delays[static_cast<std::size_t>(id)].mu += 0.5;
+    const double slowed = ssta::run_ssta(c, delays).circuit_delay.mu;
+    delays[static_cast<std::size_t>(id)] = saved;
+    ASSERT_GE(slowed, base - 0.02) << "gate " << id;
+  }
+
+  // With zero sigmas the chain degenerates to the deterministic max, where
+  // monotonicity is exact.
+  const ssta::DelayCalculator det(c, {0.0, 0.0});
+  auto det_delays = det.all_delays(speed);
+  const double det_base = ssta::run_ssta(c, det_delays).circuit_delay.mu;
+  checked = 0;
+  for (NodeId id : c.topo_order()) {
+    if (c.node(id).kind != NodeKind::kGate) continue;
+    if (++checked % 7 != 0) continue;
+    const NormalRV saved = det_delays[static_cast<std::size_t>(id)];
+    det_delays[static_cast<std::size_t>(id)].mu += 0.5;
+    const double slowed = ssta::run_ssta(c, det_delays).circuit_delay.mu;
+    det_delays[static_cast<std::size_t>(id)] = saved;
+    ASSERT_GE(slowed, det_base - 1e-12) << "gate " << id;
+  }
+}
+
+TEST_P(CircuitProperties, MonteCarloYieldIsMonotoneInDeadline) {
+  const Circuit c = random_circuit(GetParam(), 40);
+  const ssta::DelayCalculator calc(c, {0.25, 0.0});
+  const std::vector<double> speed(static_cast<std::size_t>(c.num_nodes()), 1.0);
+  ssta::MonteCarloOptions opt;
+  opt.num_samples = 4000;
+  opt.seed = static_cast<std::uint64_t>(GetParam());
+  const ssta::MonteCarloResult mc = ssta::run_monte_carlo(c, calc.all_delays(speed), opt);
+  double prev = -1.0;
+  for (double q : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    const double d = mc.quantile(q);
+    const double y = mc.yield(d);
+    ASSERT_GE(y, prev);
+    ASSERT_NEAR(y, q, 0.03);
+    prev = y;
+  }
+}
+
+TEST_P(CircuitProperties, CorrelationNeverIncreasesTheMeanOfTheMax) {
+  // Positive path correlation makes the true E[max] smaller than the
+  // independence estimate; the canonical engine must sit at or below it.
+  const Circuit c = random_circuit(GetParam());
+  const ssta::DelayCalculator calc(c, {0.25, 0.0});
+  const std::vector<double> speed(static_cast<std::size_t>(c.num_nodes()), 1.0);
+  const auto delays = calc.all_delays(speed);
+  const double ind = ssta::run_ssta(c, delays).circuit_delay.mu;
+  const double can = ssta::run_canonical_ssta(c, delays).circuit_delay.mean();
+  ASSERT_LE(can, ind + 1e-9);
+}
+
+TEST_P(CircuitProperties, TighterDeadlineNeverNeedsLessArea) {
+  const Circuit c = random_circuit(GetParam(), 40);
+  core::SizingSpec spec;
+  spec.objective = core::Objective::min_area();
+  const ssta::DelayCalculator calc(c, spec.sigma_model);
+  std::vector<double> s(static_cast<std::size_t>(c.num_nodes()), spec.max_speed);
+  const double lo = ssta::run_ssta(calc, s).circuit_delay.mu;
+  std::fill(s.begin(), s.end(), 1.0);
+  const double hi = ssta::run_ssta(calc, s).circuit_delay.mu;
+
+  core::SizerOptions opt;
+  opt.method = core::Method::kReducedSpace;
+  double prev_area = 1e100;
+  for (double frac : {0.25, 0.5, 0.75}) {  // tightest first
+    spec.delay_constraint = core::DelayConstraint::at_most(lo + frac * (hi - lo));
+    const core::SizingResult r = core::Sizer(c, spec).run(opt);
+    ASSERT_TRUE(r.converged) << r.status;
+    ASSERT_LE(r.sum_speed, prev_area + 0.01 * prev_area);
+    prev_area = r.sum_speed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CircuitProperties, ::testing::Range(1, 7));
+
+// --- clark_min statistical validation -------------------------------------
+
+class ClarkMinVsMc : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClarkMinVsMc, MomentsMatchSampling) {
+  std::mt19937_64 rng(GetParam() * 101 + 7);
+  std::uniform_real_distribution<double> mu_d(-3.0, 3.0);
+  std::uniform_real_distribution<double> s_d(0.2, 2.0);
+  const NormalRV a = NormalRV::from_sigma(mu_d(rng), s_d(rng));
+  const NormalRV b = NormalRV::from_sigma(mu_d(rng), s_d(rng));
+  const NormalRV c = stat::clark_min(a, b);
+
+  std::normal_distribution<double> da(a.mu, a.sigma());
+  std::normal_distribution<double> db(b.mu, b.sigma());
+  const int n = 200000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double m = std::min(da(rng), db(rng));
+    sum += m;
+    sum2 += m * m;
+  }
+  const double mc_mu = sum / n;
+  const double mc_var = sum2 / n - mc_mu * mc_mu;
+  EXPECT_NEAR(c.mu, mc_mu, 0.02);
+  EXPECT_NEAR(c.var, mc_var, 0.05);
+  EXPECT_LE(c.mu, std::min(a.mu, b.mu) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClarkMinVsMc, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace statsize

@@ -1,0 +1,122 @@
+// Tests for statistical slack analysis and critical-path extraction.
+
+#include "ssta/slack.h"
+
+#include "netlist/generators.h"
+#include "ssta/ssta.h"
+#include "stat/clark.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace statsize::ssta {
+namespace {
+
+using netlist::Circuit;
+using netlist::NodeId;
+using netlist::NodeKind;
+using stat::NormalRV;
+
+TEST(ClarkMin, MirrorsClarkMax) {
+  const NormalRV a{2.0, 0.8};
+  const NormalRV b{3.0, 0.4};
+  const NormalRV mn = stat::clark_min(a, b);
+  const NormalRV mx = stat::clark_max({-a.mu, a.var}, {-b.mu, b.var});
+  EXPECT_DOUBLE_EQ(mn.mu, -mx.mu);
+  EXPECT_DOUBLE_EQ(mn.var, mx.var);
+  // E[min] <= min of means.
+  EXPECT_LE(mn.mu, std::min(a.mu, b.mu) + 1e-12);
+}
+
+TEST(SlackAnalysis, ChainSlacksAreUniformAndConsistent) {
+  // On a chain with deadline D, every node's slack mean equals
+  // D - mu(total path), and the slack variance equals the total path var
+  // (required and arrival cover complementary halves of the chain).
+  const Circuit c = netlist::make_chain(5);
+  const DelayCalculator calc(c, {0.25, 0.0});
+  const std::vector<double> speed(static_cast<std::size_t>(c.num_nodes()), 1.0);
+  const auto delays = calc.all_delays(speed);
+  const TimingReport timing = run_ssta(c, delays);
+  const double deadline = timing.circuit_delay.mu + 2.0;
+  const SlackReport slacks = compute_slacks(c, delays, timing, deadline);
+
+  for (NodeId id : c.topo_order()) {
+    const NormalRV& s = slacks.slack[static_cast<std::size_t>(id)];
+    EXPECT_NEAR(s.mu, 2.0, 1e-9) << "node " << id;
+    EXPECT_NEAR(s.var, timing.circuit_delay.var, 1e-9) << "node " << id;
+  }
+}
+
+TEST(SlackAnalysis, MeetProbabilityTracksDeadline) {
+  const Circuit c = netlist::make_tree_circuit();
+  const DelayCalculator calc(c, {0.25, 0.0});
+  const std::vector<double> speed(static_cast<std::size_t>(c.num_nodes()), 1.0);
+  const auto delays = calc.all_delays(speed);
+  const TimingReport timing = run_ssta(c, delays);
+  const NodeId out = c.outputs().front();
+
+  // Deadline at the mean arrival: ~50%; far above: ~100%; far below: ~0%.
+  const double mu = timing.circuit_delay.mu;
+  EXPECT_NEAR(compute_slacks(c, delays, timing, mu).meet_probability(out), 0.5, 1e-6);
+  EXPECT_GT(compute_slacks(c, delays, timing, mu + 10).meet_probability(out), 0.999);
+  EXPECT_LT(compute_slacks(c, delays, timing, mu - 10).meet_probability(out), 0.001);
+}
+
+TEST(SlackAnalysis, OffCriticalBranchHasMoreSlack) {
+  // Two parallel branches of different depth into one NAND: the shallow
+  // branch gets more mean slack.
+  const netlist::CellLibrary& lib = netlist::CellLibrary::standard();
+  netlist::Circuit c(lib);
+  const NodeId a = c.add_input("a");
+  const NodeId b = c.add_input("b");
+  const NodeId d1 = c.add_gate(lib.find("INV"), {a}, "deep1");
+  const NodeId d2 = c.add_gate(lib.find("INV"), {d1}, "deep2");
+  const NodeId d3 = c.add_gate(lib.find("INV"), {d2}, "deep3");
+  const NodeId sh = c.add_gate(lib.find("INV"), {b}, "shallow");
+  const NodeId out = c.add_gate(lib.find("NAND2"), {d3, sh}, "out");
+  c.mark_output(out);
+  c.finalize();
+
+  const DelayCalculator calc(c, {0.25, 0.0});
+  const std::vector<double> speed(static_cast<std::size_t>(c.num_nodes()), 1.0);
+  const auto delays = calc.all_delays(speed);
+  const TimingReport timing = run_ssta(c, delays);
+  const SlackReport slacks =
+      compute_slacks(c, delays, timing, timing.circuit_delay.mu + 1.0);
+  EXPECT_GT(slacks.slack[static_cast<std::size_t>(sh)].mu,
+            slacks.slack[static_cast<std::size_t>(d3)].mu + 0.5);
+
+  // And the critical path runs through the deep branch.
+  const auto path = extract_critical_path(c, timing);
+  ASSERT_GE(path.size(), 5u);
+  EXPECT_EQ(c.node(path.front()).kind, NodeKind::kPrimaryInput);
+  EXPECT_EQ(path.back(), out);
+  bool contains_deep = false;
+  for (NodeId id : path) contains_deep = contains_deep || id == d3;
+  EXPECT_TRUE(contains_deep);
+}
+
+TEST(SlackAnalysis, CriticalPathArrivalsAreMonotone) {
+  const Circuit c = netlist::make_mcnc_like("apex2");
+  const DelayCalculator calc(c, {0.25, 0.0});
+  const std::vector<double> speed(static_cast<std::size_t>(c.num_nodes()), 1.0);
+  const TimingReport timing = run_ssta(c, calc.all_delays(speed));
+  const auto path = extract_critical_path(c, timing);
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_EQ(c.node(path.front()).kind, NodeKind::kPrimaryInput);
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    EXPECT_GE(timing.arrival[static_cast<std::size_t>(path[i])].mu,
+              timing.arrival[static_cast<std::size_t>(path[i - 1])].mu);
+  }
+}
+
+TEST(SlackAnalysis, RejectsMisindexedInputs) {
+  const Circuit c = netlist::make_chain(2);
+  const TimingReport empty;
+  std::vector<NormalRV> delays(static_cast<std::size_t>(c.num_nodes()));
+  EXPECT_THROW(compute_slacks(c, delays, empty, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace statsize::ssta

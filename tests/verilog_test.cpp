@@ -1,0 +1,131 @@
+// Tests for the structural Verilog reader.
+
+#include "netlist/verilog.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace statsize::netlist {
+namespace {
+
+Circuit parse(const std::string& text) {
+  std::istringstream in(text);
+  return read_verilog(in);
+}
+
+TEST(Verilog, NamedConnections) {
+  const Circuit c = parse(R"(
+// a tiny netlist
+module top (a, b, y);
+  input a, b;
+  output y;
+  wire n1;
+  NAND2 g1 (.A(a), .B(b), .Y(n1));
+  INV   g2 (.A(n1), .Y(y));
+endmodule
+)");
+  EXPECT_EQ(c.num_inputs(), 2);
+  EXPECT_EQ(c.num_gates(), 2);
+  EXPECT_EQ(c.outputs().size(), 1u);
+  EXPECT_EQ(c.node(c.outputs().front()).name, "g2");
+  EXPECT_EQ(c.cell_of(c.outputs().front()).name, "INV");
+}
+
+TEST(Verilog, PositionalConnectionsOutputFirst) {
+  const Circuit c = parse(
+      "module t(a,b,y); input a,b; output y; NAND2 g1(y, a, b); endmodule\n");
+  EXPECT_EQ(c.num_gates(), 1);
+  EXPECT_EQ(c.cell_of(c.outputs().front()).num_inputs, 2);
+}
+
+TEST(Verilog, OutOfOrderInstancesAndComments) {
+  const Circuit c = parse(R"(
+module t (a, y);
+  input a; output y;
+  wire n1; /* block
+              comment */
+  INV g2 (.A(n1), .Y(y));   // uses n1 before its driver appears
+  INV g1 (.A(a), .Y(n1));
+endmodule
+)");
+  EXPECT_EQ(c.num_gates(), 2);
+  EXPECT_EQ(c.depth(), 2);
+}
+
+TEST(Verilog, UnknownCellFallsBackOnPinCount) {
+  const Circuit c = parse(
+      "module t(a,b,y); input a,b; output y; ND2X4 g1(.A(a), .B(b), .Y(y)); endmodule\n");
+  EXPECT_EQ(c.cell_of(c.outputs().front()).num_inputs, 2);
+}
+
+TEST(Verilog, OutputPinAliases) {
+  for (const char* pin : {"Y", "Z", "OUT", "O", "Q", "y", "out"}) {
+    const std::string text = std::string("module t(a,y); input a; output y; INV g(.A(a), .") +
+                             pin + "(y)); endmodule\n";
+    EXPECT_NO_THROW(parse(text)) << pin;
+  }
+}
+
+TEST(Verilog, Errors) {
+  // Two drivers.
+  EXPECT_THROW(parse("module t(a,y); input a; output y;"
+                     " INV g1(.A(a), .Y(y)); INV g2(.A(a), .Y(y)); endmodule\n"),
+               std::runtime_error);
+  // Undriven net.
+  EXPECT_THROW(parse("module t(a,y); input a; output y; INV g1(.A(ghost), .Y(y)); endmodule\n"),
+               std::runtime_error);
+  // Combinational cycle.
+  EXPECT_THROW(parse("module t(a,y); input a; output y; wire n1;"
+                     " NAND2 g1(.A(a), .B(y), .Y(n1)); INV g2(.A(n1), .Y(y)); endmodule\n"),
+               std::runtime_error);
+  // Mixed connection styles.
+  EXPECT_THROW(parse("module t(a,y); input a; output y; INV g1(y, .A(a)); endmodule\n"),
+               std::runtime_error);
+  // Buses unsupported.
+  EXPECT_THROW(parse("module t(a,y); input [3:0] a; output y; endmodule\n"),
+               std::runtime_error);
+  // Pin-count mismatch against a known cell.
+  EXPECT_THROW(parse("module t(a,y); input a; output y; NAND2 g1(.A(a), .Y(y)); endmodule\n"),
+               std::runtime_error);
+  // No output declared.
+  EXPECT_THROW(parse("module t(a); input a; INV g1(.A(a), .Y(n)); endmodule\n"),
+               std::runtime_error);
+}
+
+TEST(Verilog, WorksEndToEndWithSizing) {
+  // The imported circuit must be directly usable by the timing engines.
+  const Circuit c = parse(R"(
+module adderish (a, b, cin, s, cout);
+  input a, b, cin;
+  output s, cout;
+  wire axb, ab, cx;
+  XOR2  x1 (.A(a), .B(b), .Y(axb));
+  XOR2  x2 (.A(axb), .B(cin), .Y(s));
+  AND2  a1 (.A(a), .B(b), .Y(ab));
+  AND2  a2 (.A(axb), .B(cin), .Y(cx));
+  OR2   o1 (.A(ab), .B(cx), .Y(cout));
+endmodule
+)");
+  EXPECT_EQ(c.num_gates(), 5);
+  EXPECT_EQ(c.outputs().size(), 2u);
+  EXPECT_EQ(c.depth(), 3);
+}
+
+TEST(Verilog, WriteReadRoundTrip) {
+  const Circuit original = parse(
+      "module t(a,b,y); input a,b; output y; wire n1;\n"
+      "NAND2 g1(.A(a), .B(b), .Y(n1)); NOR2 g2(.A(n1), .B(b), .Y(y)); endmodule\n");
+  std::ostringstream out;
+  write_verilog(out, original, "t2");
+  std::istringstream in(out.str());
+  const Circuit rt = read_verilog(in);
+  // The writer adds one BUF pad per primary output.
+  EXPECT_EQ(rt.num_gates(), original.num_gates() + 1);
+  EXPECT_EQ(rt.num_inputs(), original.num_inputs());
+  EXPECT_EQ(rt.outputs().size(), original.outputs().size());
+}
+
+}  // namespace
+}  // namespace statsize::netlist

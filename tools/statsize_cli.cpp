@@ -1,0 +1,212 @@
+// statsize — command-line gate sizer under the statistical delay model.
+//
+// Examples:
+//   statsize --circuit tree --objective delay --sigma-weight 3 --report
+//   statsize --circuit my.blif --objective area --max-delay 120 \
+//            --constraint-sigma-weight 3 --mc 20000 --sizes-out sized.tsv
+//   statsize --circuit k2 --objective power --max-delay 140 --method reduced
+//
+// The tool loads a circuit (BLIF file or a built-in generator), runs the
+// requested sizing, prints the resulting delay distribution, and optionally:
+//   * prints a statistical timing report with slacks and the critical path,
+//   * verifies the result against Monte Carlo,
+//   * uses the correlation-aware canonical engine for the analysis section,
+//   * writes the per-gate speed factors to a TSV file.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/sizer.h"
+#include "netlist/blif.h"
+#include "netlist/verilog.h"
+#include "netlist/generators.h"
+#include "ssta/activity.h"
+#include "ssta/canonical.h"
+#include "ssta/monte_carlo.h"
+#include "ssta/report.h"
+#include "ssta/slack.h"
+#include "ssta/ssta.h"
+#include "util/args.h"
+
+namespace {
+
+using namespace statsize;
+
+netlist::Circuit load_circuit(const std::string& name) {
+  if (name == "tree") return netlist::make_tree_circuit();
+  if (name == "apex1" || name == "apex2" || name == "k2") return netlist::make_mcnc_like(name);
+  if (name.size() > 2 && name.rfind(".v") == name.size() - 2) {
+    return netlist::read_verilog_file(name);
+  }
+  if (name.rfind(".blif") != std::string::npos || name.find('/') != std::string::npos) {
+    return netlist::read_blif_file(name);
+  }
+  throw std::invalid_argument("unknown circuit '" + name +
+                              "' (use tree|apex1|apex2|k2 or a .blif/.v path)");
+}
+
+void print_report(const netlist::Circuit& c, const core::SizingSpec& spec,
+                  const core::SizingResult& r, bool canonical) {
+  const ssta::DelayCalculator calc(c, spec.sigma_model);
+  const auto delays = calc.all_delays(r.speed);
+  const ssta::TimingReport timing = ssta::run_ssta(c, delays);
+
+  std::printf("\n--- timing report (%s engine) ---\n",
+              canonical ? "canonical, correlation-aware" : "independence");
+  stat::NormalRV total = timing.circuit_delay;
+  if (canonical) total = ssta::run_canonical_ssta(c, delays).circuit_delay_normal();
+  std::printf("circuit delay: mu=%.4f sigma=%.4f  (mu+3sigma=%.4f)\n", total.mu, total.sigma(),
+              total.quantile_offset(3.0));
+
+  const double deadline =
+      spec.delay_constraint ? spec.delay_constraint->bound : total.quantile_offset(3.0);
+  const ssta::SlackReport slacks = ssta::compute_slacks(c, delays, timing, deadline);
+
+  std::printf("\ncritical path (deadline %.3f):\n", deadline);
+  std::printf("%-12s %-8s %8s %10s %10s %10s %8s\n", "node", "cell", "S", "arr.mu",
+              "arr.sigma", "slack.mu", "P(meet)");
+  for (netlist::NodeId id : ssta::extract_critical_path(c, timing)) {
+    const netlist::Node& n = c.node(id);
+    const stat::NormalRV& arr = timing.arrival[static_cast<std::size_t>(id)];
+    const stat::NormalRV& sl = slacks.slack[static_cast<std::size_t>(id)];
+    std::printf("%-12s %-8s %8.3f %10.4f %10.4f %10.4f %7.1f%%\n", n.name.c_str(),
+                n.kind == netlist::NodeKind::kGate ? c.cell_of(id).name.c_str() : "(input)",
+                n.kind == netlist::NodeKind::kGate ? r.speed[static_cast<std::size_t>(id)] : 1.0,
+                arr.mu, arr.sigma(), sl.mu, 100.0 * slacks.meet_probability(id));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(
+      "statsize — gate sizing under a statistical delay model (Jacobs & Berkelaar, DATE 2000)");
+  args.add_string("circuit", "tree|apex1|apex2|k2 or a BLIF/Verilog file path", "tree");
+  args.add_string("objective", "delay|area|power|sigma-min|sigma-max", "delay");
+  args.add_double("sigma-weight", "k in the mu + k sigma delay objective", 0.0);
+  args.add_double("max-delay", "constraint: mu + c-sigma-weight * sigma <= this");
+  args.add_double("pin-delay", "constraint: mu pinned exactly to this value");
+  args.add_double("constraint-sigma-weight", "sigma weight inside --max-delay", 0.0);
+  args.add_string("method", "full|reduced|auto", "auto");
+  args.add_double("max-speed", "upper sizing limit (the paper's `limit`)", 3.0);
+  args.add_double("kappa", "gate sigma model: sigma = kappa * mu + offset", 0.25);
+  args.add_double("sigma-offset", "additive term of the gate sigma model", 0.0);
+  args.add_flag("nary-max", "full-space only: n-ary max elements (future-work mode)");
+  args.add_flag("report", "print timing report, slacks and critical path");
+  args.add_flag("canonical", "correlation-aware analysis in the report");
+  args.add_int("mc", "verify with this many Monte Carlo samples", 0);
+  args.add_string("sizes-out", "write per-gate speed factors to this TSV file");
+  args.add_string("json-out", "write the full analysis as JSON to this file");
+  args.add_flag("verbose", "solver progress output");
+
+  try {
+    if (!args.parse(argc, argv)) return 0;
+
+    const netlist::Circuit circuit = load_circuit(args.get_string("circuit"));
+    std::printf("circuit: %d gates, %d inputs, %zu outputs, depth %d\n", circuit.num_gates(),
+                circuit.num_inputs(), circuit.outputs().size(), circuit.depth());
+
+    core::SizingSpec spec;
+    spec.max_speed = args.get_double("max-speed");
+    spec.sigma_model = {args.get_double("kappa"), args.get_double("sigma-offset")};
+    spec.nary_fanin_max = args.get_flag("nary-max");
+
+    const std::string obj = args.get_string("objective");
+    if (obj == "delay") {
+      spec.objective = core::Objective::min_delay(args.get_double("sigma-weight"));
+    } else if (obj == "area") {
+      spec.objective = core::Objective::min_area();
+    } else if (obj == "power") {
+      spec.objective = core::Objective::min_weighted(ssta::power_weights(circuit));
+    } else if (obj == "sigma-min") {
+      spec.objective = core::Objective::min_sigma();
+    } else if (obj == "sigma-max") {
+      spec.objective = core::Objective::max_sigma();
+    } else {
+      throw std::invalid_argument("unknown objective '" + obj + "'");
+    }
+    if (args.has("max-delay")) {
+      spec.delay_constraint = core::DelayConstraint::at_most(
+          args.get_double("max-delay"), args.get_double("constraint-sigma-weight"));
+    } else if (args.has("pin-delay")) {
+      spec.delay_constraint = core::DelayConstraint::exactly(args.get_double("pin-delay"));
+    }
+
+    core::SizerOptions opt;
+    const std::string method = args.get_string("method");
+    if (method == "full") {
+      opt.method = core::Method::kFullSpace;
+    } else if (method == "reduced") {
+      opt.method = core::Method::kReducedSpace;
+    } else if (method == "auto") {
+      opt.method =
+          circuit.num_gates() <= 300 ? core::Method::kFullSpace : core::Method::kReducedSpace;
+    } else {
+      throw std::invalid_argument("unknown method '" + method + "'");
+    }
+    opt.verbose = args.get_flag("verbose");
+
+    std::printf("objective: %s%s%s, method: %s\n", spec.objective.description().c_str(),
+                spec.delay_constraint ? ", s.t. " : "",
+                spec.delay_constraint ? spec.delay_constraint->description().c_str() : "",
+                method.c_str());
+
+    const core::SizingResult r = core::Sizer(circuit, spec).run(opt);
+    std::printf("\nstatus: %s (%.2f s, %d iterations)\n", r.status.c_str(), r.wall_seconds,
+                r.iterations);
+    std::printf("result: mu=%.4f sigma=%.4f mu+3sigma=%.4f | sum S=%.2f area=%.2f\n",
+                r.circuit_delay.mu, r.circuit_delay.sigma(), r.delay_metric(3.0), r.sum_speed,
+                r.area);
+    if (spec.delay_constraint) {
+      std::printf("constraint violation: %.3e\n", r.constraint_violation);
+    }
+
+    if (args.get_flag("report")) print_report(circuit, spec, r, args.get_flag("canonical"));
+
+    if (const int samples = args.get_int("mc"); samples > 0) {
+      const ssta::DelayCalculator calc(circuit, spec.sigma_model);
+      ssta::MonteCarloOptions mco;
+      mco.num_samples = samples;
+      const ssta::MonteCarloResult mc =
+          ssta::run_monte_carlo(circuit, calc.all_delays(r.speed), mco);
+      std::printf("\nMonte Carlo (%d samples): mean=%.4f stddev=%.4f p99=%.4f\n", samples,
+                  mc.mean, mc.stddev, mc.quantile(0.99));
+      if (spec.delay_constraint && !spec.delay_constraint->equality) {
+        std::printf("realized yield at %.3f: %.2f%%\n", spec.delay_constraint->bound,
+                    100.0 * mc.yield(spec.delay_constraint->bound));
+      }
+    }
+
+    if (args.has("json-out")) {
+      const std::string path = args.get_string("json-out");
+      std::ofstream out(path);
+      if (!out) throw std::runtime_error("cannot write " + path);
+      ssta::JsonReportOptions jopt;
+      jopt.include_canonical = args.get_flag("canonical");
+      if (spec.delay_constraint) jopt.deadline = spec.delay_constraint->bound;
+      const ssta::DelayCalculator calc(circuit, spec.sigma_model);
+      ssta::write_json_report(out, circuit, calc, r.speed, jopt);
+      std::printf("wrote %s\n", path.c_str());
+    }
+
+    if (args.has("sizes-out")) {
+      const std::string path = args.get_string("sizes-out");
+      std::ofstream out(path);
+      if (!out) throw std::runtime_error("cannot write " + path);
+      out << "# gate\tcell\tspeed_factor\n";
+      for (netlist::NodeId id : circuit.topo_order()) {
+        if (circuit.node(id).kind != netlist::NodeKind::kGate) continue;
+        out << circuit.node(id).name << "\t" << circuit.cell_of(id).name << "\t"
+            << r.speed[static_cast<std::size_t>(id)] << "\n";
+      }
+      std::printf("wrote %s\n", path.c_str());
+    }
+    return r.converged ? 0 : 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n(use --help for usage)\n", e.what());
+    return 1;
+  }
+}
