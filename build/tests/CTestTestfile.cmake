@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/autodiff_test[1]_include.cmake")
+include("/root/repo/build/tests/stat_test[1]_include.cmake")
+include("/root/repo/build/tests/clark_derivative_test[1]_include.cmake")
+include("/root/repo/build/tests/netlist_test[1]_include.cmake")
+include("/root/repo/build/tests/ssta_test[1]_include.cmake")
+include("/root/repo/build/tests/nlp_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/sizer_test[1]_include.cmake")
+include("/root/repo/build/tests/activity_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/canonical_test[1]_include.cmake")
+include("/root/repo/build/tests/slack_test[1]_include.cmake")
+include("/root/repo/build/tests/args_test[1]_include.cmake")
+include("/root/repo/build/tests/corner_baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/verilog_test[1]_include.cmake")
+include("/root/repo/build/tests/json_test[1]_include.cmake")
