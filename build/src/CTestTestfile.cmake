@@ -11,3 +11,4 @@ subdirs("ssta")
 subdirs("nlp")
 subdirs("core")
 subdirs("util")
+subdirs("analyze")

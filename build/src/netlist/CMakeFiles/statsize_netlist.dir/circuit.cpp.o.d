@@ -135,4 +135,6 @@ src/netlist/CMakeFiles/statsize_netlist.dir/circuit.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/stdexcept \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h
+ /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
+ /root/repo/src/analyze/circuit_lint.h \
+ /root/repo/src/analyze/diagnostic.h

@@ -22,6 +22,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/stat/CMakeFiles/statsize_stat.dir/DependInfo.cmake"
   "/root/repo/build/src/netlist/CMakeFiles/statsize_netlist.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/statsize_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/analyze/CMakeFiles/statsize_analyze_base.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -14,6 +14,8 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/netlist/CMakeFiles/statsize_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/analyze/CMakeFiles/statsize_analyze_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/statsize_util.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

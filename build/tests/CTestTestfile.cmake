@@ -22,3 +22,6 @@ include("/root/repo/build/tests/property_test[1]_include.cmake")
 include("/root/repo/build/tests/baselines_test[1]_include.cmake")
 include("/root/repo/build/tests/verilog_test[1]_include.cmake")
 include("/root/repo/build/tests/json_test[1]_include.cmake")
+include("/root/repo/build/tests/analyze_test[1]_include.cmake")
+add_test(lint_selfcheck "/root/repo/scripts/lint_selfcheck.sh" "/root/repo/build/tools/statsize" "/root/repo")
+set_tests_properties(lint_selfcheck PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;68;add_test;/root/repo/tests/CMakeLists.txt;0;")

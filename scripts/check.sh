@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Full hygiene gate: configure with AddressSanitizer + UndefinedBehaviorSanitizer,
+# build everything, run the whole test suite under the sanitizers, then run
+# clang-tidy over the sources when it is installed (skipped with a note
+# otherwise — the curated checks live in .clang-tidy).
+#
+# Usage: scripts/check.sh [build-dir]   (default: build-check)
+set -eu
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build-check}"
+
+echo "== configure (ASan+UBSan) =="
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
+  -DSTATSIZE_SANITIZE=address,undefined \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+echo "== ctest under sanitizers =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "== clang-tidy =="
+if command -v clang-tidy > /dev/null 2>&1; then
+  # Headers are covered transitively; benches/examples are excluded to keep
+  # the run focused on the library and tool sources.
+  find "$REPO_ROOT/src" "$REPO_ROOT/tools" -name '*.cpp' -print0 |
+    xargs -0 -P "$(nproc)" -n 4 clang-tidy -p "$BUILD_DIR" --quiet
+  echo "clang-tidy clean"
+else
+  echo "clang-tidy not installed; skipped (checks are configured in .clang-tidy)"
+fi
+
+echo "all checks passed"

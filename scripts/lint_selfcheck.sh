@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Self-check for the `statsize lint` subcommand, run as a ctest:
+#   1. every built-in and shipped example circuit must lint without errors
+#      (exit < 3; warnings and notes are tolerated),
+#   2. the --demo-defects circuit must produce errors (exit 3) whose JSON
+#      names one rule from each analysis family.
+#
+# Usage: lint_selfcheck.sh <path-to-statsize-binary> <repo-root>
+set -u
+
+STATSIZE="$1"
+REPO_ROOT="$2"
+failures=0
+
+check_clean() {
+  local target="$1"
+  shift
+  "$STATSIZE" lint --circuit "$target" "$@" > /tmp/lint_out.$$ 2>&1
+  local code=$?
+  if [ "$code" -ge 3 ] || [ "$code" -eq 1 ]; then
+    echo "FAIL: lint of '$target' exited $code (expected < 3)"
+    cat /tmp/lint_out.$$
+    failures=$((failures + 1))
+  else
+    echo "ok: $target (exit $code)"
+  fi
+}
+
+# Built-in circuits. The derivative sweep self-limits on large circuits via
+# --derivative-cap, so k2 (1692 gates) stays fast.
+for c in tree apex1 apex2 k2; do
+  check_clean "$c"
+done
+
+# Every BLIF shipped under examples/.
+for f in "$REPO_ROOT"/examples/circuits/*.blif; do
+  [ -e "$f" ] || continue
+  check_clean "$f"
+done
+
+# The deliberately broken demo must fire: exit 3 and one rule per family.
+json="$("$STATSIZE" lint --demo-defects --json - 2>/dev/null)"
+code=$?
+if [ "$code" -ne 3 ]; then
+  echo "FAIL: --demo-defects exited $code (expected 3)"
+  failures=$((failures + 1))
+fi
+for rule in CIR001 CIR006 LIB001; do
+  if ! printf '%s' "$json" | grep -q "\"id\": \"$rule\""; then
+    echo "FAIL: --demo-defects JSON is missing rule $rule"
+    failures=$((failures + 1))
+  fi
+done
+[ "$failures" -eq 0 ] && echo "ok: demo-defects fires (exit 3, CIR001+CIR006+LIB001)"
+
+rm -f /tmp/lint_out.$$
+if [ "$failures" -ne 0 ]; then
+  echo "$failures lint self-check failure(s)"
+  exit 1
+fi
+echo "lint self-check passed"

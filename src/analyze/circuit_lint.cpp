@@ -1,0 +1,258 @@
+#include "analyze/circuit_lint.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <string>
+
+namespace statsize::analyze {
+
+namespace {
+
+using netlist::Circuit;
+using netlist::kInvalidNode;
+using netlist::Node;
+using netlist::NodeId;
+using netlist::NodeKind;
+
+std::string locus_of(const Circuit& c, NodeId id) {
+  const Node& n = c.node(id);
+  return (n.kind == NodeKind::kGate ? "gate '" : "input '") + n.name + "'";
+}
+
+/// Iterative Tarjan SCC over the fanout edges; returns the component id of
+/// every node (components are emitted in reverse topological order, but only
+/// membership matters here).
+std::vector<int> strongly_connected_components(const std::vector<std::vector<NodeId>>& fanouts) {
+  const int n = static_cast<int>(fanouts.size());
+  std::vector<int> comp(static_cast<std::size_t>(n), -1);
+  std::vector<int> index(static_cast<std::size_t>(n), -1);
+  std::vector<int> lowlink(static_cast<std::size_t>(n), 0);
+  std::vector<char> on_stack(static_cast<std::size_t>(n), 0);
+  std::vector<NodeId> stack;
+  struct Frame {
+    NodeId v;
+    std::size_t next_edge;
+  };
+  std::vector<Frame> call;
+  int next_index = 0;
+  int next_comp = 0;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[static_cast<std::size_t>(root)] >= 0) continue;
+    call.push_back({root, 0});
+    while (!call.empty()) {
+      Frame& f = call.back();
+      const std::size_t v = static_cast<std::size_t>(f.v);
+      if (f.next_edge == 0) {
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(f.v);
+        on_stack[v] = 1;
+      }
+      if (f.next_edge < fanouts[v].size()) {
+        const NodeId w = fanouts[v][f.next_edge++];
+        const std::size_t wi = static_cast<std::size_t>(w);
+        if (index[wi] < 0) {
+          call.push_back({w, 0});
+        } else if (on_stack[wi]) {
+          lowlink[v] = std::min(lowlink[v], index[wi]);
+        }
+        continue;
+      }
+      if (lowlink[v] == index[v]) {
+        NodeId w;
+        do {
+          w = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<std::size_t>(w)] = 0;
+          comp[static_cast<std::size_t>(w)] = next_comp;
+        } while (w != f.v);
+        ++next_comp;
+      }
+      const int low_v = lowlink[v];
+      call.pop_back();
+      if (!call.empty()) {
+        const std::size_t parent = static_cast<std::size_t>(call.back().v);
+        lowlink[parent] = std::min(lowlink[parent], low_v);
+      }
+    }
+  }
+  return comp;
+}
+
+/// Walks fanin edges inside one SCC to recover an actual cycle, returned in
+/// signal-flow order starting and ending at the same node.
+std::vector<NodeId> representative_cycle(const Circuit& c, const std::vector<int>& comp,
+                                         int target_comp, NodeId start) {
+  std::vector<NodeId> path;
+  std::vector<int> pos_in_path(static_cast<std::size_t>(c.num_nodes()), -1);
+  NodeId cur = start;
+  while (pos_in_path[static_cast<std::size_t>(cur)] < 0) {
+    pos_in_path[static_cast<std::size_t>(cur)] = static_cast<int>(path.size());
+    path.push_back(cur);
+    NodeId next = kInvalidNode;
+    for (NodeId f : c.node(cur).fanins) {
+      if (f >= 0 && f < c.num_nodes() && comp[static_cast<std::size_t>(f)] == target_comp) {
+        next = f;
+        break;
+      }
+    }
+    if (next == kInvalidNode) break;  // defensive: should not happen in a nontrivial SCC
+    cur = next;
+  }
+  std::vector<NodeId> cycle(path.begin() + pos_in_path[static_cast<std::size_t>(cur)],
+                            path.end());
+  // The walk followed fanins (reverse signal flow); flip it for the message.
+  std::reverse(cycle.begin(), cycle.end());
+  return cycle;
+}
+
+}  // namespace
+
+Report lint_circuit_structure(const Circuit& circuit, std::vector<NodeId>* topo_out) {
+  Report report;
+  const int n = circuit.num_nodes();
+  const netlist::CellLibrary& lib = circuit.library();
+
+  // ---- Per-node checks; collect the valid fanin edges as we go.
+  std::vector<std::vector<NodeId>> fanouts(static_cast<std::size_t>(n));
+  std::vector<int> indegree(static_cast<std::size_t>(n), 0);
+  bool edges_complete = true;
+  std::map<std::string, NodeId> name_seen;
+  for (NodeId id = 0; id < n; ++id) {
+    const Node& node = circuit.node(id);
+    const std::size_t i = static_cast<std::size_t>(id);
+
+    if (const auto [it, fresh] = name_seen.emplace(node.name, id); !fresh) {
+      report.add("CIR010", locus_of(circuit, id),
+                 "name also used by node " + std::to_string(it->second) + " ('" +
+                     circuit.node(it->second).name + "')",
+                 "give every node a unique name so reports and size tables are unambiguous");
+    }
+
+    if (node.wire_load < 0.0 || (node.is_output && node.pad_load < 0.0)) {
+      report.add("CIR008", locus_of(circuit, id),
+                 node.wire_load < 0.0
+                     ? "wire load " + std::to_string(node.wire_load) + " is negative"
+                     : "pad load " + std::to_string(node.pad_load) + " is negative",
+                 "loads enter eq. 14 as capacitances and must be non-negative");
+    }
+    if (node.is_output && node.kind == NodeKind::kGate && node.pad_load == 0.0) {
+      report.add("CIR009", locus_of(circuit, id), "primary output carries zero pad load",
+                 "pass a pad capacitance to mark_output so sizing sees the real output load");
+    }
+
+    if (node.kind != NodeKind::kGate) continue;
+
+    if (node.cell < 0 || node.cell >= lib.size()) {
+      report.add("CIR003", locus_of(circuit, id),
+                 "cell id " + std::to_string(node.cell) + " is outside the library (size " +
+                     std::to_string(lib.size()) + ")");
+    } else if (static_cast<int>(node.fanins.size()) != lib.cell(node.cell).num_inputs) {
+      report.add("CIR003", locus_of(circuit, id),
+                 "has " + std::to_string(node.fanins.size()) + " fanins but cell " +
+                     lib.cell(node.cell).name + " expects " +
+                     std::to_string(lib.cell(node.cell).num_inputs));
+    }
+
+    for (std::size_t pin = 0; pin < node.fanins.size(); ++pin) {
+      const NodeId f = node.fanins[pin];
+      if (f == kInvalidNode) {
+        report.add("CIR002", locus_of(circuit, id),
+                   "input pin " + std::to_string(pin) + " is unconnected",
+                   "wire every deferred gate with set_fanin before finalize()");
+        edges_complete = false;
+      } else if (f < 0 || f >= n) {
+        report.add("CIR002", locus_of(circuit, id),
+                   "input pin " + std::to_string(pin) + " references node id " +
+                       std::to_string(f) + ", which does not exist");
+        edges_complete = false;
+      } else {
+        fanouts[static_cast<std::size_t>(f)].push_back(id);
+        ++indegree[i];
+      }
+    }
+  }
+
+  if (circuit.outputs().empty()) {
+    report.add("CIR004", "circuit", "no node is marked as a primary output",
+               "call mark_output on every pad-driving node before finalize()");
+  }
+
+  // ---- Topological order (Kahn, min-id first so fanin-ordered construction
+  // keeps identity order) and cycle extraction.
+  std::priority_queue<NodeId, std::vector<NodeId>, std::greater<NodeId>> ready;
+  for (NodeId id = 0; id < n; ++id) {
+    if (indegree[static_cast<std::size_t>(id)] == 0) ready.push(id);
+  }
+  std::vector<NodeId> order;
+  order.reserve(static_cast<std::size_t>(n));
+  while (!ready.empty()) {
+    const NodeId id = ready.top();
+    ready.pop();
+    order.push_back(id);
+    for (NodeId fo : fanouts[static_cast<std::size_t>(id)]) {
+      if (--indegree[static_cast<std::size_t>(fo)] == 0) ready.push(fo);
+    }
+  }
+  const bool acyclic = static_cast<int>(order.size()) == n;
+  if (!acyclic) {
+    const std::vector<int> comp = strongly_connected_components(fanouts);
+    std::vector<int> comp_size(static_cast<std::size_t>(n), 0);
+    for (int cid : comp) ++comp_size[static_cast<std::size_t>(cid)];
+    std::vector<char> reported(static_cast<std::size_t>(n), 0);
+    for (NodeId id = 0; id < n; ++id) {
+      const int cid = comp[static_cast<std::size_t>(id)];
+      if (reported[static_cast<std::size_t>(cid)]) continue;
+      const bool self_loop =
+          std::find(circuit.node(id).fanins.begin(), circuit.node(id).fanins.end(), id) !=
+          circuit.node(id).fanins.end();
+      if (comp_size[static_cast<std::size_t>(cid)] < 2 && !self_loop) continue;
+      reported[static_cast<std::size_t>(cid)] = 1;
+      std::string chain;
+      const std::vector<NodeId> cycle = representative_cycle(circuit, comp, cid, id);
+      for (NodeId v : cycle) chain += circuit.node(v).name + " -> ";
+      chain += circuit.node(cycle.front()).name;
+      report.add("CIR001", locus_of(circuit, id), "combinational cycle: " + chain,
+                 "statistical timing propagation (eq. 4) requires an acyclic netlist; break "
+                 "the loop or register it");
+    }
+  }
+  if (topo_out && acyclic && edges_complete) *topo_out = std::move(order);
+
+  // ---- Reachability from the primary outputs (over valid fanin edges).
+  std::vector<char> live(static_cast<std::size_t>(n), 0);
+  std::vector<NodeId> stack(circuit.outputs().begin(), circuit.outputs().end());
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    if (id < 0 || id >= n || live[static_cast<std::size_t>(id)]) continue;
+    live[static_cast<std::size_t>(id)] = 1;
+    for (NodeId f : circuit.node(id).fanins) {
+      if (f >= 0 && f < n) stack.push_back(f);
+    }
+  }
+  for (NodeId id = 0; id < n; ++id) {
+    const Node& node = circuit.node(id);
+    const bool fanout_free = fanouts[static_cast<std::size_t>(id)].empty();
+    if (node.kind == NodeKind::kGate && !live[static_cast<std::size_t>(id)]) {
+      if (fanout_free && !node.is_output) {
+        report.add("CIR006", locus_of(circuit, id), "drives nothing and is not an output",
+                   "remove the gate or mark it as a primary output");
+      } else {
+        report.add("CIR005", locus_of(circuit, id),
+                   "none of its transitive fanout reaches a primary output",
+                   "the gate's speed factor would be an unconstrained NLP variable; remove the "
+                   "dead logic");
+      }
+    }
+    if (node.kind == NodeKind::kPrimaryInput && fanout_free && !node.is_output) {
+      report.add("CIR007", locus_of(circuit, id), "drives no gate",
+                 "unused inputs are harmless but usually indicate an import mismatch");
+    }
+  }
+
+  return report;
+}
+
+}  // namespace statsize::analyze

@@ -1,0 +1,31 @@
+// Circuit structural lint (rules CIR001..CIR010).
+//
+// Works on finalized AND unfinalized circuits: it derives its own fanout
+// lists and indegrees from the fanin edges, runs Kahn's algorithm for a
+// topological order, extracts the actual gates of every combinational cycle
+// (via strongly-connected components) instead of reporting a bare "cycle",
+// and checks reachability, pin wiring, loads and naming.
+//
+// Layering note: Circuit::finalize() routes its structural validation through
+// lint_circuit_structure, so this translation unit must stay link-independent
+// of statsize_netlist — it may only use the Circuit/CellLibrary accessors
+// that are defined inline in their headers.
+
+#pragma once
+
+#include <vector>
+
+#include "analyze/diagnostic.h"
+#include "netlist/circuit.h"
+
+namespace statsize::analyze {
+
+/// Full structural audit. If `topo_out` is non-null and the circuit is
+/// structurally sound (no cycles, all pins wired to valid nodes), it receives
+/// a dependency-respecting topological order — the lexicographically smallest
+/// one, so circuits built in fanin-before-fanout order keep the identity
+/// ordering the rest of the codebase was written against.
+Report lint_circuit_structure(const netlist::Circuit& circuit,
+                              std::vector<netlist::NodeId>* topo_out = nullptr);
+
+}  // namespace statsize::analyze

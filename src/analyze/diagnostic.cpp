@@ -1,0 +1,126 @@
+#include "analyze/diagnostic.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "analyze/registry.h"
+#include "util/json.h"
+
+namespace statsize::analyze {
+
+std::string_view severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "error";
+}
+
+void Report::add(Diagnostic diagnostic) { diags_.push_back(std::move(diagnostic)); }
+
+void Report::add(std::string_view rule_id, std::string locus, std::string message,
+                 std::string hint) {
+  Diagnostic d;
+  d.id = std::string(rule_id);
+  const RuleInfo* rule = find_rule(rule_id);
+  d.severity = rule ? rule->severity : Severity::kError;
+  d.locus = std::move(locus);
+  d.message = std::move(message);
+  d.hint = std::move(hint);
+  diags_.push_back(std::move(d));
+}
+
+void Report::merge(Report other) {
+  diags_.insert(diags_.end(), std::make_move_iterator(other.diags_.begin()),
+                std::make_move_iterator(other.diags_.end()));
+}
+
+int Report::count(Severity severity) const {
+  int n = 0;
+  for (const Diagnostic& d : diags_) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+Severity Report::max_severity() const {
+  Severity worst = Severity::kNote;
+  for (const Diagnostic& d : diags_) worst = std::max(worst, d.severity);
+  return worst;
+}
+
+int Report::exit_code() const {
+  switch (max_severity()) {
+    case Severity::kError:
+      return 3;
+    case Severity::kWarning:
+      return 2;
+    case Severity::kNote:
+      return 0;
+  }
+  return 3;
+}
+
+std::string Report::summary() const {
+  return std::to_string(count(Severity::kError)) + " errors, " +
+         std::to_string(count(Severity::kWarning)) + " warnings, " +
+         std::to_string(count(Severity::kNote)) + " notes";
+}
+
+void Report::print(std::ostream& out) const {
+  for (const Diagnostic& d : diags_) {
+    out << severity_name(d.severity) << ": [" << d.id << "] " << d.locus << ": " << d.message
+        << "\n";
+    if (!d.hint.empty()) out << "    hint: " << d.hint << "\n";
+  }
+  out << "summary: " << summary() << "\n";
+}
+
+std::string Report::errors_text() const {
+  std::string text;
+  for (const Diagnostic& d : diags_) {
+    if (d.severity != Severity::kError) continue;
+    if (!text.empty()) text += "\n";
+    text += "[" + d.id + "] " + d.locus + ": " + d.message;
+  }
+  return text;
+}
+
+void Report::write_json(std::ostream& out, std::string_view target) const {
+  util::JsonWriter w(out);
+  w.begin_object();
+  w.key("target").value(target);
+  w.key("summary").begin_object();
+  w.key("errors").value(count(Severity::kError));
+  w.key("warnings").value(count(Severity::kWarning));
+  w.key("notes").value(count(Severity::kNote));
+  w.key("exit_code").value(exit_code());
+  w.end_object();
+  w.key("diagnostics").begin_array();
+  for (const Diagnostic& d : diags_) {
+    w.begin_object();
+    w.key("id").value(d.id);
+    w.key("severity").value(severity_name(d.severity));
+    w.key("locus").value(d.locus);
+    w.key("message").value(d.message);
+    if (!d.hint.empty()) w.key("hint").value(d.hint);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << "\n";
+}
+
+void Report::sort() {
+  std::stable_sort(diags_.begin(), diags_.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    if (a.severity != b.severity) return a.severity > b.severity;  // errors first
+    if (a.id != b.id) return a.id < b.id;
+    return a.locus < b.locus;
+  });
+}
+
+}  // namespace statsize::analyze

@@ -1,0 +1,80 @@
+#include "analyze/lint.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <stdexcept>
+
+#include "analyze/circuit_lint.h"
+#include "analyze/library_lint.h"
+#include "netlist/blif.h"
+#include "netlist/verilog.h"
+
+namespace statsize::analyze {
+
+Report lint_circuit(netlist::Circuit& circuit, const LintOptions& options) {
+  Report report = lint_circuit_structure(circuit);
+  report.merge(lint_library(circuit.library()));
+  if (circuit.library().size() > 0) {
+    double min_t_int = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < circuit.library().size(); ++i) {
+      min_t_int = std::min(min_t_int, circuit.library().cell(i).t_int);
+    }
+    report.merge(lint_sigma_model(options.model.sigma_model, min_t_int));
+  }
+  if (report.has_errors()) {
+    report.sort();
+    return report;
+  }
+  // Structurally clean: safe to finalize (finalize re-runs the structural
+  // analysis internally, so this cannot throw here) and run the model audits.
+  if (!circuit.finalized()) circuit.finalize();
+  if (options.model_audit && circuit.num_gates() > 0) {
+    ModelAuditOptions model = options.model;
+    if (circuit.num_gates() > options.derivative_gate_cap && !options.force_derivative_audit) {
+      model.derivative_audit = false;  // the sweep is quadratic-ish; cap it
+    }
+    report.merge(audit_model(circuit, model));
+  }
+  report.sort();
+  return report;
+}
+
+Report lint_blif(std::istream& in, const netlist::CellLibrary& library,
+                 const LintOptions& options) {
+  try {
+    netlist::Circuit circuit = netlist::read_blif_raw(in, library);
+    return lint_circuit(circuit, options);
+  } catch (const std::exception& e) {
+    Report report;
+    report.add("PAR001", "blif input", e.what());
+    return report;
+  }
+}
+
+Report lint_verilog(std::istream& in, const netlist::CellLibrary& library,
+                    const LintOptions& options) {
+  try {
+    netlist::Circuit circuit = netlist::read_verilog(in, library);
+    return lint_circuit(circuit, options);
+  } catch (const std::exception& e) {
+    Report report;
+    report.add("PAR002", "verilog input", e.what());
+    return report;
+  }
+}
+
+Report lint_file(const std::string& path, const netlist::CellLibrary& library,
+                 const LintOptions& options) {
+  const bool verilog = path.size() >= 2 && path.compare(path.size() - 2, 2, ".v") == 0;
+  std::ifstream in(path);
+  if (!in) {
+    Report report;
+    report.add(verilog ? "PAR002" : "PAR001", path, "cannot open file");
+    return report;
+  }
+  return verilog ? lint_verilog(in, library, options) : lint_blif(in, library, options);
+}
+
+}  // namespace statsize::analyze

@@ -1,0 +1,44 @@
+// Top-level lint driver — the engine behind `statsize lint`.
+//
+// Composes the three analysis families (circuit structure, library, model
+// audit) over a circuit, a netlist file, or a raw BLIF/Verilog stream, and
+// folds parser failures into PAR001/PAR002 diagnostics so a malformed input
+// produces a report (and a CI-gating exit code) instead of a crash.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "analyze/diagnostic.h"
+#include "analyze/model_audit.h"
+#include "netlist/circuit.h"
+
+namespace statsize::analyze {
+
+struct LintOptions {
+  ModelAuditOptions model;
+  bool model_audit = true;
+  /// The randomized derivative sweep finite-differences every constraint
+  /// group; above this gate count it is skipped unless forced.
+  int derivative_gate_cap = 200;
+  bool force_derivative_audit = false;
+};
+
+/// Lints `circuit` in place: structure and library first; if structurally
+/// clean, finalizes the circuit (when not already finalized) and runs the
+/// model audits. The report is sorted errors-first.
+Report lint_circuit(netlist::Circuit& circuit, const LintOptions& options = {});
+
+/// Parses BLIF/Verilog from a stream and lints the result; parse failures
+/// become PAR001/PAR002 diagnostics.
+Report lint_blif(std::istream& in, const netlist::CellLibrary& library,
+                 const LintOptions& options = {});
+Report lint_verilog(std::istream& in, const netlist::CellLibrary& library,
+                    const LintOptions& options = {});
+
+/// Dispatches on the file extension (.v -> Verilog, anything else -> BLIF).
+Report lint_file(const std::string& path, const netlist::CellLibrary& library,
+                 const LintOptions& options = {});
+
+}  // namespace statsize::analyze

@@ -1,0 +1,75 @@
+#include "analyze/registry.h"
+
+namespace statsize::analyze {
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> catalog = {
+      // -- circuit structure ------------------------------------------------
+      {"CIR001", "circuit", Severity::kError, "combinational-cycle",
+       "the netlist contains a combinational feedback loop (the DAG premise of eq. 4/18 fails)"},
+      {"CIR002", "circuit", Severity::kError, "unconnected-fanin-pin",
+       "a gate input pin is unwired or references a node id outside the circuit"},
+      {"CIR003", "circuit", Severity::kError, "pin-count-mismatch",
+       "a gate's fanin count disagrees with its library cell, or its cell id is invalid"},
+      {"CIR004", "circuit", Severity::kError, "no-primary-outputs",
+       "no node is marked as a primary output, so the circuit delay max (eq. 18a) is empty"},
+      {"CIR005", "circuit", Severity::kError, "unreachable-gate",
+       "a gate drives other gates but none of its transitive fanout reaches a primary output"},
+      {"CIR006", "circuit", Severity::kError, "fanout-free-gate",
+       "a non-output gate drives nothing (its speed factor would be an unconstrained variable)"},
+      {"CIR007", "circuit", Severity::kNote, "floating-input",
+       "a primary input drives no gate and is not an output"},
+      {"CIR008", "circuit", Severity::kError, "negative-load",
+       "a wire or pad capacitance is negative (eq. 14 requires non-negative loads)"},
+      {"CIR009", "circuit", Severity::kNote, "unloaded-output",
+       "a primary-output gate has zero pad load (upsizing it is free, which is rarely intended)"},
+      {"CIR010", "circuit", Severity::kWarning, "duplicate-name",
+       "two nodes share a name, making reports and size tables ambiguous"},
+      // -- cell library / sigma model / size tables -------------------------
+      {"LIB001", "library", Severity::kError, "non-positive-intrinsic-delay",
+       "a cell's intrinsic delay t_int is zero or negative"},
+      {"LIB002", "library", Severity::kError, "non-positive-drive-coefficient",
+       "a cell's delay-per-capacitance constant c is zero or negative"},
+      {"LIB003", "library", Severity::kError, "non-positive-input-capacitance",
+       "a cell presents zero or negative input capacitance (its drivers would see no load)"},
+      {"LIB004", "library", Severity::kWarning, "non-positive-area",
+       "a cell's area is zero or negative, corrupting area-weighted objectives"},
+      {"LIB005", "library", Severity::kError, "duplicate-cell-name",
+       "two cells share a name, so name-based lookups are ambiguous"},
+      {"LIB006", "library", Severity::kError, "invalid-pin-count",
+       "a cell declares fewer than one input pin"},
+      {"LIB007", "library", Severity::kNote, "missing-arity",
+       "the library has no cell for some pin count below its maximum (BLIF import would fail)"},
+      {"LIB008", "library", Severity::kError, "non-physical-sigma-model",
+       "sigma(mu) = kappa*mu + offset is negative at an attainable mean delay"},
+      {"LIB009", "library", Severity::kWarning, "non-monotone-sigma-model",
+       "kappa < 0 makes sigma shrink as mu grows, inverting the variability-vs-delay trade-off"},
+      {"LIB010", "library", Severity::kError, "invalid-size-table",
+       "a discrete size table is empty, non-ascending, or contains sizes below 1"},
+      // -- NLP model audits -------------------------------------------------
+      {"MOD001", "model", Severity::kError, "bound-inconsistency",
+       "an NLP variable violates S_min <= S_0 <= S_max (empty box or start outside bounds)"},
+      {"MOD002", "model", Severity::kWarning, "clark-degeneracy",
+       "a statistical-max merge point has theta = sqrt(varA+varB) below threshold, where the "
+       "Clark derivatives (eqs. 10-13) become ill-conditioned"},
+      {"MOD003", "model", Severity::kError, "derivative-mismatch",
+       "an analytic gradient or Hessian disagrees with its finite-difference estimate"},
+      {"MOD004", "model", Severity::kError, "invalid-spec",
+       "the sizing spec is inconsistent (e.g. max_speed < 1, or malformed objective weights)"},
+      // -- netlist parsers --------------------------------------------------
+      {"PAR001", "parse", Severity::kError, "blif-parse-error",
+       "the BLIF input is malformed (undeclared net, duplicate definition, unsupported construct)"},
+      {"PAR002", "parse", Severity::kError, "verilog-parse-error",
+       "the structural Verilog input is malformed (unknown cell, arity mismatch, undriven net)"},
+  };
+  return catalog;
+}
+
+const RuleInfo* find_rule(std::string_view id) {
+  for (const RuleInfo& rule : rule_catalog()) {
+    if (rule.id == id) return &rule;
+  }
+  return nullptr;
+}
+
+}  // namespace statsize::analyze

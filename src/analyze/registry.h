@@ -1,0 +1,34 @@
+// Rule registry — the single source of truth for every lint/audit rule the
+// analyzer can emit: stable id, analysis family, default severity, and a
+// one-line description. `statsize lint --list-rules` prints this catalog and
+// DESIGN.md's "Diagnostics & static analysis" section documents it; keeping
+// severities here (rather than at each emission site) means a rule's CI
+// impact can be reviewed in one place.
+//
+// Id scheme: CIRxxx = circuit structure, LIBxxx = cell library / sigma model /
+// size tables, MODxxx = NLP model audits, PARxxx = netlist parser failures.
+
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "analyze/diagnostic.h"
+
+namespace statsize::analyze {
+
+struct RuleInfo {
+  std::string_view id;        ///< "CIR001"
+  std::string_view category;  ///< "circuit" | "library" | "model" | "parse"
+  Severity severity;          ///< default severity of findings from this rule
+  std::string_view title;     ///< short kebab-case name
+  std::string_view detail;    ///< one-line description
+};
+
+/// All registered rules, ordered by id.
+const std::vector<RuleInfo>& rule_catalog();
+
+/// Catalog entry for `id`, or nullptr when unknown.
+const RuleInfo* find_rule(std::string_view id);
+
+}  // namespace statsize::analyze

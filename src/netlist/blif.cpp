@@ -92,70 +92,43 @@ BlifIr parse_ir(std::istream& in) {
 
 }  // namespace
 
-Circuit read_blif(std::istream& in, const CellLibrary& library) {
+Circuit read_blif_raw(std::istream& in, const CellLibrary& library) {
   const BlifIr ir = parse_ir(in);
 
-  // Index signal definitions.
-  std::map<std::string, int> def;  // -1 = primary input, >= 0 = node index
-  for (const std::string& s : ir.inputs) {
-    if (!def.emplace(s, -1).second) throw std::runtime_error("duplicate input signal " + s);
-  }
-  for (std::size_t i = 0; i < ir.nodes.size(); ++i) {
-    if (!def.emplace(ir.nodes[i].output, static_cast<int>(i)).second) {
-      fail(ir.nodes[i].line, "signal " + ir.nodes[i].output + " defined twice");
-    }
-  }
-
+  // Pass 1: create every node (inputs, then one node per .names, in file
+  // order). Constants (zero-fanin .names) become aux inputs so timing treats
+  // them as time-zero sources. Deferred gate construction tolerates netlists
+  // listed out of dependency order — and lets structurally broken ones (e.g.
+  // combinational cycles) come out of the parser intact for the analyzer.
   Circuit c(library);
   std::map<std::string, NodeId> built;
-  for (const std::string& s : ir.inputs) built[s] = c.add_input(s);
-
-  // Iterative DFS so deep netlists do not overflow the stack.
-  enum class Mark : char { kNone, kOnStack, kDone };
-  std::vector<Mark> mark(ir.nodes.size(), Mark::kNone);
-
-  auto build_node = [&](int root) {
-    std::vector<std::pair<int, std::size_t>> stack;  // node index, next fanin
-    stack.emplace_back(root, 0);
-    mark[static_cast<std::size_t>(root)] = Mark::kOnStack;
-    while (!stack.empty()) {
-      auto& [idx, next] = stack.back();
-      const NamesNode& n = ir.nodes[static_cast<std::size_t>(idx)];
-      if (next < n.fanins.size()) {
-        const std::string& sig = n.fanins[next++];
-        const auto it = def.find(sig);
-        if (it == def.end()) fail(n.line, "signal " + sig + " is never defined");
-        if (it->second < 0) continue;  // primary input, already built
-        const int child = it->second;
-        if (mark[static_cast<std::size_t>(child)] == Mark::kDone) continue;
-        if (mark[static_cast<std::size_t>(child)] == Mark::kOnStack) {
-          fail(n.line, "combinational cycle through signal " + sig);
-        }
-        mark[static_cast<std::size_t>(child)] = Mark::kOnStack;
-        stack.emplace_back(child, 0);
-        continue;
+  for (const std::string& s : ir.inputs) {
+    const NodeId id = c.add_input(s);
+    if (!built.emplace(s, id).second) throw std::runtime_error("duplicate input signal " + s);
+  }
+  for (const NamesNode& n : ir.nodes) {
+    NodeId id;
+    if (n.fanins.empty()) {
+      id = c.add_input(n.output);
+    } else {
+      const int cell = library.cell_for_inputs(static_cast<int>(n.fanins.size()));
+      if (cell < 0) {
+        fail(n.line, "no library cell with " + std::to_string(n.fanins.size()) + " inputs");
       }
-      // All fanins realized: build this gate (constants become aux inputs so
-      // timing treats them as time-zero sources).
-      if (n.fanins.empty()) {
-        built[n.output] = c.add_input(n.output);
-      } else {
-        const int cell = library.cell_for_inputs(static_cast<int>(n.fanins.size()));
-        if (cell < 0) {
-          fail(n.line, "no library cell with " + std::to_string(n.fanins.size()) + " inputs");
-        }
-        std::vector<NodeId> fanins;
-        fanins.reserve(n.fanins.size());
-        for (const std::string& sig : n.fanins) fanins.push_back(built.at(sig));
-        built[n.output] = c.add_gate(cell, std::move(fanins), n.output);
-      }
-      mark[static_cast<std::size_t>(idx)] = Mark::kDone;
-      stack.pop_back();
+      id = c.add_gate_deferred(cell, n.output);
     }
-  };
+    if (!built.emplace(n.output, id).second) {
+      fail(n.line, "signal " + n.output + " defined twice");
+    }
+  }
 
-  for (std::size_t i = 0; i < ir.nodes.size(); ++i) {
-    if (mark[i] == Mark::kNone) build_node(static_cast<int>(i));
+  // Pass 2: wire fanin pins by name.
+  for (const NamesNode& n : ir.nodes) {
+    for (std::size_t pin = 0; pin < n.fanins.size(); ++pin) {
+      const auto it = built.find(n.fanins[pin]);
+      if (it == built.end()) fail(n.line, "signal " + n.fanins[pin] + " is never defined");
+      c.set_fanin(built.at(n.output), static_cast<int>(pin), it->second);
+    }
   }
 
   for (const std::string& s : ir.outputs) {
@@ -163,6 +136,11 @@ Circuit read_blif(std::istream& in, const CellLibrary& library) {
     if (it == built.end()) throw std::runtime_error("output signal " + s + " is never defined");
     c.mark_output(it->second);
   }
+  return c;
+}
+
+Circuit read_blif(std::istream& in, const CellLibrary& library) {
+  Circuit c = read_blif_raw(in, library);
   c.finalize();
   return c;
 }

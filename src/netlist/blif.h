@@ -26,6 +26,13 @@ namespace statsize::netlist {
 /// line-numbered message on malformed input.
 Circuit read_blif(std::istream& in, const CellLibrary& library = CellLibrary::standard());
 
+/// Like read_blif but returns the circuit UNFINALIZED: structural problems a
+/// parser cannot express as text errors (combinational cycles, dangling
+/// gates) are left in the graph for analyze::lint_circuit_structure to
+/// diagnose instead of being thrown. Text-level problems (undefined signals,
+/// duplicate definitions, missing cells) still throw.
+Circuit read_blif_raw(std::istream& in, const CellLibrary& library = CellLibrary::standard());
+
 Circuit read_blif_file(const std::string& path,
                        const CellLibrary& library = CellLibrary::standard());
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "analyze/circuit_lint.h"
+
 namespace statsize::netlist {
 
 void Circuit::require_mutable() const {
@@ -45,6 +47,36 @@ NodeId Circuit::add_gate(int cell, std::vector<NodeId> fanins, std::string name)
   return self;
 }
 
+NodeId Circuit::add_gate_deferred(int cell, std::string name) {
+  require_mutable();
+  const CellType& type = library_->cell(cell);  // throws on bad id
+  Node n;
+  n.kind = NodeKind::kGate;
+  n.cell = cell;
+  n.name = name.empty() ? "g" + std::to_string(num_gates_) : std::move(name);
+  n.fanins.assign(static_cast<std::size_t>(type.num_inputs), kInvalidNode);
+  nodes_.push_back(std::move(n));
+  ++num_gates_;
+  return static_cast<NodeId>(nodes_.size()) - 1;
+}
+
+void Circuit::set_fanin(NodeId id, int pin, NodeId driver) {
+  require_mutable();
+  Node& n = nodes_.at(static_cast<std::size_t>(id));
+  if (n.kind != NodeKind::kGate) {
+    throw std::invalid_argument("set_fanin: node '" + n.name + "' is not a gate");
+  }
+  if (pin < 0 || pin >= static_cast<int>(n.fanins.size())) {
+    throw std::invalid_argument("set_fanin: gate '" + n.name + "' has no pin " +
+                                std::to_string(pin));
+  }
+  if (driver < 0 || driver >= static_cast<NodeId>(nodes_.size())) {
+    throw std::invalid_argument("set_fanin: driver id " + std::to_string(driver) +
+                                " out of range");
+  }
+  n.fanins[static_cast<std::size_t>(pin)] = driver;
+}
+
 void Circuit::mark_output(NodeId id, double pad_load) {
   require_mutable();
   Node& n = nodes_.at(static_cast<std::size_t>(id));
@@ -61,7 +93,16 @@ void Circuit::set_wire_load(NodeId id, double load) {
 
 void Circuit::finalize() {
   require_mutable();
-  if (outputs_.empty()) throw std::runtime_error("circuit has no primary outputs");
+
+  // The structural analyzer performs all validation (pin wiring, pin counts,
+  // acyclicity with cycle extraction, output reachability) and produces the
+  // topological order; error-severity findings become one exception that
+  // names every offending node.
+  std::vector<NodeId> topo;
+  const analyze::Report report = analyze::lint_circuit_structure(*this, &topo);
+  if (report.has_errors()) {
+    throw std::runtime_error("circuit validation failed:\n" + report.errors_text());
+  }
 
   for (Node& n : nodes_) n.fanouts.clear();
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
@@ -69,29 +110,7 @@ void Circuit::finalize() {
       nodes_[static_cast<std::size_t>(f)].fanouts.push_back(static_cast<NodeId>(i));
     }
   }
-
-  // Because add_gate only accepts already-existing fanins, node-id order is
-  // already topological; keep an explicit order vector anyway so importers
-  // that relax that invariant later only need to change this function.
-  topo_.resize(nodes_.size());
-  for (std::size_t i = 0; i < nodes_.size(); ++i) topo_[i] = static_cast<NodeId>(i);
-
-  // Every gate must transitively feed an output; dangling gates indicate a
-  // construction bug upstream (and would carry unconstrained NLP variables).
-  std::vector<char> live(nodes_.size(), 0);
-  std::vector<NodeId> stack(outputs_.begin(), outputs_.end());
-  while (!stack.empty()) {
-    const NodeId id = stack.back();
-    stack.pop_back();
-    if (live[static_cast<std::size_t>(id)]) continue;
-    live[static_cast<std::size_t>(id)] = 1;
-    for (NodeId f : nodes_[static_cast<std::size_t>(id)].fanins) stack.push_back(f);
-  }
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (nodes_[i].kind == NodeKind::kGate && !live[i]) {
-      throw std::runtime_error("gate '" + nodes_[i].name + "' does not reach any output");
-    }
-  }
+  topo_ = std::move(topo);
   finalized_ = true;
 }
 
@@ -151,18 +170,29 @@ Circuit clone_with_library(const Circuit& circuit, const CellLibrary& library) {
     throw std::invalid_argument("replacement library is missing cells");
   }
   Circuit clone(library);
-  for (NodeId id : circuit.topo_order()) {
-    const Node& n = circuit.node(id);
+  // Copy in id order (NOT topo order — imported circuits may have a
+  // non-identity topological order) so node ids survive; deferred
+  // construction tolerates fanins that have not been copied yet.
+  const int n = circuit.num_nodes();
+  for (NodeId id = 0; id < n; ++id) {
+    const Node& node = circuit.node(id);
     NodeId copied;
-    if (n.kind == NodeKind::kPrimaryInput) {
-      copied = clone.add_input(n.name);
+    if (node.kind == NodeKind::kPrimaryInput) {
+      copied = clone.add_input(node.name);
     } else {
-      copied = clone.add_gate(n.cell, n.fanins, n.name);
-      clone.set_wire_load(copied, n.wire_load);
+      copied = clone.add_gate_deferred(node.cell, node.name);
+      clone.set_wire_load(copied, node.wire_load);
     }
     if (copied != id) throw std::logic_error("clone produced different node ids");
-    if (n.is_output) clone.mark_output(id, n.pad_load);
   }
+  for (NodeId id = 0; id < n; ++id) {
+    const Node& node = circuit.node(id);
+    if (node.kind != NodeKind::kGate) continue;
+    for (std::size_t pin = 0; pin < node.fanins.size(); ++pin) {
+      clone.set_fanin(id, static_cast<int>(pin), node.fanins[pin]);
+    }
+  }
+  for (NodeId id : circuit.outputs()) clone.mark_output(id, circuit.node(id).pad_load);
   clone.finalize();
   return clone;
 }

@@ -47,13 +47,28 @@ class Circuit {
   /// An empty name is auto-generated ("g<N>").
   NodeId add_gate(int cell, std::vector<NodeId> fanins, std::string name = {});
 
+  /// Adds a gate with every fanin pin unconnected (kInvalidNode), to be wired
+  /// later with set_fanin. Unlike add_gate this permits forward references,
+  /// which importers need for netlists listed out of dependency order; it is
+  /// also the only way to build a cyclic graph for the analyzer to diagnose.
+  NodeId add_gate_deferred(int cell, std::string name = {});
+
+  /// Wires pin `pin` of gate `id` to `driver` (any existing node, including
+  /// ones added after `id`).
+  void set_fanin(NodeId id, int pin, NodeId driver);
+
   /// Flags `id` as driving a primary output pad with capacitance `pad_load`.
   void mark_output(NodeId id, double pad_load = 1.0);
 
   void set_wire_load(NodeId id, double load);
 
   /// Freezes the circuit: derives fanouts, topologically sorts, validates.
-  /// Throws std::runtime_error on cycles or structural errors.
+  /// Validation runs through analyze::lint_circuit_structure, so the thrown
+  /// std::runtime_error lists every structural error at once and names the
+  /// offending nodes (including the actual gates forming a combinational
+  /// cycle). Circuits built with fanin-before-fanout ordering keep the
+  /// identity topological order; deferred construction gets the
+  /// lexicographically smallest valid order.
   void finalize();
 
   bool finalized() const { return finalized_; }

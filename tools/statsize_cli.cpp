@@ -2,7 +2,7 @@
 //
 // Examples:
 //   statsize --circuit tree --objective delay --sigma-weight 3 --report
-//   statsize --circuit my.blif --objective area --max-delay 120 \
+//   statsize --circuit my.blif --objective area --max-delay 120
 //            --constraint-sigma-weight 3 --mc 20000 --sizes-out sized.tsv
 //   statsize --circuit k2 --objective power --max-delay 140 --method reduced
 //
@@ -12,13 +12,22 @@
 //   * verifies the result against Monte Carlo,
 //   * uses the correlation-aware canonical engine for the analysis section,
 //   * writes the per-gate speed factors to a TSV file.
+//
+// `statsize lint` is a separate subcommand: it runs the static-analysis
+// subsystem (circuit structure, cell library, sigma model, NLP model audits)
+// over a circuit and reports diagnostics instead of sizing. Exit codes:
+// 0 = clean/notes, 2 = warnings, 3 = errors, 1 = tool failure.
 
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
+#include "analyze/library_lint.h"
+#include "analyze/lint.h"
+#include "analyze/registry.h"
 #include "core/sizer.h"
 #include "netlist/blif.h"
 #include "netlist/verilog.h"
@@ -79,9 +88,129 @@ void print_report(const netlist::Circuit& c, const core::SizingSpec& spec,
   }
 }
 
+/// A deliberately broken circuit + candidate cells, exercising one rule from
+/// every analysis family: a combinational cycle (CIR001), a dangling gate
+/// (CIR006), and non-physical cells (LIB001, LIB003). Used by CI to prove the
+/// linter actually fires.
+analyze::Report demo_defects_report(const analyze::LintOptions& options) {
+  const netlist::CellLibrary& lib = netlist::CellLibrary::standard();
+  const int nand2 = lib.cell_for_inputs(2);
+  const int inv = lib.cell_for_inputs(1);
+
+  netlist::Circuit c(lib);
+  const netlist::NodeId a = c.add_input("a");
+  const netlist::NodeId b = c.add_input("b");
+  const netlist::NodeId d = c.add_input("d");
+  const netlist::NodeId e = c.add_input("e");
+  const netlist::NodeId gc = c.add_gate(nand2, {a, b}, "C");
+  const netlist::NodeId gf = c.add_gate(nand2, {d, e}, "F");
+  const netlist::NodeId gg = c.add_gate(nand2, {gc, gf}, "G");
+  c.mark_output(gg, 1.0);
+  c.add_gate(inv, {gc}, "dangle");  // CIR006: drives nothing, not an output
+  const netlist::NodeId lx = c.add_gate_deferred(nand2, "loopx");  // CIR001 below
+  const netlist::NodeId ly = c.add_gate_deferred(nand2, "loopy");
+  c.set_fanin(lx, 0, ly);
+  c.set_fanin(lx, 1, a);
+  c.set_fanin(ly, 0, lx);
+  c.set_fanin(ly, 1, b);
+
+  analyze::Report report = analyze::lint_circuit(c, options);
+
+  std::vector<netlist::CellType> candidates;
+  candidates.push_back({"NEGDELAY", 2, -0.5, 1.0, 1.0, 1.0, netlist::CellFunction::kNand});
+  candidates.push_back({"ZEROCIN", 1, 1.0, 1.0, 0.0, 1.0, netlist::CellFunction::kInv});
+  report.merge(analyze::lint_cells(candidates));
+  report.sort();
+  return report;
+}
+
+int run_lint(int argc, char** argv) {
+  util::ArgParser args(
+      "statsize lint — static analysis of circuits, cell libraries and the sizing model");
+  args.add_string("circuit", "tree|apex1|apex2|k2 or a BLIF/Verilog file path", "tree");
+  args.add_string("json", "write the JSON report to this file ('-' for stdout)");
+  args.add_double("kappa", "gate sigma model: sigma = kappa * mu + offset", 0.25);
+  args.add_double("sigma-offset", "additive term of the gate sigma model", 0.0);
+  args.add_double("max-speed", "upper sizing limit audited for consistency", 3.0);
+  args.add_double("theta-threshold", "flag Clark merges with theta below this", 1e-3);
+  args.add_int("derivative-points", "random interior points per derivative sweep", 3);
+  args.add_int("derivative-cap", "skip the derivative sweep above this many gates", 200);
+  args.add_flag("no-model-audit", "structural and library checks only");
+  args.add_flag("force-derivative-audit", "run the derivative sweep regardless of size");
+  args.add_flag("list-rules", "print the rule catalog and exit");
+  args.add_flag("demo-defects", "lint a deliberately broken demo circuit and library");
+
+  try {
+    if (!args.parse(argc, argv)) return 0;
+
+    if (args.get_flag("list-rules")) {
+      std::printf("%-8s %-8s %-8s %-28s %s\n", "id", "family", "severity", "title", "detail");
+      for (const analyze::RuleInfo& rule : analyze::rule_catalog()) {
+        std::printf("%-8.*s %-8.*s %-8.*s %-28.*s %.*s\n",
+                    static_cast<int>(rule.id.size()), rule.id.data(),
+                    static_cast<int>(rule.category.size()), rule.category.data(),
+                    static_cast<int>(severity_name(rule.severity).size()),
+                    severity_name(rule.severity).data(),
+                    static_cast<int>(rule.title.size()), rule.title.data(),
+                    static_cast<int>(rule.detail.size()), rule.detail.data());
+      }
+      return 0;
+    }
+
+    analyze::LintOptions options;
+    options.model.sigma_model = {args.get_double("kappa"), args.get_double("sigma-offset")};
+    options.model.max_speed = args.get_double("max-speed");
+    options.model.theta_threshold = args.get_double("theta-threshold");
+    options.model.derivative_points = args.get_int("derivative-points");
+    options.derivative_gate_cap = args.get_int("derivative-cap");
+    options.model_audit = !args.get_flag("no-model-audit");
+    options.force_derivative_audit = args.get_flag("force-derivative-audit");
+
+    const std::string name = args.get_string("circuit");
+    std::string target = name;
+    analyze::Report report;
+    if (args.get_flag("demo-defects")) {
+      target = "demo-defects";
+      report = demo_defects_report(options);
+    } else if (name == "tree" || name == "apex1" || name == "apex2" || name == "k2") {
+      netlist::Circuit circuit = load_circuit(name);
+      report = analyze::lint_circuit(circuit, options);
+    } else {
+      report = analyze::lint_file(name, netlist::CellLibrary::standard(), options);
+    }
+
+    // With --json - the machine-readable report owns stdout; the human
+    // report moves to stderr so `statsize lint --json - | jq` works.
+    const bool json_on_stdout = args.has("json") && args.get_string("json") == "-";
+    std::ostream& human = json_on_stdout ? std::cerr : std::cout;
+    human << "lint: " << target << "\n";
+    report.print(human);
+
+    if (args.has("json")) {
+      const std::string path = args.get_string("json");
+      if (path == "-") {
+        report.write_json(std::cout, target);
+      } else {
+        std::ofstream out(path);
+        if (!out) throw std::runtime_error("cannot write " + path);
+        report.write_json(out, target);
+        std::printf("wrote %s\n", path.c_str());
+      }
+    }
+    return report.exit_code();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n(use statsize lint --help for usage)\n", e.what());
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "lint") {
+    // Shift argv so the subcommand's parser sees its own flags at index 1.
+    return run_lint(argc - 1, argv + 1);
+  }
   util::ArgParser args(
       "statsize — gate sizing under a statistical delay model (Jacobs & Berkelaar, DATE 2000)");
   args.add_string("circuit", "tree|apex1|apex2|k2 or a BLIF/Verilog file path", "tree");
