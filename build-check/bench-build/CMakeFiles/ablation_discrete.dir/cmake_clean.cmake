@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_discrete"
+  "../bench/ablation_discrete.pdb"
+  "CMakeFiles/ablation_discrete.dir/ablation_discrete.cpp.o"
+  "CMakeFiles/ablation_discrete.dir/ablation_discrete.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_discrete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_formulation"
+  "../bench/ablation_formulation.pdb"
+  "CMakeFiles/ablation_formulation.dir/ablation_formulation.cpp.o"
+  "CMakeFiles/ablation_formulation.dir/ablation_formulation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_formulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

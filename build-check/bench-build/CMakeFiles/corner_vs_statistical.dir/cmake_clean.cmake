@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/corner_vs_statistical"
+  "../bench/corner_vs_statistical.pdb"
+  "CMakeFiles/corner_vs_statistical.dir/corner_vs_statistical.cpp.o"
+  "CMakeFiles/corner_vs_statistical.dir/corner_vs_statistical.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corner_vs_statistical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for corner_vs_statistical.
+# This may be replaced when dependencies are built.

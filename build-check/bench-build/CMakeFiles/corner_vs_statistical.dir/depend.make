@@ -1,0 +1,2 @@
+# Empty dependencies file for corner_vs_statistical.
+# This may be replaced when dependencies are built.

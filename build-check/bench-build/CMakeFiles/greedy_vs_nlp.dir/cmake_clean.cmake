@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/greedy_vs_nlp"
+  "../bench/greedy_vs_nlp.pdb"
+  "CMakeFiles/greedy_vs_nlp.dir/greedy_vs_nlp.cpp.o"
+  "CMakeFiles/greedy_vs_nlp.dir/greedy_vs_nlp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greedy_vs_nlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_statops"
+  "../bench/micro_statops.pdb"
+  "CMakeFiles/micro_statops.dir/micro_statops.cpp.o"
+  "CMakeFiles/micro_statops.dir/micro_statops.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_statops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/scaling_cpu"
+  "../bench/scaling_cpu.pdb"
+  "CMakeFiles/scaling_cpu.dir/scaling_cpu.cpp.o"
+  "CMakeFiles/scaling_cpu.dir/scaling_cpu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

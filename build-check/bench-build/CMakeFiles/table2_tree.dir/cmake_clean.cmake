@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_tree"
+  "../bench/table2_tree.pdb"
+  "CMakeFiles/table2_tree.dir/table2_tree.cpp.o"
+  "CMakeFiles/table2_tree.dir/table2_tree.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

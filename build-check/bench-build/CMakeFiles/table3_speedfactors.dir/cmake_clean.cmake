@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_speedfactors"
+  "../bench/table3_speedfactors.pdb"
+  "CMakeFiles/table3_speedfactors.dir/table3_speedfactors.cpp.o"
+  "CMakeFiles/table3_speedfactors.dir/table3_speedfactors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_speedfactors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/validation_correlation"
+  "../bench/validation_correlation.pdb"
+  "CMakeFiles/validation_correlation.dir/validation_correlation.cpp.o"
+  "CMakeFiles/validation_correlation.dir/validation_correlation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/validation_ssta_yield"
+  "../bench/validation_ssta_yield.pdb"
+  "CMakeFiles/validation_ssta_yield.dir/validation_ssta_yield.cpp.o"
+  "CMakeFiles/validation_ssta_yield.dir/validation_ssta_yield.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_ssta_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

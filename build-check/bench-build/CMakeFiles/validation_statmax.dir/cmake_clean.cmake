@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/validation_statmax"
+  "../bench/validation_statmax.pdb"
+  "CMakeFiles/validation_statmax.dir/validation_statmax.cpp.o"
+  "CMakeFiles/validation_statmax.dir/validation_statmax.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_statmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

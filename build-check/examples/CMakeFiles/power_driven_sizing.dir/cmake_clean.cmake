@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_driven_sizing.dir/power_driven_sizing.cpp.o"
+  "CMakeFiles/power_driven_sizing.dir/power_driven_sizing.cpp.o.d"
+  "power_driven_sizing"
+  "power_driven_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_driven_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for power_driven_sizing.
+# This may be replaced when dependencies are built.

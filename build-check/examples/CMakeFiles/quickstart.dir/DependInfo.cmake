@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-check/src/core/CMakeFiles/statsize_core.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/ssta/CMakeFiles/statsize_ssta.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/stat/CMakeFiles/statsize_stat.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/netlist/CMakeFiles/statsize_netlist.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/analyze/CMakeFiles/statsize_analyze_base.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/util/CMakeFiles/statsize_util.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/nlp/CMakeFiles/statsize_nlp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

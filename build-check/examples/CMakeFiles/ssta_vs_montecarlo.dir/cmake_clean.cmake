@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssta_vs_montecarlo.dir/ssta_vs_montecarlo.cpp.o"
+  "CMakeFiles/ssta_vs_montecarlo.dir/ssta_vs_montecarlo.cpp.o.d"
+  "ssta_vs_montecarlo"
+  "ssta_vs_montecarlo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssta_vs_montecarlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

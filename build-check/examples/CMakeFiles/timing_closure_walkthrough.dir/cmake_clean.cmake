@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_closure_walkthrough.dir/timing_closure_walkthrough.cpp.o"
+  "CMakeFiles/timing_closure_walkthrough.dir/timing_closure_walkthrough.cpp.o.d"
+  "timing_closure_walkthrough"
+  "timing_closure_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_closure_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

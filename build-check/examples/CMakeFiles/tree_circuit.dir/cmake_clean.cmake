@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_circuit.dir/tree_circuit.cpp.o"
+  "CMakeFiles/tree_circuit.dir/tree_circuit.cpp.o.d"
+  "tree_circuit"
+  "tree_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

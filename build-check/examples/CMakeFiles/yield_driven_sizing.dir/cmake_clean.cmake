@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yield_driven_sizing.dir/yield_driven_sizing.cpp.o"
+  "CMakeFiles/yield_driven_sizing.dir/yield_driven_sizing.cpp.o.d"
+  "yield_driven_sizing"
+  "yield_driven_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yield_driven_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statsize_analyze.dir/lint.cpp.o"
+  "CMakeFiles/statsize_analyze.dir/lint.cpp.o.d"
+  "CMakeFiles/statsize_analyze.dir/model_audit.cpp.o"
+  "CMakeFiles/statsize_analyze.dir/model_audit.cpp.o.d"
+  "libstatsize_analyze.a"
+  "libstatsize_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statsize_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

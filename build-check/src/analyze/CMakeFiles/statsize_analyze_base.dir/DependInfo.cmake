@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analyze/circuit_lint.cpp" "src/analyze/CMakeFiles/statsize_analyze_base.dir/circuit_lint.cpp.o" "gcc" "src/analyze/CMakeFiles/statsize_analyze_base.dir/circuit_lint.cpp.o.d"
+  "/root/repo/src/analyze/diagnostic.cpp" "src/analyze/CMakeFiles/statsize_analyze_base.dir/diagnostic.cpp.o" "gcc" "src/analyze/CMakeFiles/statsize_analyze_base.dir/diagnostic.cpp.o.d"
+  "/root/repo/src/analyze/library_lint.cpp" "src/analyze/CMakeFiles/statsize_analyze_base.dir/library_lint.cpp.o" "gcc" "src/analyze/CMakeFiles/statsize_analyze_base.dir/library_lint.cpp.o.d"
+  "/root/repo/src/analyze/registry.cpp" "src/analyze/CMakeFiles/statsize_analyze_base.dir/registry.cpp.o" "gcc" "src/analyze/CMakeFiles/statsize_analyze_base.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-check/src/util/CMakeFiles/statsize_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statsize_analyze_base.dir/circuit_lint.cpp.o"
+  "CMakeFiles/statsize_analyze_base.dir/circuit_lint.cpp.o.d"
+  "CMakeFiles/statsize_analyze_base.dir/diagnostic.cpp.o"
+  "CMakeFiles/statsize_analyze_base.dir/diagnostic.cpp.o.d"
+  "CMakeFiles/statsize_analyze_base.dir/library_lint.cpp.o"
+  "CMakeFiles/statsize_analyze_base.dir/library_lint.cpp.o.d"
+  "CMakeFiles/statsize_analyze_base.dir/registry.cpp.o"
+  "CMakeFiles/statsize_analyze_base.dir/registry.cpp.o.d"
+  "libstatsize_analyze_base.a"
+  "libstatsize_analyze_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statsize_analyze_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

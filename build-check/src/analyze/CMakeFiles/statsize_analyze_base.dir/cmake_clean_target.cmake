@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstatsize_analyze_base.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for statsize_analyze_base.
+# This may be replaced when dependencies are built.

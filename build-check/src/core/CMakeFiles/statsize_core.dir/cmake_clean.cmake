@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statsize_core.dir/clark_element.cpp.o"
+  "CMakeFiles/statsize_core.dir/clark_element.cpp.o.d"
+  "CMakeFiles/statsize_core.dir/discrete.cpp.o"
+  "CMakeFiles/statsize_core.dir/discrete.cpp.o.d"
+  "CMakeFiles/statsize_core.dir/full_space.cpp.o"
+  "CMakeFiles/statsize_core.dir/full_space.cpp.o.d"
+  "CMakeFiles/statsize_core.dir/greedy.cpp.o"
+  "CMakeFiles/statsize_core.dir/greedy.cpp.o.d"
+  "CMakeFiles/statsize_core.dir/reduced_space.cpp.o"
+  "CMakeFiles/statsize_core.dir/reduced_space.cpp.o.d"
+  "CMakeFiles/statsize_core.dir/sizer.cpp.o"
+  "CMakeFiles/statsize_core.dir/sizer.cpp.o.d"
+  "CMakeFiles/statsize_core.dir/spec.cpp.o"
+  "CMakeFiles/statsize_core.dir/spec.cpp.o.d"
+  "libstatsize_core.a"
+  "libstatsize_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statsize_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/blif.cpp" "src/netlist/CMakeFiles/statsize_netlist.dir/blif.cpp.o" "gcc" "src/netlist/CMakeFiles/statsize_netlist.dir/blif.cpp.o.d"
+  "/root/repo/src/netlist/cell_library.cpp" "src/netlist/CMakeFiles/statsize_netlist.dir/cell_library.cpp.o" "gcc" "src/netlist/CMakeFiles/statsize_netlist.dir/cell_library.cpp.o.d"
+  "/root/repo/src/netlist/circuit.cpp" "src/netlist/CMakeFiles/statsize_netlist.dir/circuit.cpp.o" "gcc" "src/netlist/CMakeFiles/statsize_netlist.dir/circuit.cpp.o.d"
+  "/root/repo/src/netlist/generators.cpp" "src/netlist/CMakeFiles/statsize_netlist.dir/generators.cpp.o" "gcc" "src/netlist/CMakeFiles/statsize_netlist.dir/generators.cpp.o.d"
+  "/root/repo/src/netlist/verilog.cpp" "src/netlist/CMakeFiles/statsize_netlist.dir/verilog.cpp.o" "gcc" "src/netlist/CMakeFiles/statsize_netlist.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-check/src/analyze/CMakeFiles/statsize_analyze_base.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/util/CMakeFiles/statsize_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

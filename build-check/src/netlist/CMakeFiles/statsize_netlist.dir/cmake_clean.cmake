@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statsize_netlist.dir/blif.cpp.o"
+  "CMakeFiles/statsize_netlist.dir/blif.cpp.o.d"
+  "CMakeFiles/statsize_netlist.dir/cell_library.cpp.o"
+  "CMakeFiles/statsize_netlist.dir/cell_library.cpp.o.d"
+  "CMakeFiles/statsize_netlist.dir/circuit.cpp.o"
+  "CMakeFiles/statsize_netlist.dir/circuit.cpp.o.d"
+  "CMakeFiles/statsize_netlist.dir/generators.cpp.o"
+  "CMakeFiles/statsize_netlist.dir/generators.cpp.o.d"
+  "CMakeFiles/statsize_netlist.dir/verilog.cpp.o"
+  "CMakeFiles/statsize_netlist.dir/verilog.cpp.o.d"
+  "libstatsize_netlist.a"
+  "libstatsize_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statsize_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

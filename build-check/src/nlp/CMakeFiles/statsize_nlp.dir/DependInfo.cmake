@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nlp/auglag.cpp" "src/nlp/CMakeFiles/statsize_nlp.dir/auglag.cpp.o" "gcc" "src/nlp/CMakeFiles/statsize_nlp.dir/auglag.cpp.o.d"
+  "/root/repo/src/nlp/derivative_check.cpp" "src/nlp/CMakeFiles/statsize_nlp.dir/derivative_check.cpp.o" "gcc" "src/nlp/CMakeFiles/statsize_nlp.dir/derivative_check.cpp.o.d"
+  "/root/repo/src/nlp/problem.cpp" "src/nlp/CMakeFiles/statsize_nlp.dir/problem.cpp.o" "gcc" "src/nlp/CMakeFiles/statsize_nlp.dir/problem.cpp.o.d"
+  "/root/repo/src/nlp/projected_lbfgs.cpp" "src/nlp/CMakeFiles/statsize_nlp.dir/projected_lbfgs.cpp.o" "gcc" "src/nlp/CMakeFiles/statsize_nlp.dir/projected_lbfgs.cpp.o.d"
+  "/root/repo/src/nlp/tron.cpp" "src/nlp/CMakeFiles/statsize_nlp.dir/tron.cpp.o" "gcc" "src/nlp/CMakeFiles/statsize_nlp.dir/tron.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

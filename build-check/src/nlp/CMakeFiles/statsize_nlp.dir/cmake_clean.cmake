@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statsize_nlp.dir/auglag.cpp.o"
+  "CMakeFiles/statsize_nlp.dir/auglag.cpp.o.d"
+  "CMakeFiles/statsize_nlp.dir/derivative_check.cpp.o"
+  "CMakeFiles/statsize_nlp.dir/derivative_check.cpp.o.d"
+  "CMakeFiles/statsize_nlp.dir/problem.cpp.o"
+  "CMakeFiles/statsize_nlp.dir/problem.cpp.o.d"
+  "CMakeFiles/statsize_nlp.dir/projected_lbfgs.cpp.o"
+  "CMakeFiles/statsize_nlp.dir/projected_lbfgs.cpp.o.d"
+  "CMakeFiles/statsize_nlp.dir/tron.cpp.o"
+  "CMakeFiles/statsize_nlp.dir/tron.cpp.o.d"
+  "libstatsize_nlp.a"
+  "libstatsize_nlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statsize_nlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssta/activity.cpp" "src/ssta/CMakeFiles/statsize_ssta.dir/activity.cpp.o" "gcc" "src/ssta/CMakeFiles/statsize_ssta.dir/activity.cpp.o.d"
+  "/root/repo/src/ssta/canonical.cpp" "src/ssta/CMakeFiles/statsize_ssta.dir/canonical.cpp.o" "gcc" "src/ssta/CMakeFiles/statsize_ssta.dir/canonical.cpp.o.d"
+  "/root/repo/src/ssta/delay_model.cpp" "src/ssta/CMakeFiles/statsize_ssta.dir/delay_model.cpp.o" "gcc" "src/ssta/CMakeFiles/statsize_ssta.dir/delay_model.cpp.o.d"
+  "/root/repo/src/ssta/monte_carlo.cpp" "src/ssta/CMakeFiles/statsize_ssta.dir/monte_carlo.cpp.o" "gcc" "src/ssta/CMakeFiles/statsize_ssta.dir/monte_carlo.cpp.o.d"
+  "/root/repo/src/ssta/report.cpp" "src/ssta/CMakeFiles/statsize_ssta.dir/report.cpp.o" "gcc" "src/ssta/CMakeFiles/statsize_ssta.dir/report.cpp.o.d"
+  "/root/repo/src/ssta/slack.cpp" "src/ssta/CMakeFiles/statsize_ssta.dir/slack.cpp.o" "gcc" "src/ssta/CMakeFiles/statsize_ssta.dir/slack.cpp.o.d"
+  "/root/repo/src/ssta/ssta.cpp" "src/ssta/CMakeFiles/statsize_ssta.dir/ssta.cpp.o" "gcc" "src/ssta/CMakeFiles/statsize_ssta.dir/ssta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-check/src/stat/CMakeFiles/statsize_stat.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/netlist/CMakeFiles/statsize_netlist.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/util/CMakeFiles/statsize_util.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/analyze/CMakeFiles/statsize_analyze_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statsize_ssta.dir/activity.cpp.o"
+  "CMakeFiles/statsize_ssta.dir/activity.cpp.o.d"
+  "CMakeFiles/statsize_ssta.dir/canonical.cpp.o"
+  "CMakeFiles/statsize_ssta.dir/canonical.cpp.o.d"
+  "CMakeFiles/statsize_ssta.dir/delay_model.cpp.o"
+  "CMakeFiles/statsize_ssta.dir/delay_model.cpp.o.d"
+  "CMakeFiles/statsize_ssta.dir/monte_carlo.cpp.o"
+  "CMakeFiles/statsize_ssta.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/statsize_ssta.dir/report.cpp.o"
+  "CMakeFiles/statsize_ssta.dir/report.cpp.o.d"
+  "CMakeFiles/statsize_ssta.dir/slack.cpp.o"
+  "CMakeFiles/statsize_ssta.dir/slack.cpp.o.d"
+  "CMakeFiles/statsize_ssta.dir/ssta.cpp.o"
+  "CMakeFiles/statsize_ssta.dir/ssta.cpp.o.d"
+  "libstatsize_ssta.a"
+  "libstatsize_ssta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statsize_ssta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

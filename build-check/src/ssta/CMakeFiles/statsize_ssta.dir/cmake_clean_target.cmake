@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstatsize_ssta.a"
+)

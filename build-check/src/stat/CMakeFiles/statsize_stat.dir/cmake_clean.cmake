@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statsize_stat.dir/clark.cpp.o"
+  "CMakeFiles/statsize_stat.dir/clark.cpp.o.d"
+  "CMakeFiles/statsize_stat.dir/normal.cpp.o"
+  "CMakeFiles/statsize_stat.dir/normal.cpp.o.d"
+  "libstatsize_stat.a"
+  "libstatsize_stat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statsize_stat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

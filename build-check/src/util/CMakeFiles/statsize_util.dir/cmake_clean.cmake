@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statsize_util.dir/args.cpp.o"
+  "CMakeFiles/statsize_util.dir/args.cpp.o.d"
+  "CMakeFiles/statsize_util.dir/json.cpp.o"
+  "CMakeFiles/statsize_util.dir/json.cpp.o.d"
+  "libstatsize_util.a"
+  "libstatsize_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statsize_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clark_derivative_test.dir/clark_derivative_test.cpp.o"
+  "CMakeFiles/clark_derivative_test.dir/clark_derivative_test.cpp.o.d"
+  "clark_derivative_test"
+  "clark_derivative_test.pdb"
+  "clark_derivative_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clark_derivative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corner_baseline_test.dir/corner_baseline_test.cpp.o"
+  "CMakeFiles/corner_baseline_test.dir/corner_baseline_test.cpp.o.d"
+  "corner_baseline_test"
+  "corner_baseline_test.pdb"
+  "corner_baseline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corner_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sizer_test.dir/sizer_test.cpp.o"
+  "CMakeFiles/sizer_test.dir/sizer_test.cpp.o.d"
+  "sizer_test"
+  "sizer_test.pdb"
+  "sizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slack_test.dir/slack_test.cpp.o"
+  "CMakeFiles/slack_test.dir/slack_test.cpp.o.d"
+  "slack_test"
+  "slack_test.pdb"
+  "slack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-check/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-check/tests/autodiff_test[1]_include.cmake")
+include("/root/repo/build-check/tests/stat_test[1]_include.cmake")
+include("/root/repo/build-check/tests/clark_derivative_test[1]_include.cmake")
+include("/root/repo/build-check/tests/netlist_test[1]_include.cmake")
+include("/root/repo/build-check/tests/ssta_test[1]_include.cmake")
+include("/root/repo/build-check/tests/nlp_test[1]_include.cmake")
+include("/root/repo/build-check/tests/core_test[1]_include.cmake")
+include("/root/repo/build-check/tests/sizer_test[1]_include.cmake")
+include("/root/repo/build-check/tests/activity_test[1]_include.cmake")
+include("/root/repo/build-check/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-check/tests/canonical_test[1]_include.cmake")
+include("/root/repo/build-check/tests/slack_test[1]_include.cmake")
+include("/root/repo/build-check/tests/args_test[1]_include.cmake")
+include("/root/repo/build-check/tests/corner_baseline_test[1]_include.cmake")
+include("/root/repo/build-check/tests/property_test[1]_include.cmake")
+include("/root/repo/build-check/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build-check/tests/verilog_test[1]_include.cmake")
+include("/root/repo/build-check/tests/json_test[1]_include.cmake")
+include("/root/repo/build-check/tests/analyze_test[1]_include.cmake")
+add_test(lint_selfcheck "/root/repo/scripts/lint_selfcheck.sh" "/root/repo/build-check/tools/statsize" "/root/repo")
+set_tests_properties(lint_selfcheck PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;68;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statsize.dir/statsize_cli.cpp.o"
+  "CMakeFiles/statsize.dir/statsize_cli.cpp.o.d"
+  "statsize"
+  "statsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
