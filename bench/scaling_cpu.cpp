@@ -1,20 +1,67 @@
 // E7 — the scalability trend behind Table 1's CPU column ("the method is
-// able to deal with circuits of up to a few thousand gates"). Sweeps circuit
-// size, solves min-mu sizing, and reports wall time for both methods (the
-// full-space NLP is capped at 300 gates by default; STATSIZE_METHOD=full
-// lifts that to reproduce the paper's hours-scale behaviour).
+// able to deal with circuits of up to a few thousand gates"). Two sections:
+//
+//   1. Circuit-size sweep: solves min-mu sizing at increasing gate counts and
+//      reports wall time for both methods (the full-space NLP is capped at
+//      300 gates by default; STATSIZE_METHOD=full lifts that to reproduce the
+//      paper's hours-scale behaviour).
+//   2. Thread-scaling sweep: SSTA propagation and Monte Carlo on the largest
+//      DAG across --jobs 1/2/4/hw, with a determinism cross-check (parallel
+//      results must be bit-identical to 1-thread results; see DESIGN.md §7).
+//
+// Machine-readable results go to BENCH_scaling.json via bench::JsonArtifact.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "core/sizer.h"
 #include "netlist/generators.h"
+#include "runtime/runtime.h"
+#include "ssta/monte_carlo.h"
+#include "ssta/ssta.h"
+
+namespace {
+
+using namespace statsize;
+
+netlist::Circuit scaling_dag(int gates) {
+  netlist::RandomDagParams p;
+  p.num_gates = gates;
+  p.num_inputs = 16 + gates / 20;
+  p.depth = 8 + gates / 80;
+  p.seed = 1000 + static_cast<std::uint64_t>(gates);
+  return netlist::make_random_dag(p);
+}
+
+double wall_ms(const std::function<void()>& fn, int reps) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+bool reports_equal(const ssta::TimingReport& a, const ssta::TimingReport& b) {
+  if (a.arrival.size() != b.arrival.size()) return false;
+  for (std::size_t i = 0; i < a.arrival.size(); ++i) {
+    if (a.arrival[i].mu != b.arrival[i].mu || a.arrival[i].var != b.arrival[i].var) return false;
+  }
+  return a.circuit_delay.mu == b.circuit_delay.mu && a.circuit_delay.var == b.circuit_delay.var;
+}
+
+}  // namespace
 
 int main() {
-  using namespace statsize;
-
   std::printf("=== E7: CPU-time scaling of statistical sizing (min mu) ===\n\n");
   std::printf("%8s %8s | %12s %10s | %12s %10s\n", "gates", "depth", "reduced", "mu",
               "full-space", "mu");
@@ -22,15 +69,10 @@ int main() {
   const char* env = std::getenv("STATSIZE_METHOD");
   const bool force_full = env != nullptr && std::string(env) == "full";
 
+  bench::JsonArtifact artifact("scaling");
   int failures = 0;
-  double prev_reduced = 0.0;
   for (int gates : {50, 100, 200, 400, 800, 1600}) {
-    netlist::RandomDagParams p;
-    p.num_gates = gates;
-    p.num_inputs = 16 + gates / 20;
-    p.depth = 8 + gates / 80;
-    p.seed = 1000 + static_cast<std::uint64_t>(gates);
-    const netlist::Circuit c = netlist::make_random_dag(p);
+    const netlist::Circuit c = scaling_dag(gates);
 
     core::SizingSpec spec;
     spec.objective = core::Objective::min_delay(0.0);
@@ -38,6 +80,13 @@ int main() {
     core::SizerOptions ro;
     ro.method = core::Method::kReducedSpace;
     const core::SizingResult rr = core::Sizer(c, spec).run(ro);
+    artifact.add_row()
+        .field("section", "sizing")
+        .field("gates", gates)
+        .field("depth", c.depth())
+        .field("method", "reduced")
+        .field("wall_ms", rr.wall_seconds * 1e3)
+        .field("mu", rr.circuit_delay.mu);
 
     std::string fs_time = "(skipped)";
     std::string fs_mu = "";
@@ -49,6 +98,13 @@ int main() {
       char buf[32];
       std::snprintf(buf, sizeof(buf), "%.2f", rf.circuit_delay.mu);
       fs_mu = buf;
+      artifact.add_row()
+          .field("section", "sizing")
+          .field("gates", gates)
+          .field("depth", c.depth())
+          .field("method", "full-space")
+          .field("wall_ms", rf.wall_seconds * 1e3)
+          .field("mu", rf.circuit_delay.mu);
       if (rf.circuit_delay.mu > rr.circuit_delay.mu * 1.01) {
         std::printf("  [FAIL] full-space clearly worse than reduced at %d gates\n", gates);
         ++failures;
@@ -57,10 +113,75 @@ int main() {
     std::printf("%8d %8d | %12s %10.2f | %12s %10s\n", gates, c.depth(),
                 bench::format_cpu(rr.wall_seconds).c_str(), rr.circuit_delay.mu,
                 fs_time.c_str(), fs_mu.c_str());
-    prev_reduced = rr.wall_seconds;
   }
-  (void)prev_reduced;
 
+  // ---- Thread scaling: analysis kernels on the largest DAG.
+  const int hw = runtime::hardware_threads();
+  std::printf("\n--- thread scaling (1600-gate DAG, %d hardware threads) ---\n", hw);
+  std::printf("%8s | %12s %8s | %12s %8s | %s\n", "threads", "ssta ms", "speedup", "mc ms",
+              "speedup", "deterministic");
+
+  const netlist::Circuit big = scaling_dag(1600);
+  const ssta::DelayCalculator calc(big, {});
+  const std::vector<double> speed(static_cast<std::size_t>(big.num_nodes()), 1.0);
+  const auto delays = calc.all_delays(speed);
+  ssta::MonteCarloOptions mco;
+  mco.num_samples = 20000;
+  mco.seed = 7;
+
+  std::vector<int> thread_counts = {1, 2, 4, hw};
+  std::sort(thread_counts.begin(), thread_counts.end());
+  thread_counts.erase(std::unique(thread_counts.begin(), thread_counts.end()),
+                      thread_counts.end());
+
+  runtime::set_threads(1);
+  const ssta::TimingReport ssta_ref = ssta::run_ssta(big, delays);
+  const ssta::MonteCarloResult mc_ref = ssta::run_monte_carlo(big, delays, mco);
+  double ssta_ms1 = 0.0;
+  double mc_ms1 = 0.0;
+  for (const int t : thread_counts) {
+    runtime::set_threads(t);
+    const bool det = reports_equal(ssta::run_ssta(big, delays), ssta_ref) &&
+                     ssta::run_monte_carlo(big, delays, mco).samples == mc_ref.samples;
+    if (!det) {
+      std::printf("  [FAIL] results at %d threads differ from the 1-thread reference\n", t);
+      ++failures;
+    }
+    const double ssta_ms = wall_ms([&] { ssta::run_ssta(big, delays); }, 5);
+    const double mc_ms = wall_ms([&] { ssta::run_monte_carlo(big, delays, mco); }, 3);
+    if (t == 1) {
+      ssta_ms1 = ssta_ms;
+      mc_ms1 = mc_ms;
+    }
+    std::printf("%8d | %12.3f %7.2fx | %12.3f %7.2fx | %s\n", t, ssta_ms, ssta_ms1 / ssta_ms,
+                mc_ms, mc_ms1 / mc_ms, det ? "yes" : "NO");
+    artifact.add_row()
+        .field("section", "threads")
+        .field("gates", big.num_gates())
+        .field("threads", t)
+        .field("ssta_wall_ms", ssta_ms)
+        .field("mc_wall_ms", mc_ms)
+        .field("mc_samples", mco.num_samples)
+        .field("deterministic", det ? "yes" : "no");
+  }
+  runtime::set_threads(1);
+
+  // Speedup is advisory: a warning on capable hardware, never a failure on
+  // boxes (CI containers) that expose too few cores to show scaling.
+  if (hw >= 4 && mc_ms1 > 0.0) {
+    const double mc_best = wall_ms([&] {
+      runtime::set_threads(std::min(4, hw));
+      ssta::run_monte_carlo(big, delays, mco);
+      runtime::set_threads(1);
+    }, 1);
+    if (mc_best > 0.5 * mc_ms1) {
+      std::printf("  [WARN] Monte Carlo speedup below 2x at 4 threads on this machine\n");
+    }
+  } else if (hw < 4) {
+    std::printf("  [note] only %d hardware thread(s): speedup cannot be demonstrated here\n", hw);
+  }
+
+  artifact.write();
   std::printf("\nE7 SCALING: %s\n", failures == 0 ? "completed (trend recorded above)"
                                                   : "FAILURES detected");
   return failures == 0 ? 0 : 1;

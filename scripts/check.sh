@@ -1,22 +1,46 @@
 #!/usr/bin/env bash
-# Full hygiene gate: configure with AddressSanitizer + UndefinedBehaviorSanitizer,
-# build everything, run the whole test suite under the sanitizers, then run
-# clang-tidy over the sources when it is installed (skipped with a note
-# otherwise — the curated checks live in .clang-tidy).
+# Full hygiene gate: configure with sanitizers, build everything, run the test
+# suite under them, then run clang-tidy over the sources when it is installed
+# (skipped with a note otherwise — the curated checks live in .clang-tidy).
 #
-# Usage: scripts/check.sh [build-dir]   (default: build-check)
+# Sanitizer selection: STATSIZE_SANITIZE=address,undefined (default) or
+# STATSIZE_SANITIZE=thread. ThreadSanitizer cannot be combined with ASan, so
+# the thread configuration is a separate run in its own build directory and
+# focuses on the concurrency surface: the parallel runtime's own tests plus
+# the SSTA/Monte Carlo engines that fan out across the pool.
+#
+# Usage: scripts/check.sh [build-dir]
+#   default build dir: build-check (address,undefined) / build-tsan (thread)
 set -eu
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD_DIR="${1:-$REPO_ROOT/build-check}"
+SANITIZE="${STATSIZE_SANITIZE:-address,undefined}"
 
-echo "== configure (ASan+UBSan) =="
+if [ "$SANITIZE" = "thread" ]; then
+  BUILD_DIR="${1:-$REPO_ROOT/build-tsan}"
+else
+  BUILD_DIR="${1:-$REPO_ROOT/build-check}"
+fi
+
+echo "== configure ($SANITIZE) =="
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
-  -DSTATSIZE_SANITIZE=address,undefined \
+  -DSTATSIZE_SANITIZE="$SANITIZE" \
   -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 
 echo "== build =="
 cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+if [ "$SANITIZE" = "thread" ]; then
+  # TSan run: exercise the thread pool and the parallel analysis engines with
+  # more threads than the (possibly single-core) host advertises, so races
+  # are exposed even where hardware_concurrency() == 1 would otherwise keep
+  # every code path serial.
+  echo "== ctest under ThreadSanitizer (runtime + parallel engines) =="
+  STATSIZE_JOBS=4 ctest --test-dir "$BUILD_DIR" --output-on-failure \
+    -R 'ThreadPool|Runtime|LevelSchedule|Determinism|ssta_test|SSTA|MonteCarlo'
+  echo "thread-sanitizer checks passed"
+  exit 0
+fi
 
 echo "== ctest under sanitizers =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

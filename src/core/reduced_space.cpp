@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/level_schedule.h"
+#include "runtime/runtime.h"
 #include "ssta/ssta.h"
 #include "stat/clark.h"
 
@@ -31,35 +33,50 @@ NormalRV ReducedEvaluator::eval_with_grad(const std::vector<double>& speed, doub
 
   // ---- Forward sweep, recording the Clark gradient of every pairwise max.
   // Fold convention everywhere: operand A = running accumulator, operand B =
-  // the new fanin/output arrival.
+  // the new fanin/output arrival. Each gate's fold count (fanins - 1) is
+  // known up front, so step slices can be preassigned and the sweep can run
+  // level-parallel: a gate writes only arrival/delay[i] and its own step
+  // slice, and reads strictly-lower-level arrivals. Per-gate arithmetic is
+  // unchanged, so serial and parallel sweeps agree bit-for-bit.
   std::vector<NormalRV> arrival(n);
   std::vector<NormalRV> delay(n);
-  std::vector<ClarkGrad> steps;           // per-gate folds, then PO folds
-  steps.reserve(n);
   std::vector<std::size_t> step_begin(n, 0);
-
+  std::size_t gate_steps = 0;
   for (NodeId id : c.topo_order()) {
     const netlist::Node& node = c.node(id);
-    const std::size_t i = static_cast<std::size_t>(id);
     if (node.kind == NodeKind::kPrimaryInput) continue;
-    step_begin[i] = steps.size();
+    step_begin[static_cast<std::size_t>(id)] = gate_steps;
+    gate_steps += node.fanins.size() - 1;
+  }
+  const std::vector<NodeId>& outs = c.outputs();
+  const std::size_t out_step_begin = gate_steps;
+  std::vector<ClarkGrad> steps(gate_steps + outs.size() - 1);
+
+  auto eval_gate = [&](NodeId id) {
+    const netlist::Node& node = c.node(id);
+    const std::size_t i = static_cast<std::size_t>(id);
     NormalRV u = arrival[static_cast<std::size_t>(node.fanins[0])];
     for (std::size_t k = 1; k < node.fanins.size(); ++k) {
       ClarkGrad g;
       u = stat::clark_max_grad(u, arrival[static_cast<std::size_t>(node.fanins[k])], g);
-      steps.push_back(g);
+      steps[step_begin[i] + (k - 1)] = g;
     }
     delay[i] = calc.delay(id, speed);
     arrival[i] = stat::add(u, delay[i]);
+  };
+  if (runtime::threads() > 1 && c.num_gates() >= 192) {
+    runtime::LevelSchedule(c).for_each_gate(32, eval_gate);
+  } else {
+    for (NodeId id : c.topo_order()) {
+      if (c.node(id).kind == NodeKind::kGate) eval_gate(id);
+    }
   }
 
-  const std::vector<NodeId>& outs = c.outputs();
-  const std::size_t out_step_begin = steps.size();
   NormalRV tmax = arrival[static_cast<std::size_t>(outs[0])];
   for (std::size_t k = 1; k < outs.size(); ++k) {
     ClarkGrad g;
     tmax = stat::clark_max_grad(tmax, arrival[static_cast<std::size_t>(outs[k])], g);
-    steps.push_back(g);
+    steps[out_step_begin + (k - 1)] = g;
   }
 
   // ---- Adjoint sweep.

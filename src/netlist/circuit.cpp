@@ -111,7 +111,39 @@ void Circuit::finalize() {
     }
   }
   topo_ = std::move(topo);
+
+  // Level partition (cached for the parallel runtime's LevelSchedule and for
+  // depth()): level(gate) = 1 + max level over fanins, inputs at level 0.
+  node_level_.assign(nodes_.size(), 0);
+  int max_level = 0;
+  for (NodeId id : topo_) {
+    const Node& n = nodes_[static_cast<std::size_t>(id)];
+    if (n.kind != NodeKind::kGate) continue;
+    int lvl = 1;
+    for (NodeId f : n.fanins) {
+      lvl = std::max(lvl, node_level_[static_cast<std::size_t>(f)] + 1);
+    }
+    node_level_[static_cast<std::size_t>(id)] = lvl;
+    max_level = std::max(max_level, lvl);
+  }
+  gate_levels_.assign(static_cast<std::size_t>(max_level), {});
+  for (NodeId id : topo_) {
+    if (nodes_[static_cast<std::size_t>(id)].kind != NodeKind::kGate) continue;
+    gate_levels_[static_cast<std::size_t>(node_level_[static_cast<std::size_t>(id)] - 1)]
+        .push_back(id);
+  }
+
   finalized_ = true;
+}
+
+const std::vector<std::vector<NodeId>>& Circuit::gate_levels() const {
+  require_finalized();
+  return gate_levels_;
+}
+
+int Circuit::node_level(NodeId id) const {
+  require_finalized();
+  return node_level_.at(static_cast<std::size_t>(id));
 }
 
 const std::vector<NodeId>& Circuit::topo_order() const {
@@ -132,17 +164,7 @@ double Circuit::load_capacitance(NodeId id, const std::vector<double>& speed) co
 
 int Circuit::depth() const {
   require_finalized();
-  std::vector<int> level(nodes_.size(), 0);
-  int max_level = 0;
-  for (NodeId id : topo_) {
-    const Node& n = node(id);
-    if (n.kind != NodeKind::kGate) continue;
-    int lvl = 1;
-    for (NodeId f : n.fanins) lvl = std::max(lvl, level[static_cast<std::size_t>(f)] + 1);
-    level[static_cast<std::size_t>(id)] = lvl;
-    max_level = std::max(max_level, lvl);
-  }
-  return max_level;
+  return static_cast<int>(gate_levels_.size());
 }
 
 CircuitStats compute_stats(const Circuit& circuit) {

@@ -86,6 +86,16 @@ class Circuit {
   /// dependency-respecting traversal (every fanin precedes its fanouts).
   const std::vector<NodeId>& topo_order() const;
 
+  /// Topological level partition of the gates, cached by finalize():
+  /// gate_levels()[k] holds every gate whose longest path from a primary
+  /// input is k+1 edges, in ascending topological-order position. Gates in
+  /// one level have no dependencies on each other — the parallel runtime's
+  /// LevelSchedule executes them concurrently (see src/runtime/).
+  const std::vector<std::vector<NodeId>>& gate_levels() const;
+
+  /// Topological level of node `id` (0 for primary inputs).
+  int node_level(NodeId id) const;
+
   /// Total load capacitance seen by node `id` at the given speed factors:
   /// wire + pad + sum over fanout gates of C_in * S_fanout (eq. 14's
   /// C_load + sum C_in,i S_i). `speed` is indexed by NodeId; inputs ignore it.
@@ -102,6 +112,8 @@ class Circuit {
   std::vector<Node> nodes_;
   std::vector<NodeId> outputs_;
   std::vector<NodeId> topo_;
+  std::vector<std::vector<NodeId>> gate_levels_;  ///< derived by finalize()
+  std::vector<int> node_level_;                   ///< derived by finalize()
   int num_gates_ = 0;
   int num_inputs_ = 0;
   bool finalized_ = false;

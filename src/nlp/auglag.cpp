@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "nlp/tron.h"
+#include "runtime/runtime.h"
 
 namespace statsize::nlp {
 
@@ -37,7 +38,11 @@ AugLagModel::AugLagModel(const Problem& problem, std::vector<double> multipliers
     }
   };
   count_group(problem.objective());
-  for (int j = 0; j < problem.num_constraints(); ++j) count_group(problem.constraint(j));
+  snap_offset_.reserve(static_cast<std::size_t>(problem.num_constraints()));
+  for (int j = 0; j < problem.num_constraints(); ++j) {
+    snap_offset_.push_back(snapshots_.size());
+    count_group(problem.constraint(j));
+  }
   hess_storage_.resize(hess_total);
   std::size_t offset = 0;
   for (ElementSnapshot& s : snapshots_) {
@@ -60,12 +65,21 @@ AugLagModel::AugLagModel(const Problem& problem, std::vector<double> multipliers
 
 double AugLagModel::eval(const std::vector<double>& x, std::vector<double>* grad) {
   const Problem& p = *problem_;
+  const std::size_t m = static_cast<std::size_t>(p.num_constraints());
+  // Both paths below follow the runtime's determinism scheme: constraints
+  // are *evaluated* in parallel into disjoint per-constraint storage, then
+  // *accumulated* serially in constraint order — the identical arithmetic
+  // and order as a plain serial loop, at any thread count.
   if (grad == nullptr) {
     // Value-only probe: cheap pass, snapshot untouched.
     double psi = p.eval_objective(x);
-    for (int j = 0; j < p.num_constraints(); ++j) {
-      const double cj = p.constraint(j).eval(x);
-      psi += -multipliers_[static_cast<std::size_t>(j)] * cj + 0.5 * rho_ * cj * cj;
+    probe_c_.resize(m);
+    runtime::parallel_for(m, 8, [&](std::size_t jb, std::size_t je) {
+      for (std::size_t j = jb; j < je; ++j) probe_c_[j] = p.constraint(static_cast<int>(j)).eval(x);
+    });
+    for (std::size_t j = 0; j < m; ++j) {
+      const double cj = probe_c_[j];
+      psi += -multipliers_[j] * cj + 0.5 * rho_ * cj * cj;
     }
     return psi;
   }
@@ -90,38 +104,52 @@ double AugLagModel::eval(const std::vector<double>& x, std::vector<double>* grad
     ++snap;
   }
 
+  // Phase 1 — parallel over constraints: each j owns c_[j], cgrad_val_[j]
+  // and its snapshot slice [snap_offset_[j], ...), so there are no shared
+  // writes. Element Hessians of constraint j enter H_Psi with weight
+  // y_j = rho c_j - lambda_j.
+  runtime::parallel_for(m, 4, [&](std::size_t jb, std::size_t je) {
+    double lcl[16];
+    double leg[16];
+    for (std::size_t j = jb; j < je; ++j) {
+      const FunctionGroup& g = p.constraint(static_cast<int>(j));
+      auto& vals = cgrad_val_[j];
+      std::size_t vi = 0;
+      double cj = g.constant;
+      for (const LinearTerm& t : g.linear) {
+        cj += t.coef * x[static_cast<std::size_t>(t.var)];
+        vals[vi++] = t.coef;
+      }
+      std::size_t sj = snap_offset_[j];
+      for (const ElementRef& e : g.elements) {
+        const int n = e.fn->arity();
+        for (int i = 0; i < n; ++i) lcl[i] = x[static_cast<std::size_t>(e.vars[i])];
+        cj += e.weight * e.fn->eval(lcl, leg, snapshots_[sj].hess);
+        for (int i = 0; i < n; ++i) vals[vi++] = e.weight * leg[i];
+        ++sj;
+      }
+      c_[j] = cj;
+      const double y = rho_ * cj - multipliers_[j];
+      sj = snap_offset_[j];
+      for (const ElementRef& e : g.elements) {
+        snapshots_[sj].weight = y * e.weight;
+        ++sj;
+      }
+    }
+  });
+
+  // Phase 2 — ordered accumulation: grad Psi += y_j * grad c_j and the psi
+  // fold run in ascending j, matching the serial code bit-for-bit.
   double psi = f;
-  for (int j = 0; j < p.num_constraints(); ++j) {
-    const FunctionGroup& g = p.constraint(j);
-    auto& vals = cgrad_val_[static_cast<std::size_t>(j)];
-    std::size_t vi = 0;
-    double cj = g.constant;
-    for (const LinearTerm& t : g.linear) {
-      cj += t.coef * x[static_cast<std::size_t>(t.var)];
-      vals[vi++] = t.coef;
-    }
-    const std::size_t snap_begin = snap;
-    for (const ElementRef& e : g.elements) {
-      const int n = e.fn->arity();
-      for (int i = 0; i < n; ++i) local[i] = x[static_cast<std::size_t>(e.vars[i])];
-      cj += e.weight * e.fn->eval(local, eg, snapshots_[snap].hess);
-      for (int i = 0; i < n; ++i) vals[vi++] = e.weight * eg[i];
-      ++snap;
-    }
-    c_[static_cast<std::size_t>(j)] = cj;
-    const double y = rho_ * cj - multipliers_[static_cast<std::size_t>(j)];
-    // Element Hessians of this constraint enter H_Psi with weight y.
-    std::size_t sj = snap_begin;
-    for (const ElementRef& e : g.elements) {
-      snapshots_[sj].weight = y * e.weight;
-      ++sj;
-    }
-    // grad Psi += y * grad c_j.
-    const auto& idx = cgrad_idx_[static_cast<std::size_t>(j)];
+  for (std::size_t j = 0; j < m; ++j) {
+    const double cj = c_[j];
+    const double y = rho_ * cj - multipliers_[j];
+    const auto& idx = cgrad_idx_[j];
+    const auto& vals = cgrad_val_[j];
     for (std::size_t k = 0; k < idx.size(); ++k) {
       (*grad)[static_cast<std::size_t>(idx[k])] += y * vals[k];
     }
-    psi += -multipliers_[static_cast<std::size_t>(j)] * cj + 0.5 * rho_ * cj * cj;
+    psi += -multipliers_[j] * cj + 0.5 * rho_ * cj * cj;
   }
   return psi;
 }

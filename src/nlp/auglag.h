@@ -76,7 +76,16 @@ class AugLagModel final : public SmoothModel {
   AugLagModel(const Problem& problem, std::vector<double> multipliers, double rho);
 
   int num_vars() const override { return problem_->num_vars(); }
+
+  /// Psi and (optionally) its gradient. Constraint groups are evaluated in
+  /// parallel on the global runtime pool and accumulated in constraint
+  /// order, so the result is bit-identical to a serial evaluation at any
+  /// thread count (see DESIGN.md §7).
   double eval(const std::vector<double>& x, std::vector<double>* grad) override;
+
+  /// Hessian-vector product from the element snapshots. Stays serial: the
+  /// scatter targets overlap across elements and the CG loop calling it is
+  /// itself sequential; parallelizing it is an open item (ROADMAP).
   void hess_vec(const std::vector<double>& v, std::vector<double>& hv) const override;
 
   void set_rho(double rho) { rho_ = rho; }
@@ -92,19 +101,21 @@ class AugLagModel final : public SmoothModel {
     double* hess;        ///< packed Hessian storage
   };
 
-  void snapshot_group(const FunctionGroup& group, double scale, const std::vector<double>& x,
-                      std::vector<double>& grad);
-
   const Problem* problem_;
   std::vector<double> multipliers_;
   double rho_;
 
   // Snapshot state for hess_vec (refreshed on every gradient evaluation).
+  // Constraint j owns the snapshot slice starting at snap_offset_[j], which
+  // is what lets the gradient evaluation fan constraints out across threads
+  // with no shared writes.
   std::vector<double> c_;                       ///< constraint values
   std::vector<ElementSnapshot> snapshots_;      ///< all elements with weights
+  std::vector<std::size_t> snap_offset_;        ///< constraint j's first snapshot
   std::vector<double> hess_storage_;            ///< packed Hessians, contiguous
   std::vector<std::vector<int>> cgrad_idx_;     ///< sparse grad c_j indices
   std::vector<std::vector<double>> cgrad_val_;  ///< sparse grad c_j values
+  std::vector<double> probe_c_;                 ///< scratch for value-only eval
 };
 
 }  // namespace statsize::nlp

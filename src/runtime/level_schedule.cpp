@@ -1,0 +1,17 @@
+#include "runtime/level_schedule.h"
+
+#include <stdexcept>
+
+namespace statsize::runtime {
+
+LevelSchedule::LevelSchedule(const netlist::Circuit& circuit) {
+  if (!circuit.finalized()) {
+    throw std::logic_error(
+        "LevelSchedule requires a finalized circuit: the topological level "
+        "partition is derived by Circuit::finalize()");
+  }
+  levels_ = &circuit.gate_levels();
+  num_gates_ = circuit.num_gates();
+}
+
+}  // namespace statsize::runtime

@@ -1,0 +1,58 @@
+// Levelized gate scheduler for the parallel runtime.
+//
+// Statistical timing propagation is embarrassingly parallel *within* a
+// topological level: a gate's arrival depends only on fanins, which live at
+// strictly smaller levels, so executing level 1, barrier, level 2, barrier,
+// ... lets every gate in a level run concurrently with no synchronization
+// beyond the barrier. The level partition itself is structural — Circuit
+// computes and caches it once in finalize() (Circuit::gate_levels()); this
+// class binds that cache to the global pool and adds the barriered executor.
+//
+// A LevelSchedule over a non-finalized circuit is rejected with
+// std::logic_error: the level partition does not exist before finalize(),
+// and silently building one from a half-wired graph would schedule gates
+// before their fanins. tests/runtime_test.cpp pins this contract.
+
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/circuit.h"
+#include "runtime/runtime.h"
+
+namespace statsize::runtime {
+
+class LevelSchedule {
+ public:
+  /// Binds to `circuit`'s cached level partition. Throws std::logic_error if
+  /// the circuit is not finalized. The circuit must outlive the schedule.
+  explicit LevelSchedule(const netlist::Circuit& circuit);
+
+  int num_levels() const { return static_cast<int>(levels_->size()); }
+
+  /// Gates at level `l` (0-based; level 0 holds gates fed only by primary
+  /// inputs), in ascending topological-order position.
+  const std::vector<netlist::NodeId>& level(int l) const {
+    return (*levels_)[static_cast<std::size_t>(l)];
+  }
+
+  int num_gates() const { return num_gates_; }
+
+  /// Runs fn(id) for every gate, level by level with a barrier between
+  /// levels and the gates of each level fanned out across the global pool
+  /// (`grain` gates per chunk). fn must only write to slots keyed by id.
+  template <class Fn>
+  void for_each_gate(std::size_t grain, Fn&& fn) const {
+    for (const std::vector<netlist::NodeId>& lvl : *levels_) {
+      parallel_for(lvl.size(), grain, [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) fn(lvl[i]);
+      });
+    }
+  }
+
+ private:
+  const std::vector<std::vector<netlist::NodeId>>* levels_;
+  int num_gates_ = 0;
+};
+
+}  // namespace statsize::runtime

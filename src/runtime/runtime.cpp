@@ -1,0 +1,71 @@
+#include "runtime/runtime.h"
+
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace statsize::runtime {
+
+namespace {
+
+std::mutex g_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+int g_threads = 0;  // 0 = not yet resolved
+
+int default_threads() {
+  if (const char* env = std::getenv("STATSIZE_JOBS")) {
+    try {
+      const int n = std::stoi(env);
+      if (n >= 1) return n;
+    } catch (...) {
+      // Malformed STATSIZE_JOBS falls through to hardware concurrency; the
+      // CLI layer validates its own --jobs flag loudly.
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int threads_locked() {
+  if (g_threads == 0) g_threads = default_threads();
+  return g_threads;
+}
+
+}  // namespace
+
+int threads() {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  return threads_locked();
+}
+
+void set_threads(int n) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  if (n < 1) n = 1;
+  if (n == g_threads) return;
+  g_threads = n;
+  g_pool.reset();
+}
+
+int hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool& global_pool() {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(threads_locked());
+  return *g_pool;
+}
+
+void parallel_for(std::size_t n, std::size_t grain, RangeFn body) {
+  if (n == 0) return;
+  if (threads() == 1 || n <= (grain == 0 ? 1 : grain)) {
+    body(0, n);
+    return;
+  }
+  global_pool().parallel_for(n, grain, body);
+}
+
+}  // namespace statsize::runtime

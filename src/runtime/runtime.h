@@ -1,0 +1,90 @@
+// Process-global execution runtime: one shared ThreadPool plus deterministic
+// parallel-iteration helpers. Everything hot in statsize (SSTA propagation,
+// Monte Carlo sharding, NLP constraint evaluation) funnels through this
+// header so a single knob controls parallelism everywhere:
+//
+//   * runtime::set_threads(n)      — programmatic (CLI --jobs)
+//   * STATSIZE_JOBS=<n>            — environment default
+//   * std::thread::hardware_concurrency() otherwise
+//
+// Determinism contract: every helper here either (a) writes results to
+// disjoint index-keyed slots (parallel_for), or (b) computes fixed-size block
+// partials and combines them in ascending block order on the calling thread
+// (parallel_sum_blocks / parallel_max_blocks). Block boundaries depend only
+// on the problem size, never on the thread count, so numerical results are
+// bit-identical for --jobs 1, --jobs N, and the serial fallback.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+
+namespace statsize::runtime {
+
+/// Current global thread-count setting (>= 1). First use reads STATSIZE_JOBS,
+/// falling back to hardware concurrency.
+int threads();
+
+/// Overrides the global thread count (clamped to >= 1) and drops the old
+/// pool; the next parallel call lazily builds a pool of the new size. Not
+/// safe to call concurrently with in-flight parallel work.
+void set_threads(int n);
+
+/// Threads the hardware offers (>= 1), independent of the current setting.
+int hardware_threads();
+
+/// The shared pool at the current thread-count setting (lazily constructed).
+ThreadPool& global_pool();
+
+/// parallel_for over [0, n) on the global pool; runs inline when the setting
+/// is 1 thread or the range fits one grain. body(b, e) must only write to
+/// slots keyed by the index — the scheduler decides nothing about values.
+void parallel_for(std::size_t n, std::size_t grain, RangeFn body);
+
+/// Deterministic blocked sum: partials[b] = block_sum(block begin, end) are
+/// computed in parallel, then folded left-to-right in block order. The block
+/// partition depends only on (n, block), so the result is bit-identical at
+/// any thread count (but differs, in general, from a single left fold —
+/// callers pick one partition and stick to it).
+template <class BlockSumFn>
+double parallel_sum_blocks(std::size_t n, std::size_t block, BlockSumFn&& block_sum) {
+  if (n == 0) return 0.0;
+  if (block == 0) block = 1;
+  const std::size_t num_blocks = (n + block - 1) / block;
+  std::vector<double> partials(num_blocks);
+  parallel_for(num_blocks, 1, [&](std::size_t bb, std::size_t be) {
+    for (std::size_t b = bb; b < be; ++b) {
+      const std::size_t lo = b * block;
+      const std::size_t hi = lo + block < n ? lo + block : n;
+      partials[b] = block_sum(lo, hi);
+    }
+  });
+  double acc = 0.0;
+  for (const double p : partials) acc += p;
+  return acc;
+}
+
+/// Deterministic blocked max (max is exactly associative for non-NaN
+/// doubles, so this equals the serial left fold bit-for-bit).
+template <class BlockMaxFn>
+double parallel_max_blocks(std::size_t n, std::size_t block, double identity,
+                           BlockMaxFn&& block_max) {
+  if (n == 0) return identity;
+  if (block == 0) block = 1;
+  const std::size_t num_blocks = (n + block - 1) / block;
+  std::vector<double> partials(num_blocks, identity);
+  parallel_for(num_blocks, 1, [&](std::size_t bb, std::size_t be) {
+    for (std::size_t b = bb; b < be; ++b) {
+      const std::size_t lo = b * block;
+      const std::size_t hi = lo + block < n ? lo + block : n;
+      partials[b] = block_max(lo, hi);
+    }
+  });
+  double acc = identity;
+  for (const double p : partials) acc = acc > p ? acc : p;
+  return acc;
+}
+
+}  // namespace statsize::runtime

@@ -1,0 +1,175 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+namespace statsize::runtime {
+
+namespace {
+
+/// Shared state of one parallel_for invocation. Heap-allocated and held via
+/// shared_ptr by every helper task so a helper scheduled after the loop
+/// already finished can still touch it safely (it just sees no work left).
+struct ForJob {
+  std::size_t n = 0;
+  std::size_t grain = 1;
+  std::size_t total_chunks = 0;
+  const RangeFn* body = nullptr;
+
+  std::atomic<std::size_t> next{0};  // next unclaimed chunk
+  std::atomic<std::size_t> done{0};  // completed chunks
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::exception_ptr error;  // first failure, guarded by mutex
+
+  /// Marks `count` chunks as retired and wakes the waiter when every chunk
+  /// is accounted for (executed, or skipped by cancellation).
+  void retire(std::size_t count) {
+    if (done.fetch_add(count, std::memory_order_acq_rel) + count == total_chunks) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      cv.notify_all();
+    }
+  }
+
+  /// Claims and runs chunks until none are left. Returns once this
+  /// participant cannot obtain more work (others may still be mid-chunk).
+  void drain() {
+    for (;;) {
+      const std::size_t chunk = next.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= total_chunks) return;
+      const std::size_t begin = chunk * grain;
+      const std::size_t end = std::min(begin + grain, n);
+      try {
+        (*body)(begin, end);
+        retire(1);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(mutex);
+          if (!error) error = std::current_exception();
+        }
+        // Cancel further claims. The exchange is an atomic RMW, so claims
+        // serialize against it: every value below `old` was (or will be)
+        // claimed by exactly one participant and retires itself; values in
+        // [old, total_chunks) can never be claimed, so this thread retires
+        // them on their behalf — otherwise wait() would block forever on a
+        // done count that can no longer reach total_chunks. A concurrent
+        // second canceller sees old >= total_chunks and retires only its own
+        // chunk, so nothing is double-counted.
+        const std::size_t old =
+            std::min(next.exchange(total_chunks, std::memory_order_relaxed), total_chunks);
+        retire(1 + (total_chunks - old));
+      }
+    }
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [this] { return done.load(std::memory_order_acquire) == total_chunks; });
+  }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int workers = std::max(1, num_threads) - 1;
+  deques_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) deques_.push_back(std::make_unique<Deque>());
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { worker_main(static_cast<std::size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_release);
+  {
+    const std::lock_guard<std::mutex> lock(sleep_mutex_);
+    sleep_cv_.notify_all();
+  }
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (deques_.empty()) {  // single-threaded pool: run inline
+    task();
+    return;
+  }
+  const std::size_t slot = next_deque_.fetch_add(1, std::memory_order_relaxed) % deques_.size();
+  {
+    const std::lock_guard<std::mutex> lock(deques_[slot]->mutex);
+    deques_[slot]->tasks.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  {
+    const std::lock_guard<std::mutex> lock(sleep_mutex_);
+    sleep_cv_.notify_one();
+  }
+}
+
+bool ThreadPool::try_run_one(std::size_t self) {
+  std::function<void()> task;
+  // Own deque first (back = most recently pushed, cache-warm) ...
+  {
+    Deque& own = *deques_[self];
+    const std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+    }
+  }
+  // ... then steal the oldest task from a sibling.
+  if (!task) {
+    for (std::size_t k = 1; k < deques_.size() && !task; ++k) {
+      Deque& victim = *deques_[(self + k) % deques_.size()];
+      const std::lock_guard<std::mutex> lock(victim.mutex);
+      if (!victim.tasks.empty()) {
+        task = std::move(victim.tasks.front());
+        victim.tasks.pop_front();
+      }
+    }
+  }
+  if (!task) return false;
+  pending_.fetch_sub(1, std::memory_order_release);
+  task();
+  return true;
+}
+
+void ThreadPool::worker_main(std::size_t self) {
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (try_run_one(self)) continue;
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    sleep_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, std::size_t grain, RangeFn body) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  if (deques_.empty() || n <= grain) {
+    body(0, n);
+    return;
+  }
+  auto job = std::make_shared<ForJob>();
+  job->n = n;
+  job->grain = grain;
+  job->total_chunks = (n + grain - 1) / grain;
+  job->body = &body;
+
+  // One helper per worker, capped by the chunk count (the caller is the
+  // remaining participant). Helpers that wake up late find no work and exit.
+  const std::size_t helpers =
+      std::min(workers_.size(), job->total_chunks > 1 ? job->total_chunks - 1 : 0);
+  for (std::size_t i = 0; i < helpers; ++i) {
+    submit([job] { job->drain(); });
+  }
+  job->drain();
+  job->wait();
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+}  // namespace statsize::runtime

@@ -1,0 +1,99 @@
+// Work-stealing thread pool with a blocking parallel_for.
+//
+// Design targets (see DESIGN.md §7):
+//   * Determinism. parallel_for hands each index range to exactly one
+//     participant and all outputs go to disjoint slots chosen by index, so a
+//     result never depends on which worker ran which chunk. Reductions are
+//     NOT performed here — callers combine per-block partials in block order
+//     (runtime.h provides the helpers), which is what makes parallel results
+//     bit-identical at any thread count.
+//   * Nested safety. The calling thread always participates in its own
+//     parallel_for (self-scheduling chunk claiming), so a parallel_for issued
+//     from inside a worker completes even when every other worker is busy —
+//     nesting can starve parallelism but never deadlock.
+//   * Exceptions. The first exception thrown by any chunk is captured,
+//     further chunk claims are cancelled, and the exception is rethrown on
+//     the calling thread once in-flight chunks have drained.
+//
+// Task submission uses per-worker deques: a worker pops its own deque from
+// the back (LIFO, cache-warm) and steals from other deques from the front
+// (FIFO, oldest first). parallel_for layers self-scheduling on top: helpers
+// and the caller claim fixed-size chunks off a shared atomic cursor, so load
+// balance does not depend on the initial task placement.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace statsize::runtime {
+
+/// Non-owning reference to a callable `void(std::size_t begin, std::size_t
+/// end)` — avoids a std::function allocation per parallel_for call. The
+/// referenced callable must outlive the call (parallel_for blocks, so stack
+/// lambdas are safe).
+class RangeFn {
+ public:
+  template <class F, class = std::enable_if_t<!std::is_same_v<std::decay_t<F>, RangeFn>>>
+  RangeFn(const F& f)  // NOLINT(google-explicit-constructor): by-design implicit
+      : obj_(&f), call_([](const void* o, std::size_t b, std::size_t e) {
+          (*static_cast<const F*>(o))(b, e);
+        }) {}
+
+  void operator()(std::size_t begin, std::size_t end) const { call_(obj_, begin, end); }
+
+ private:
+  const void* obj_;
+  void (*call_)(const void*, std::size_t, std::size_t);
+};
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers: the thread calling parallel_for is
+  /// always the remaining participant. num_threads < 1 is clamped to 1 (no
+  /// workers; everything runs inline on the caller).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Fire-and-forget task, queued on a worker deque (round-robin) and
+  /// stealable by any other worker. Tasks must not throw.
+  void submit(std::function<void()> task);
+
+  /// Runs body(b, e) over subranges that exactly tile [0, n), blocking until
+  /// all of it is done. Chunks are `grain` indices (last one ragged). Chunk
+  /// claiming is dynamic but the work done per index is fixed, so any writes
+  /// keyed by index land identically at every thread count.
+  void parallel_for(std::size_t n, std::size_t grain, RangeFn body);
+
+ private:
+  struct Deque {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_main(std::size_t self);
+  bool try_run_one(std::size_t self);
+
+  std::vector<std::unique_ptr<Deque>> deques_;  // one per worker
+  std::vector<std::thread> workers_;
+  std::atomic<std::size_t> next_deque_{0};
+  std::atomic<std::size_t> pending_{0};  // queued-but-unstarted task count
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace statsize::runtime

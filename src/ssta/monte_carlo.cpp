@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <mutex>
 #include <random>
 #include <stdexcept>
+
+#include "runtime/runtime.h"
 
 namespace statsize::ssta {
 
@@ -26,6 +30,22 @@ double MonteCarloResult::yield(double deadline) const {
 }
 
 namespace {
+
+/// Samples are drawn in fixed chunks of kChunkSamples trials; chunk i uses
+/// its own RNG stream seeded from (seed, i). The chunk partition depends only
+/// on the sample count, chunks write to disjoint sample slots, and per-chunk
+/// moment partials are combined in chunk order on one thread — so every
+/// number out of this engine is bit-identical at any thread count (and
+/// independent of which worker ran which chunk).
+constexpr int kChunkSamples = 256;
+
+/// splitmix64 over (seed, stream): decorrelated, cheap per-chunk streams.
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
 
 /// One trial: sample delays, propagate, return (delay, critical PO).
 template <class SampleFn>
@@ -55,6 +75,33 @@ double propagate_once(const netlist::Circuit& circuit, SampleFn&& sample_delay,
   return total;
 }
 
+/// Runs trials [first, last) of the experiment defined by (options, chunk)
+/// with the chunk's private RNG stream; on_trial(trial, total, arrival).
+template <class OnTrial>
+void run_chunk(const netlist::Circuit& circuit, const std::vector<stat::NormalRV>& gate_delays,
+               const MonteCarloOptions& options, std::size_t chunk, OnTrial&& on_trial) {
+  std::mt19937_64 rng(stream_seed(options.seed, chunk));
+  std::normal_distribution<double> unit(0.0, 1.0);
+  std::vector<double> arrival(static_cast<std::size_t>(circuit.num_nodes()));
+  const int first = static_cast<int>(chunk) * kChunkSamples;
+  const int last = std::min(first + kChunkSamples, options.num_samples);
+  for (int trial = first; trial < last; ++trial) {
+    auto sample_delay = [&](NodeId id) {
+      const stat::NormalRV& d = gate_delays[static_cast<std::size_t>(id)];
+      double t = d.mu + d.sigma() * unit(rng);
+      if (options.truncate_negative_delays && t < 0.0) t = 0.0;
+      return t;
+    };
+    NodeId crit = netlist::kInvalidNode;
+    const double total = propagate_once(circuit, sample_delay, arrival, &crit);
+    on_trial(trial, total, crit, arrival);
+  }
+}
+
+std::size_t num_chunks(const MonteCarloOptions& options) {
+  return (static_cast<std::size_t>(options.num_samples) + kChunkSamples - 1) / kChunkSamples;
+}
+
 }  // namespace
 
 MonteCarloResult run_monte_carlo(const netlist::Circuit& circuit,
@@ -63,25 +110,33 @@ MonteCarloResult run_monte_carlo(const netlist::Circuit& circuit,
   if (static_cast<int>(gate_delays.size()) != circuit.num_nodes()) {
     throw std::invalid_argument("gate_delays must be indexed by NodeId");
   }
-  std::mt19937_64 rng(options.seed);
-  std::normal_distribution<double> unit(0.0, 1.0);
-  std::vector<double> arrival(static_cast<std::size_t>(circuit.num_nodes()));
-
+  const std::size_t chunks = num_chunks(options);
   MonteCarloResult result;
-  result.samples.reserve(static_cast<std::size_t>(options.num_samples));
+  result.samples.resize(static_cast<std::size_t>(options.num_samples));
+  std::vector<double> chunk_sum(chunks, 0.0);
+  std::vector<double> chunk_sum2(chunks, 0.0);
+
+  runtime::parallel_for(chunks, 1, [&](std::size_t cb, std::size_t ce) {
+    for (std::size_t c = cb; c < ce; ++c) {
+      double sum = 0.0;
+      double sum2 = 0.0;
+      run_chunk(circuit, gate_delays, options, c,
+                [&](int trial, double total, NodeId, const std::vector<double>&) {
+                  result.samples[static_cast<std::size_t>(trial)] = total;
+                  sum += total;
+                  sum2 += total * total;
+                });
+      chunk_sum[c] = sum;
+      chunk_sum2[c] = sum2;
+    }
+  });
+
+  // Ordered combine: moments fold over chunks in index order.
   double sum = 0.0;
   double sum2 = 0.0;
-  for (int trial = 0; trial < options.num_samples; ++trial) {
-    auto sample_delay = [&](NodeId id) {
-      const stat::NormalRV& d = gate_delays[static_cast<std::size_t>(id)];
-      double t = d.mu + d.sigma() * unit(rng);
-      if (options.truncate_negative_delays && t < 0.0) t = 0.0;
-      return t;
-    };
-    const double total = propagate_once(circuit, sample_delay, arrival, nullptr);
-    result.samples.push_back(total);
-    sum += total;
-    sum2 += total * total;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    sum += chunk_sum[c];
+    sum2 += chunk_sum2[c];
   }
   std::sort(result.samples.begin(), result.samples.end());
   const double n = static_cast<double>(options.num_samples);
@@ -98,37 +153,35 @@ std::vector<double> monte_carlo_criticality(const netlist::Circuit& circuit,
   if (static_cast<int>(gate_delays.size()) != circuit.num_nodes()) {
     throw std::invalid_argument("gate_delays must be indexed by NodeId");
   }
-  std::mt19937_64 rng(options.seed);
-  std::normal_distribution<double> unit(0.0, 1.0);
-  std::vector<double> arrival(static_cast<std::size_t>(circuit.num_nodes()));
-  std::vector<double> sampled(static_cast<std::size_t>(circuit.num_nodes()));
+  const std::size_t chunks = num_chunks(options);
   std::vector<long> hits(static_cast<std::size_t>(circuit.num_nodes()), 0);
+  std::mutex hits_mutex;  // integer merge: exact, order-independent
 
-  for (int trial = 0; trial < options.num_samples; ++trial) {
-    auto sample_delay = [&](NodeId id) {
-      const stat::NormalRV& d = gate_delays[static_cast<std::size_t>(id)];
-      double t = d.mu + d.sigma() * unit(rng);
-      if (options.truncate_negative_delays && t < 0.0) t = 0.0;
-      sampled[static_cast<std::size_t>(id)] = t;
-      return t;
-    };
-    NodeId crit = netlist::kInvalidNode;
-    propagate_once(circuit, sample_delay, arrival, &crit);
-    // Walk back along argmax fanins from the critical output to an input.
-    NodeId cur = crit;
-    while (circuit.node(cur).kind == NodeKind::kGate) {
-      ++hits[static_cast<std::size_t>(cur)];
-      const netlist::Node& n = circuit.node(cur);
-      NodeId best = n.fanins[0];
-      for (std::size_t i = 1; i < n.fanins.size(); ++i) {
-        if (arrival[static_cast<std::size_t>(n.fanins[i])] >
-            arrival[static_cast<std::size_t>(best)]) {
-          best = n.fanins[i];
-        }
-      }
-      cur = best;
+  runtime::parallel_for(chunks, 1, [&](std::size_t cb, std::size_t ce) {
+    std::vector<long> local(hits.size(), 0);
+    for (std::size_t c = cb; c < ce; ++c) {
+      run_chunk(circuit, gate_delays, options, c,
+                [&](int, double, NodeId crit, const std::vector<double>& arrival) {
+                  // Walk back along argmax fanins from the critical output.
+                  NodeId cur = crit;
+                  while (circuit.node(cur).kind == NodeKind::kGate) {
+                    ++local[static_cast<std::size_t>(cur)];
+                    const netlist::Node& n = circuit.node(cur);
+                    NodeId best = n.fanins[0];
+                    for (std::size_t i = 1; i < n.fanins.size(); ++i) {
+                      if (arrival[static_cast<std::size_t>(n.fanins[i])] >
+                          arrival[static_cast<std::size_t>(best)]) {
+                        best = n.fanins[i];
+                      }
+                    }
+                    cur = best;
+                  }
+                });
     }
-  }
+    const std::lock_guard<std::mutex> lock(hits_mutex);
+    for (std::size_t i = 0; i < hits.size(); ++i) hits[i] += local[i];
+  });
+
   std::vector<double> criticality(static_cast<std::size_t>(circuit.num_nodes()), 0.0);
   for (std::size_t i = 0; i < hits.size(); ++i) {
     criticality[i] = static_cast<double>(hits[i]) / options.num_samples;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "runtime/level_schedule.h"
+#include "runtime/runtime.h"
 #include "stat/clark.h"
 
 namespace statsize::ssta {
@@ -10,6 +12,20 @@ namespace statsize::ssta {
 using netlist::NodeId;
 using netlist::NodeKind;
 using stat::NormalRV;
+
+namespace {
+
+/// Below this gate count the levelized fan-out costs more than it saves.
+/// Results are identical either way: each gate's fanin fold is a fixed
+/// serial computation; parallelism only changes which thread runs it.
+constexpr int kParallelGateCutoff = 192;
+constexpr std::size_t kGateGrain = 32;
+
+bool use_parallel(const netlist::Circuit& circuit) {
+  return runtime::threads() > 1 && circuit.num_gates() >= kParallelGateCutoff;
+}
+
+}  // namespace
 
 TimingReport run_ssta(const netlist::Circuit& circuit, const std::vector<NormalRV>& gate_delays,
                       const std::vector<NormalRV>& input_arrivals) {
@@ -19,22 +35,36 @@ TimingReport run_ssta(const netlist::Circuit& circuit, const std::vector<NormalR
   TimingReport report;
   report.arrival.resize(static_cast<std::size_t>(circuit.num_nodes()));
 
+  // Primary inputs take their schedule time; ordinal = position among the
+  // inputs in topological order (stable whether or not gates run in
+  // parallel below).
   int pi_index = 0;
   for (NodeId id : circuit.topo_order()) {
-    const netlist::Node& n = circuit.node(id);
-    if (n.kind == NodeKind::kPrimaryInput) {
+    if (circuit.node(id).kind == NodeKind::kPrimaryInput) {
       report.arrival[static_cast<std::size_t>(id)] =
           input_arrivals[static_cast<std::size_t>(pi_index++)];
-      continue;
     }
-    // U = statistical max over fanin arrivals (left fold of the pairwise
-    // Clark max, exactly as eq. 18b), then T = U + t (eq. 4).
+  }
+
+  // U = statistical max over fanin arrivals (left fold of the pairwise
+  // Clark max, exactly as eq. 18b), then T = U + t (eq. 4). Each gate reads
+  // only strictly-lower-level arrivals and writes its own slot, so gates of
+  // one level run concurrently with bit-identical results.
+  auto eval_gate = [&](NodeId id) {
+    const netlist::Node& n = circuit.node(id);
     NormalRV u = report.arrival[static_cast<std::size_t>(n.fanins[0])];
     for (std::size_t i = 1; i < n.fanins.size(); ++i) {
       u = stat::clark_max(u, report.arrival[static_cast<std::size_t>(n.fanins[i])]);
     }
     report.arrival[static_cast<std::size_t>(id)] =
         stat::add(u, gate_delays[static_cast<std::size_t>(id)]);
+  };
+  if (use_parallel(circuit)) {
+    runtime::LevelSchedule(circuit).for_each_gate(kGateGrain, eval_gate);
+  } else {
+    for (NodeId id : circuit.topo_order()) {
+      if (circuit.node(id).kind == NodeKind::kGate) eval_gate(id);
+    }
   }
 
   const std::vector<NodeId>& outs = circuit.outputs();
@@ -65,15 +95,21 @@ StaReport run_sta(const netlist::Circuit& circuit, const std::vector<NormalRV>& 
   const double k = corner == Corner::kBest ? -3.0 : corner == Corner::kWorst ? 3.0 : 0.0;
   StaReport report;
   report.arrival.resize(static_cast<std::size_t>(circuit.num_nodes()), 0.0);
-  for (NodeId id : circuit.topo_order()) {
+  auto eval_gate = [&](NodeId id) {
     const netlist::Node& n = circuit.node(id);
-    if (n.kind == NodeKind::kPrimaryInput) continue;
     double u = report.arrival[static_cast<std::size_t>(n.fanins[0])];
     for (std::size_t i = 1; i < n.fanins.size(); ++i) {
       u = std::max(u, report.arrival[static_cast<std::size_t>(n.fanins[i])]);
     }
     report.arrival[static_cast<std::size_t>(id)] =
         u + gate_delays[static_cast<std::size_t>(id)].quantile_offset(k);
+  };
+  if (use_parallel(circuit)) {
+    runtime::LevelSchedule(circuit).for_each_gate(kGateGrain, eval_gate);
+  } else {
+    for (NodeId id : circuit.topo_order()) {
+      if (circuit.node(id).kind == NodeKind::kGate) eval_gate(id);
+    }
   }
   double total = 0.0;
   for (NodeId o : circuit.outputs()) {

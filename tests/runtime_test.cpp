@@ -1,0 +1,323 @@
+// Tests for the parallel execution runtime (src/runtime/): thread-pool
+// lifecycle, exception propagation, nested submission, the levelized
+// scheduler's finalization contract, and — the load-bearing property — that
+// SSTA, Monte Carlo and NLP evaluation produce bit-identical results at any
+// thread count (serial path, --jobs 1, --jobs N).
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/full_space.h"
+#include "core/reduced_space.h"
+#include "netlist/generators.h"
+#include "nlp/auglag.h"
+#include "nlp/problem.h"
+#include "runtime/level_schedule.h"
+#include "runtime/runtime.h"
+#include "runtime/thread_pool.h"
+#include "ssta/delay_model.h"
+#include "ssta/monte_carlo.h"
+#include "ssta/ssta.h"
+
+namespace {
+
+using namespace statsize;
+
+/// Restores the global thread setting on scope exit so tests do not leak
+/// their --jobs override into each other.
+class ThreadGuard {
+ public:
+  ThreadGuard() : saved_(runtime::threads()) {}
+  ~ThreadGuard() { runtime::set_threads(saved_); }
+
+ private:
+  int saved_;
+};
+
+netlist::Circuit medium_dag(int gates = 400) {
+  netlist::RandomDagParams p;
+  p.num_gates = gates;
+  p.num_inputs = 24;
+  p.depth = 12;
+  p.seed = 7;
+  return netlist::make_random_dag(p);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, StartStopRepeatedly) {
+  for (int threads : {1, 2, 4}) {
+    for (int round = 0; round < 3; ++round) {
+      runtime::ThreadPool pool(threads);
+      EXPECT_EQ(pool.num_threads(), threads);
+      std::atomic<int> ran{0};
+      for (int i = 0; i < 16; ++i) {
+        pool.submit([&ran] { ran.fetch_add(1); });
+      }
+      // parallel_for is a full barrier over its own work; drain the async
+      // submissions by destroying the pool below (joins workers) — but the
+      // tasks must have been queued without deadlock either way.
+      pool.parallel_for(64, 8, [](std::size_t, std::size_t) {});
+      (void)ran;
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  runtime::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1013);
+  pool.parallel_for(hits.size(), 7, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives) {
+  runtime::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(1000, 8,
+                                 [](std::size_t b, std::size_t) {
+                                   if (b >= 500) throw std::runtime_error("chunk failed");
+                                 }),
+               std::runtime_error);
+  // The pool must stay usable after a failed loop.
+  std::atomic<int> count{0};
+  pool.parallel_for(100, 8, [&](std::size_t b, std::size_t e) {
+    count.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  runtime::ThreadPool pool(4);
+  std::atomic<long> total{0};
+  pool.parallel_for(8, 1, [&](std::size_t ob, std::size_t oe) {
+    for (std::size_t o = ob; o < oe; ++o) {
+      pool.parallel_for(64, 4, [&](std::size_t b, std::size_t e) {
+        total.fetch_add(static_cast<long>(e - b));
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 8 * 64);
+}
+
+TEST(Runtime, SetThreadsClampsAndSticks) {
+  ThreadGuard guard;
+  runtime::set_threads(0);
+  EXPECT_EQ(runtime::threads(), 1);
+  runtime::set_threads(3);
+  EXPECT_EQ(runtime::threads(), 3);
+  EXPECT_EQ(runtime::global_pool().num_threads(), 3);
+}
+
+TEST(Runtime, BlockedReductionsAreThreadCountInvariant) {
+  ThreadGuard guard;
+  std::vector<double> data(10000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = 1e-3 * static_cast<double>((i * 2654435761U) % 1000) - 0.3;
+  }
+  auto block_sum = [&](std::size_t b, std::size_t e) {
+    double acc = 0.0;
+    for (std::size_t i = b; i < e; ++i) acc += data[i];
+    return acc;
+  };
+  runtime::set_threads(1);
+  const double s1 = runtime::parallel_sum_blocks(data.size(), 128, block_sum);
+  runtime::set_threads(4);
+  const double s4 = runtime::parallel_sum_blocks(data.size(), 128, block_sum);
+  EXPECT_EQ(s1, s4);  // bitwise: same blocks, same combine order
+}
+
+// ---------------------------------------------------------------------------
+// LevelSchedule
+// ---------------------------------------------------------------------------
+
+TEST(LevelSchedule, RejectsNonFinalizedCircuit) {
+  const netlist::CellLibrary& lib = netlist::CellLibrary::standard();
+  netlist::Circuit c(lib);
+  const netlist::NodeId a = c.add_input("a");
+  c.add_gate(lib.cell_for_inputs(1), {a}, "g");
+  EXPECT_THROW(runtime::LevelSchedule sched(c), std::logic_error);
+}
+
+TEST(LevelSchedule, LevelsRespectDependenciesAndCoverAllGates) {
+  const netlist::Circuit c = medium_dag();
+  const runtime::LevelSchedule sched(c);
+  EXPECT_EQ(sched.num_levels(), c.depth());
+  int seen = 0;
+  for (int l = 0; l < sched.num_levels(); ++l) {
+    for (netlist::NodeId id : sched.level(l)) {
+      EXPECT_EQ(c.node_level(id), l + 1);
+      for (netlist::NodeId f : c.node(id).fanins) {
+        EXPECT_LT(c.node_level(f), l + 1) << "fanin scheduled at or after its sink";
+      }
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, c.num_gates());
+}
+
+TEST(LevelSchedule, ForEachGateVisitsEveryGateOnce) {
+  ThreadGuard guard;
+  runtime::set_threads(4);
+  const netlist::Circuit c = medium_dag();
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(c.num_nodes()));
+  runtime::LevelSchedule(c).for_each_gate(8, [&](netlist::NodeId id) {
+    hits[static_cast<std::size_t>(id)].fetch_add(1);
+  });
+  for (netlist::NodeId id : c.topo_order()) {
+    const int expect = c.node(id).kind == netlist::NodeKind::kGate ? 1 : 0;
+    EXPECT_EQ(hits[static_cast<std::size_t>(id)].load(), expect);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism across thread counts — the acceptance bar for the runtime.
+// ---------------------------------------------------------------------------
+
+TEST(Determinism, SstaArrivalsBitwiseEqualAcrossThreadCounts) {
+  ThreadGuard guard;
+  const netlist::Circuit c = medium_dag();
+  const ssta::DelayCalculator calc(c, {0.25, 0.0});
+  const std::vector<double> speed(static_cast<std::size_t>(c.num_nodes()), 1.3);
+  const auto delays = calc.all_delays(speed);
+
+  runtime::set_threads(1);  // serial branch (below parallel cutoff by thread count)
+  const ssta::TimingReport serial = ssta::run_ssta(c, delays);
+  for (int threads : {2, 4}) {
+    runtime::set_threads(threads);
+    const ssta::TimingReport par = ssta::run_ssta(c, delays);
+    ASSERT_EQ(par.arrival.size(), serial.arrival.size());
+    for (std::size_t i = 0; i < serial.arrival.size(); ++i) {
+      EXPECT_EQ(par.arrival[i].mu, serial.arrival[i].mu) << "node " << i;
+      EXPECT_EQ(par.arrival[i].var, serial.arrival[i].var) << "node " << i;
+    }
+    EXPECT_EQ(par.circuit_delay.mu, serial.circuit_delay.mu);
+    EXPECT_EQ(par.circuit_delay.var, serial.circuit_delay.var);
+  }
+}
+
+TEST(Determinism, MonteCarloMomentsExactlyEqualAcrossThreadCounts) {
+  ThreadGuard guard;
+  const netlist::Circuit c = medium_dag(300);
+  const ssta::DelayCalculator calc(c, {0.25, 0.0});
+  const std::vector<double> speed(static_cast<std::size_t>(c.num_nodes()), 1.0);
+  const auto delays = calc.all_delays(speed);
+  ssta::MonteCarloOptions mco;
+  mco.num_samples = 2000;  // not a multiple of the 256-sample chunk
+  mco.seed = 42;
+
+  runtime::set_threads(1);
+  const ssta::MonteCarloResult serial = ssta::run_monte_carlo(c, delays, mco);
+  const std::vector<double> crit_serial = ssta::monte_carlo_criticality(c, delays, mco);
+  for (int threads : {2, 4}) {
+    runtime::set_threads(threads);
+    const ssta::MonteCarloResult par = ssta::run_monte_carlo(c, delays, mco);
+    EXPECT_EQ(par.mean, serial.mean);
+    EXPECT_EQ(par.stddev, serial.stddev);
+    EXPECT_EQ(par.min, serial.min);
+    EXPECT_EQ(par.max, serial.max);
+    ASSERT_EQ(par.samples.size(), serial.samples.size());
+    EXPECT_EQ(0, std::memcmp(par.samples.data(), serial.samples.data(),
+                             serial.samples.size() * sizeof(double)));
+    EXPECT_EQ(ssta::monte_carlo_criticality(c, delays, mco), crit_serial);
+  }
+}
+
+TEST(Determinism, FunctionGroupEvalAndGradBitwiseEqualAcrossThreadCounts) {
+  ThreadGuard guard;
+  // Big enough to cross the parallel-element threshold.
+  nlp::Problem p;
+  const int nvars = 200;
+  for (int i = 0; i < nvars; ++i) p.add_variable(0.1, 10.0, 1.0 + 0.01 * i);
+  nlp::FunctionGroup g;
+  g.constant = 0.5;
+  const nlp::ElementFunction* prod = p.own(std::make_unique<nlp::ProductElement>());
+  const nlp::ElementFunction* sq = p.own(std::make_unique<nlp::SquareElement>());
+  for (int k = 0; k < 1000; ++k) {
+    const int a = (k * 7) % nvars;
+    const int b = (k * 13 + 5) % nvars;
+    if (k % 2 == 0) {
+      g.elements.push_back({prod, {a, b}, 0.01 * k - 3.0});
+    } else {
+      g.elements.push_back({sq, {a}, 0.02 * k - 5.0});
+    }
+    g.linear.push_back({a, 0.001 * k});
+  }
+  const std::vector<double> x = p.start();
+
+  runtime::set_threads(1);
+  const double v1 = g.eval(x);
+  std::vector<double> grad1(static_cast<std::size_t>(nvars), 0.0);
+  g.accumulate_grad(x, 1.5, grad1);
+  for (int threads : {2, 4}) {
+    runtime::set_threads(threads);
+    EXPECT_EQ(g.eval(x), v1);
+    std::vector<double> grad(static_cast<std::size_t>(nvars), 0.0);
+    g.accumulate_grad(x, 1.5, grad);
+    EXPECT_EQ(grad, grad1);
+  }
+}
+
+TEST(Determinism, AugLagEvalBitwiseEqualAcrossThreadCounts) {
+  ThreadGuard guard;
+  const netlist::Circuit c = medium_dag(200);
+  core::SizingSpec spec;
+  spec.objective = core::Objective::min_delay(0.0);
+  const std::vector<double> start(static_cast<std::size_t>(c.num_nodes()), 1.0);
+  const core::FullSpaceFormulation form = core::build_full_space(c, spec, start);
+  const nlp::Problem& p = *form.problem;
+  std::vector<double> multipliers(static_cast<std::size_t>(p.num_constraints()), 0.25);
+  const std::vector<double> x = p.start();
+
+  runtime::set_threads(1);
+  nlp::AugLagModel serial_model(p, multipliers, 10.0);
+  std::vector<double> grad1;
+  const double psi1 = serial_model.eval(x, &grad1);
+  const double probe1 = serial_model.eval(x, nullptr);
+  std::vector<double> c1;
+  p.eval_constraints(x, c1);
+  const double viol1 = p.max_constraint_violation(x);
+
+  for (int threads : {2, 4}) {
+    runtime::set_threads(threads);
+    nlp::AugLagModel model(p, multipliers, 10.0);
+    std::vector<double> grad;
+    EXPECT_EQ(model.eval(x, &grad), psi1);
+    EXPECT_EQ(grad, grad1);
+    EXPECT_EQ(model.eval(x, nullptr), probe1);
+    std::vector<double> cv;
+    p.eval_constraints(x, cv);
+    EXPECT_EQ(cv, c1);
+    EXPECT_EQ(p.max_constraint_violation(x), viol1);
+  }
+}
+
+TEST(Determinism, ReducedSpaceGradientBitwiseEqualAcrossThreadCounts) {
+  ThreadGuard guard;
+  const netlist::Circuit c = medium_dag();
+  const core::ReducedEvaluator eval(c, {0.25, 0.0});
+  std::vector<double> speed(static_cast<std::size_t>(c.num_nodes()), 1.7);
+
+  runtime::set_threads(1);
+  std::vector<double> grad1;
+  const stat::NormalRV t1 = eval.eval_with_grad(speed, 1.0, 0.5, grad1);
+  for (int threads : {2, 4}) {
+    runtime::set_threads(threads);
+    std::vector<double> grad;
+    const stat::NormalRV t = eval.eval_with_grad(speed, 1.0, 0.5, grad);
+    EXPECT_EQ(t.mu, t1.mu);
+    EXPECT_EQ(t.var, t1.var);
+    EXPECT_EQ(grad, grad1);
+  }
+}
+
+}  // namespace

@@ -37,6 +37,7 @@
 #include "ssta/monte_carlo.h"
 #include "ssta/report.h"
 #include "ssta/slack.h"
+#include "runtime/runtime.h"
 #include "ssta/ssta.h"
 #include "util/args.h"
 
@@ -139,9 +140,11 @@ int run_lint(int argc, char** argv) {
   args.add_flag("force-derivative-audit", "run the derivative sweep regardless of size");
   args.add_flag("list-rules", "print the rule catalog and exit");
   args.add_flag("demo-defects", "lint a deliberately broken demo circuit and library");
+  args.add_int("jobs", "worker threads (0 = STATSIZE_JOBS or hardware)", 0);
 
   try {
     if (!args.parse(argc, argv)) return 0;
+    if (const int jobs = args.get_int("jobs"); jobs > 0) runtime::set_threads(jobs);
 
     if (args.get_flag("list-rules")) {
       std::printf("%-8s %-8s %-8s %-28s %s\n", "id", "family", "severity", "title", "detail");
@@ -230,9 +233,11 @@ int main(int argc, char** argv) {
   args.add_string("sizes-out", "write per-gate speed factors to this TSV file");
   args.add_string("json-out", "write the full analysis as JSON to this file");
   args.add_flag("verbose", "solver progress output");
+  args.add_int("jobs", "worker threads (0 = STATSIZE_JOBS or hardware)", 0);
 
   try {
     if (!args.parse(argc, argv)) return 0;
+    if (const int jobs = args.get_int("jobs"); jobs > 0) runtime::set_threads(jobs);
 
     const netlist::Circuit circuit = load_circuit(args.get_string("circuit"));
     std::printf("circuit: %d gates, %d inputs, %zu outputs, depth %d\n", circuit.num_gates(),
