@@ -1,5 +1,5 @@
 // E7 — the scalability trend behind Table 1's CPU column ("the method is
-// able to deal with circuits of up to a few thousand gates"). Two sections:
+// able to deal with circuits of up to a few thousand gates"). Three sections:
 //
 //   1. Circuit-size sweep: solves min-mu sizing at increasing gate counts and
 //      reports wall time for both methods (the full-space NLP is capped at
@@ -8,11 +8,16 @@
 //   2. Thread-scaling sweep: SSTA propagation and Monte Carlo on the largest
 //      DAG across --jobs 1/2/4/hw, with a determinism cross-check (parallel
 //      results must be bit-identical to 1-thread results; see DESIGN.md §7).
+//   3. Serial-island sweep: AugLagModel::hess_vec and the reduced-space
+//      adjoint gradient on a k2-scale DAG across the same thread counts —
+//      the two kernels that used to run single-threaded, now parallel via
+//      ScatterPlan with the same exact-equality determinism contract.
 //
 // Machine-readable results go to BENCH_scaling.json via bench::JsonArtifact.
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -20,8 +25,11 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "core/full_space.h"
+#include "core/reduced_space.h"
 #include "core/sizer.h"
 #include "netlist/generators.h"
+#include "nlp/auglag.h"
 #include "runtime/runtime.h"
 #include "ssta/monte_carlo.h"
 #include "ssta/ssta.h"
@@ -178,6 +186,89 @@ int main() {
       std::printf("  [WARN] Monte Carlo speedup below 2x at 4 threads on this machine\n");
     }
   } else if (hw < 4) {
+    std::printf("  [note] only %d hardware thread(s): speedup cannot be demonstrated here\n", hw);
+  }
+
+  // ---- Serial-island scaling: hess_vec and the adjoint gradient sweep on a
+  // k2-scale circuit (the larger Table 1 benchmarks run ~1700 gates).
+  const netlist::Circuit k2 = scaling_dag(1692);
+  std::printf("\n--- hess_vec / adjoint scaling (%d-gate DAG) ---\n", k2.num_gates());
+  std::printf("%8s | %12s %8s | %12s %8s | %s\n", "threads", "hessvec ms", "speedup",
+              "adjoint ms", "speedup", "deterministic");
+
+  core::SizingSpec island_spec;
+  island_spec.objective = core::Objective::min_delay(0.0);
+  const std::vector<double> ones(static_cast<std::size_t>(k2.num_nodes()), 1.0);
+  const core::FullSpaceFormulation form = core::build_full_space(k2, island_spec, ones);
+  const nlp::Problem& prob = *form.problem;
+  const std::vector<double> mult(static_cast<std::size_t>(prob.num_constraints()), 0.25);
+  const std::vector<double> x = prob.start();
+  std::vector<double> v(static_cast<std::size_t>(prob.num_vars()));
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = std::sin(0.37 * static_cast<double>(i)) + 0.1;
+  }
+
+  runtime::set_threads(1);
+  nlp::AugLagModel model(prob, mult, 10.0);
+  std::vector<double> scratch_grad;
+  model.eval(x, &scratch_grad);  // snapshot the element Hessians at x
+  std::vector<double> hv_ref;
+  model.hess_vec(v, hv_ref);
+  const core::ReducedEvaluator red(k2, island_spec.sigma_model);
+  std::vector<double> grad_ref;
+  const stat::NormalRV t_ref = red.eval_with_grad(ones, 1.0, 0.5, grad_ref);
+
+  double hv_ms1 = 0.0;
+  double adj_ms1 = 0.0;
+  double hv_ms4 = 0.0;
+  double adj_ms4 = 0.0;
+  for (const int t : thread_counts) {
+    runtime::set_threads(t);
+    std::vector<double> hv;
+    model.hess_vec(v, hv);
+    std::vector<double> grad;
+    const stat::NormalRV tr = red.eval_with_grad(ones, 1.0, 0.5, grad);
+    const bool det =
+        hv == hv_ref && grad == grad_ref && tr.mu == t_ref.mu && tr.var == t_ref.var;
+    if (!det) {
+      std::printf("  [FAIL] hess_vec/adjoint at %d threads differ from 1-thread reference\n", t);
+      ++failures;
+    }
+    std::vector<double> hv_scratch;
+    std::vector<double> grad_scratch;
+    const double hv_ms = wall_ms([&] { model.hess_vec(v, hv_scratch); }, 5);
+    const double adj_ms =
+        wall_ms([&] { red.eval_with_grad(ones, 1.0, 0.5, grad_scratch); }, 5);
+    if (t == 1) {
+      hv_ms1 = hv_ms;
+      adj_ms1 = adj_ms;
+    }
+    if (t == 4) {
+      hv_ms4 = hv_ms;
+      adj_ms4 = adj_ms;
+    }
+    std::printf("%8d | %12.3f %7.2fx | %12.3f %7.2fx | %s\n", t, hv_ms, hv_ms1 / hv_ms, adj_ms,
+                adj_ms1 / adj_ms, det ? "yes" : "NO");
+    artifact.add_row()
+        .field("section", "serial_islands")
+        .field("gates", k2.num_gates())
+        .field("threads", t)
+        .field("hess_vec_wall_ms", hv_ms)
+        .field("adjoint_wall_ms", adj_ms)
+        .field("deterministic", det ? "yes" : "no");
+  }
+  runtime::set_threads(1);
+
+  // Advisory like the Monte Carlo check above: demand >1.5x at 4 threads
+  // only where the hardware can actually show it.
+  if (hw >= 4) {
+    if (hv_ms4 > 0.0 && hv_ms1 / hv_ms4 < 1.5) {
+      std::printf("  [WARN] hess_vec speedup below 1.5x at 4 threads on this machine\n");
+    }
+    if (adj_ms4 > 0.0 && adj_ms1 / adj_ms4 < 1.5) {
+      std::printf("  [WARN] adjoint speedup below 1.5x at 4 threads on this machine\n");
+    }
+  } else {
     std::printf("  [note] only %d hardware thread(s): speedup cannot be demonstrated here\n", hw);
   }
 

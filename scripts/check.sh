@@ -34,10 +34,13 @@ if [ "$SANITIZE" = "thread" ]; then
   # TSan run: exercise the thread pool and the parallel analysis engines with
   # more threads than the (possibly single-core) host advertises, so races
   # are exposed even where hardware_concurrency() == 1 would otherwise keep
-  # every code path serial.
+  # every code path serial. Suites are selected by label (the executable
+  # name, see tests/CMakeLists.txt): the runtime itself, SSTA/Monte Carlo,
+  # and the nlp + core suites whose hess_vec / adjoint sweeps fan out over
+  # ScatterPlan folds.
   echo "== ctest under ThreadSanitizer (runtime + parallel engines) =="
   STATSIZE_JOBS=4 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-    -R 'ThreadPool|Runtime|LevelSchedule|Determinism|ssta_test|SSTA|MonteCarlo'
+    -L '^(runtime_test|ssta_test|nlp_test|core_test)$'
   echo "thread-sanitizer checks passed"
   exit 0
 fi

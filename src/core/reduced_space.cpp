@@ -1,10 +1,13 @@
 #include "core/reduced_space.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "runtime/level_schedule.h"
 #include "runtime/runtime.h"
+#include "runtime/scatter_plan.h"
 #include "ssta/ssta.h"
 #include "stat/clark.h"
 
@@ -15,19 +18,90 @@ using netlist::NodeKind;
 using stat::ClarkGrad;
 using stat::NormalRV;
 
+namespace {
+
+// Same thresholds as the forward SSTA sweep (ssta.cpp): below the cutoff the
+// barrier overhead outweighs the level fan-out.
+constexpr int kParallelGateCutoff = 192;
+constexpr std::size_t kGateGrain = 32;
+
+}  // namespace
+
+// Per-level scatter structure for the adjoint sweep. Structural only — it
+// depends on the circuit topology, not on speeds or seeds — so it is built
+// once (lazily, on the first parallel adjoint) and reused by every gradient
+// call for the lifetime of the evaluator.
+//
+// Each gate contributes one fanin item (targets: its fanins in the serial
+// fold's write order — fanins[n-1] .. fanins[1], then fanins[0]) folded into
+// both amu and avar, and one fanout item (targets: its fanouts in order)
+// folded into grad. Slot order inside a level is gate position then
+// within-gate write order, which is exactly the serial sweep's accumulation
+// order — so fold_add produces equal doubles (DESIGN.md §7).
+struct ReducedEvaluator::AdjointPlans {
+  struct Level {
+    runtime::ScatterPlan fanin_plan;
+    runtime::ScatterPlan fanout_plan;
+  };
+  std::vector<Level> levels;
+  std::vector<std::size_t> fanin_slot;   ///< NodeId -> level-local first fanin slot
+  std::vector<std::size_t> fanout_slot;  ///< NodeId -> level-local first fanout slot
+  // Scratch reused across calls, sized to the widest level.
+  std::vector<double> amu_vals;
+  std::vector<double> avar_vals;
+  std::vector<double> grad_vals;
+
+  AdjointPlans(const netlist::Circuit& c, const runtime::LevelSchedule& sched) {
+    const std::size_t n = static_cast<std::size_t>(c.num_nodes());
+    fanin_slot.assign(n, 0);
+    fanout_slot.assign(n, 0);
+    levels.resize(static_cast<std::size_t>(sched.num_levels()));
+    std::size_t max_fanin = 0;
+    std::size_t max_fanout = 0;
+    std::vector<NodeId> rev;
+    for (int l = 0; l < sched.num_levels(); ++l) {
+      Level& lv = levels[static_cast<std::size_t>(l)];
+      for (NodeId id : sched.level(l)) {
+        const netlist::Node& node = c.node(id);
+        rev.assign(node.fanins.rbegin(), node.fanins.rend());
+        fanin_slot[static_cast<std::size_t>(id)] = lv.fanin_plan.add_item(rev.data(), rev.size());
+        fanout_slot[static_cast<std::size_t>(id)] =
+            lv.fanout_plan.add_item(node.fanouts.data(), node.fanouts.size());
+      }
+      lv.fanin_plan.freeze(n);
+      lv.fanout_plan.freeze(n);
+      max_fanin = std::max(max_fanin, lv.fanin_plan.num_slots());
+      max_fanout = std::max(max_fanout, lv.fanout_plan.num_slots());
+    }
+    amu_vals.resize(max_fanin);
+    avar_vals.resize(max_fanin);
+    grad_vals.resize(max_fanout);
+  }
+};
+
 ReducedEvaluator::ReducedEvaluator(const netlist::Circuit& circuit, ssta::SigmaModel sigma_model)
     : circuit_(&circuit), sigma_model_(sigma_model) {}
+
+ReducedEvaluator::~ReducedEvaluator() = default;
 
 NormalRV ReducedEvaluator::eval(const std::vector<double>& speed) const {
   const ssta::DelayCalculator calc(*circuit_, sigma_model_);
   return ssta::run_ssta(calc, speed).circuit_delay;
 }
 
-NormalRV ReducedEvaluator::eval_with_grad(const std::vector<double>& speed, double seed_mu,
-                                          double seed_var, std::vector<double>& grad) const {
+template <class SeedFn>
+NormalRV ReducedEvaluator::eval_with_grad_impl(const std::vector<double>& speed,
+                                               const SeedFn& seed_fn,
+                                               std::vector<double>& grad) const {
   const netlist::Circuit& c = *circuit_;
   const std::size_t n = static_cast<std::size_t>(c.num_nodes());
   if (speed.size() != n) throw std::invalid_argument("speed must be indexed by NodeId");
+  const std::vector<NodeId>& outs = c.outputs();
+  if (outs.empty()) {
+    throw std::invalid_argument(
+        "ReducedEvaluator::eval_with_grad: circuit has no primary outputs, so the "
+        "circuit delay (and its gradient) is undefined");
+  }
 
   const ssta::DelayCalculator calc(c, sigma_model_);
 
@@ -45,10 +119,17 @@ NormalRV ReducedEvaluator::eval_with_grad(const std::vector<double>& speed, doub
   for (NodeId id : c.topo_order()) {
     const netlist::Node& node = c.node(id);
     if (node.kind == NodeKind::kPrimaryInput) continue;
+    if (node.fanins.empty()) {
+      // Unreachable through the public builders (CellLibrary rejects cells
+      // with num_inputs < 1 and the BLIF reader maps zero-fanin .names to
+      // auxiliary inputs), but a fanin-less gate would underflow the
+      // step-slice arithmetic below — fail loudly instead.
+      throw std::invalid_argument("ReducedEvaluator::eval_with_grad: gate '" + node.name +
+                                  "' has no fanins; its arrival fold is undefined");
+    }
     step_begin[static_cast<std::size_t>(id)] = gate_steps;
     gate_steps += node.fanins.size() - 1;
   }
-  const std::vector<NodeId>& outs = c.outputs();
   const std::size_t out_step_begin = gate_steps;
   std::vector<ClarkGrad> steps(gate_steps + outs.size() - 1);
 
@@ -64,8 +145,10 @@ NormalRV ReducedEvaluator::eval_with_grad(const std::vector<double>& speed, doub
     delay[i] = calc.delay(id, speed);
     arrival[i] = stat::add(u, delay[i]);
   };
-  if (runtime::threads() > 1 && c.num_gates() >= 192) {
-    runtime::LevelSchedule(c).for_each_gate(32, eval_gate);
+  const bool parallel = runtime::threads() > 1 && c.num_gates() >= kParallelGateCutoff;
+  const runtime::LevelSchedule sched(c);
+  if (parallel) {
+    sched.for_each_gate(kGateGrain, eval_gate);
   } else {
     for (NodeId id : c.topo_order()) {
       if (c.node(id).kind == NodeKind::kGate) eval_gate(id);
@@ -78,6 +161,12 @@ NormalRV ReducedEvaluator::eval_with_grad(const std::vector<double>& speed, doub
     tmax = stat::clark_max_grad(tmax, arrival[static_cast<std::size_t>(outs[k])], g);
     steps[out_step_begin + (k - 1)] = g;
   }
+
+  // The adjoint seed may depend on the forward result (eval_metric derives
+  // its var seed from Tmax's own sigma — no separate probe sweep needed).
+  const std::pair<double, double> seed = seed_fn(tmax);
+  const double seed_mu = seed.first;
+  const double seed_var = seed.second;
 
   // ---- Adjoint sweep.
   grad.assign(n, 0.0);
@@ -103,18 +192,27 @@ NormalRV ReducedEvaluator::eval_with_grad(const std::vector<double>& speed, doub
     avar[static_cast<std::size_t>(outs[0])] += acc_var;
   }
 
-  // Through the gates in reverse topological order.
-  const std::vector<NodeId>& topo = c.topo_order();
+  // Through the gates, highest level first: a gate's amu/avar are final once
+  // every fanout (always at a strictly higher level) has run. Both execution
+  // modes traverse the *same* reverse level order and share gate_adjoint, so
+  // every per-target accumulation happens in the same order with the same
+  // per-contribution arithmetic — the parallel path merely stages the
+  // contributions in ScatterPlan slots and folds them per level instead of
+  // scattering directly.
   const double kappa = sigma_model_.kappa;
   const double offset = sigma_model_.offset;
-  for (std::size_t t = topo.size(); t-- > 0;) {
-    const NodeId id = topo[t];
+
+  // Computes gate `id`'s adjoint contributions: applies the own-speed term to
+  // grad[id] directly (disjoint across gates), writes the fanout grad terms
+  // to fo_g (fanout order) and the fanin amu/avar terms to fin_mu/fin_var in
+  // the serial fold's write order (fanins[n-1] .. fanins[1], then fanins[0]).
+  // Returns false — nothing written — when the gate's adjoint is zero.
+  auto gate_adjoint = [&](NodeId id, double* fo_g, double* fin_mu, double* fin_var) -> bool {
     const netlist::Node& node = c.node(id);
-    if (node.kind != NodeKind::kGate) continue;
     const std::size_t i = static_cast<std::size_t>(id);
     const double a_mu = amu[i];
     const double a_var = avar[i];
-    if (a_mu == 0.0 && a_var == 0.0) continue;
+    if (a_mu == 0.0 && a_var == 0.0) return false;
 
     // T = U + t: gate-delay adjoints equal the arrival adjoints.
     // var_t = (kappa mu_t + offset)^2 chains var sensitivity onto mu_t.
@@ -127,29 +225,95 @@ NormalRV ReducedEvaluator::eval_with_grad(const std::vector<double>& speed, doub
     const double s_own = speed[i];
     const double load = c.load_capacitance(id, speed);
     grad[i] += adj_mu_t * (-cell.c * load / (s_own * s_own));
-    for (NodeId fo : node.fanouts) {
-      const std::size_t fi = static_cast<std::size_t>(fo);
-      grad[fi] += adj_mu_t * cell.c * c.library().cell(c.node(fo).cell).c_in / s_own;
+    for (std::size_t k = 0; k < node.fanouts.size(); ++k) {
+      const NodeId fo = node.fanouts[k];
+      fo_g[k] = adj_mu_t * cell.c * c.library().cell(c.node(fo).cell).c_in / s_own;
     }
 
     // Through this gate's fanin fold, reverse order.
     double acc_mu = a_mu;
     double acc_var = a_var;
-    for (std::size_t k = node.fanins.size(); k-- > 1;) {
+    const std::size_t nf = node.fanins.size();
+    for (std::size_t k = nf; k-- > 1;) {
       const ClarkGrad& g = steps[step_begin[i] + (k - 1)];
-      const std::size_t f = static_cast<std::size_t>(node.fanins[k]);
-      amu[f] += acc_mu * g.dmu[1] + acc_var * g.dvar[1];
-      avar[f] += acc_mu * g.dmu[3] + acc_var * g.dvar[3];
+      fin_mu[nf - 1 - k] = acc_mu * g.dmu[1] + acc_var * g.dvar[1];
+      fin_var[nf - 1 - k] = acc_mu * g.dmu[3] + acc_var * g.dvar[3];
       const double new_mu = acc_mu * g.dmu[0] + acc_var * g.dvar[0];
       const double new_var = acc_mu * g.dmu[2] + acc_var * g.dvar[2];
       acc_mu = new_mu;
       acc_var = new_var;
     }
-    const std::size_t f0 = static_cast<std::size_t>(node.fanins[0]);
-    amu[f0] += acc_mu;
-    avar[f0] += acc_var;
+    fin_mu[nf - 1] = acc_mu;
+    fin_var[nf - 1] = acc_var;
+    return true;
+  };
+
+  if (parallel) {
+    if (!plans_) plans_ = std::make_unique<AdjointPlans>(c, sched);
+    AdjointPlans& plans = *plans_;
+    sched.for_each_gate_reverse(
+        kGateGrain,
+        [&](NodeId id) {
+          const netlist::Node& node = c.node(id);
+          const std::size_t i = static_cast<std::size_t>(id);
+          // Slot offsets are level-local: each level's gates write disjoint
+          // slices of the shared scratch, folded before the next level runs.
+          double* fo_g = plans.grad_vals.data() + plans.fanout_slot[i];
+          double* fin_mu = plans.amu_vals.data() + plans.fanin_slot[i];
+          double* fin_var = plans.avar_vals.data() + plans.fanin_slot[i];
+          if (!gate_adjoint(id, fo_g, fin_mu, fin_var)) {
+            // Zero adjoint: the serial sweep skips this gate entirely; fold
+            // zeros so the folded sums stay equal (x + 0.0 == x).
+            for (std::size_t k = 0; k < node.fanouts.size(); ++k) fo_g[k] = 0.0;
+            for (std::size_t k = 0; k < node.fanins.size(); ++k) {
+              fin_mu[k] = 0.0;
+              fin_var[k] = 0.0;
+            }
+          }
+        },
+        [&](int l) {
+          const AdjointPlans::Level& lv = plans.levels[static_cast<std::size_t>(l)];
+          lv.fanin_plan.fold_add(plans.amu_vals.data(), amu.data());
+          lv.fanin_plan.fold_add(plans.avar_vals.data(), avar.data());
+          lv.fanout_plan.fold_add(plans.grad_vals.data(), grad.data());
+        });
+  } else {
+    std::size_t max_fanin = 0;
+    std::size_t max_fanout = 0;
+    for (int l = 0; l < sched.num_levels(); ++l) {
+      for (NodeId id : sched.level(l)) {
+        const netlist::Node& node = c.node(id);
+        max_fanin = std::max(max_fanin, node.fanins.size());
+        max_fanout = std::max(max_fanout, node.fanouts.size());
+      }
+    }
+    std::vector<double> fo_g(max_fanout);
+    std::vector<double> fin_mu(max_fanin);
+    std::vector<double> fin_var(max_fanin);
+    for (int l = sched.num_levels(); l-- > 0;) {
+      for (NodeId id : sched.level(l)) {
+        const netlist::Node& node = c.node(id);
+        if (!gate_adjoint(id, fo_g.data(), fin_mu.data(), fin_var.data())) continue;
+        for (std::size_t k = 0; k < node.fanouts.size(); ++k) {
+          grad[static_cast<std::size_t>(node.fanouts[k])] += fo_g[k];
+        }
+        const std::size_t nf = node.fanins.size();
+        for (std::size_t j = 0; j < nf; ++j) {
+          // Slot j targets fanins[nf-1-j] (the serial fold's write order).
+          const std::size_t f = static_cast<std::size_t>(node.fanins[nf - 1 - j]);
+          amu[f] += fin_mu[j];
+          avar[f] += fin_var[j];
+        }
+      }
+    }
   }
   return tmax;
+}
+
+NormalRV ReducedEvaluator::eval_with_grad(const std::vector<double>& speed, double seed_mu,
+                                          double seed_var, std::vector<double>& grad) const {
+  return eval_with_grad_impl(
+      speed, [&](const NormalRV&) { return std::pair<double, double>(seed_mu, seed_var); }, grad);
 }
 
 double ReducedEvaluator::eval_metric(const std::vector<double>& speed, double sigma_weight,
@@ -158,14 +322,19 @@ double ReducedEvaluator::eval_metric(const std::vector<double>& speed, double si
     const NormalRV t = eval(speed);
     return t.mu + sigma_weight * t.sigma();
   }
-  // d(mu + k sigma) = d mu + k/(2 sigma) d var; the seeds need sigma, which
-  // a cheap forward pass provides first.
-  const NormalRV probe = eval(speed);
-  const double sigma = probe.sigma();
-  const double seed_var = (sigma_weight != 0.0 && sigma > 1e-12)
-                              ? sigma_weight / (2.0 * sigma)
-                              : 0.0;
-  const NormalRV t = eval_with_grad(speed, 1.0, seed_var, *grad);
+  // d(mu + k sigma) = d mu + k/(2 sigma) d var; the seed comes from the
+  // forward sweep's own Tmax (clark_max and clark_max_grad share their
+  // moment arithmetic, so this equals what a separate probe would produce).
+  const NormalRV t = eval_with_grad_impl(
+      speed,
+      [&](const NormalRV& tmax) {
+        const double sigma = tmax.sigma();
+        const double seed_var = (sigma_weight != 0.0 && sigma > 1e-12)
+                                    ? sigma_weight / (2.0 * sigma)
+                                    : 0.0;
+        return std::pair<double, double>(1.0, seed_var);
+      },
+      *grad);
   return t.mu + sigma_weight * t.sigma();
 }
 

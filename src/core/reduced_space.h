@@ -8,9 +8,16 @@
 // NLP variables — see full_space.h); it is the ablation partner (DESIGN.md
 // sec. 5.1) and the scalability mode: one gradient costs two circuit sweeps
 // regardless of circuit size, and the optimizer only sees |gates| variables.
+//
+// Both sweeps run level-parallel on the global runtime pool (DESIGN.md §7).
+// The forward sweep's writes are per-gate disjoint; the adjoint sweep's
+// overlapping amu/avar/grad scatters go through per-level ScatterPlans
+// (parallel evaluate into disjoint slots, conflict-free target-major fold),
+// so results are equal at any thread count, including the serial fallback.
 
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "core/spec.h"
@@ -23,6 +30,7 @@ namespace statsize::core {
 class ReducedEvaluator {
  public:
   ReducedEvaluator(const netlist::Circuit& circuit, ssta::SigmaModel sigma_model);
+  ~ReducedEvaluator();
 
   const netlist::Circuit& circuit() const { return *circuit_; }
 
@@ -35,16 +43,33 @@ class ReducedEvaluator {
   /// with respect to every speed factor. Linear combinations cover all
   /// objectives: e.g. d(mu + k sigma)/dS uses seed_mu = 1,
   /// seed_var = k / (2 sigma).
+  ///
+  /// Degenerate circuits are rejected with std::invalid_argument naming the
+  /// problem (no primary outputs — Tmax undefined; a zero-fanin gate — no
+  /// arrival to fold) instead of underflowing the step-slice arithmetic.
+  ///
+  /// Not safe for concurrent calls on one instance: the adjoint's scatter
+  /// plans are cached lazily on first use (the sweeps themselves fan out
+  /// across the global pool internally).
   stat::NormalRV eval_with_grad(const std::vector<double>& speed, double seed_mu,
                                 double seed_var, std::vector<double>& grad) const;
 
-  /// Gradient of mu + k * sigma directly (the common case).
+  /// Gradient of mu + k * sigma directly (the common case). The adjoint seed
+  /// is derived from the forward sweep's own Tmax — one forward + one
+  /// adjoint sweep total, no separate sigma probe.
   double eval_metric(const std::vector<double>& speed, double sigma_weight,
                      std::vector<double>* grad) const;
 
  private:
+  struct AdjointPlans;
+
+  template <class SeedFn>
+  stat::NormalRV eval_with_grad_impl(const std::vector<double>& speed, const SeedFn& seed_fn,
+                                     std::vector<double>& grad) const;
+
   const netlist::Circuit* circuit_;
   ssta::SigmaModel sigma_model_;
+  mutable std::unique_ptr<AdjointPlans> plans_;  ///< lazy; structure-only cache
 };
 
 }  // namespace statsize::core

@@ -33,6 +33,11 @@ AugLagModel::AugLagModel(const Problem& problem, std::vector<double> multipliers
   auto count_group = [&hess_total, this](const FunctionGroup& g) {
     for (const ElementRef& e : g.elements) {
       const int n = e.fn->arity();
+      if (n > kMaxElementArity) {
+        throw std::invalid_argument("AugLagModel: element arity " + std::to_string(n) +
+                                    " exceeds the supported maximum of " +
+                                    std::to_string(kMaxElementArity));
+      }
       snapshots_.push_back({e.fn, e.vars.data(), e.weight, nullptr});
       hess_total += static_cast<std::size_t>(n * (n + 1) / 2);
     }
@@ -61,6 +66,20 @@ AugLagModel::AugLagModel(const Problem& problem, std::vector<double> multipliers
     for (const ElementRef& e : g.elements) idx.insert(idx.end(), e.vars.begin(), e.vars.end());
     cgrad_val_[static_cast<std::size_t>(j)].resize(idx.size());
   }
+
+  // Scatter plan for hess_vec: items in the exact order the serial loops
+  // write hv (snapshots first, then the Gauss-Newton constraint terms), so
+  // the conflict-free target-major fold reproduces the serial accumulation.
+  snap_slot_.reserve(snapshots_.size());
+  for (const ElementSnapshot& s : snapshots_) {
+    snap_slot_.push_back(hv_plan_.add_item(s.vars, static_cast<std::size_t>(s.fn->arity())));
+  }
+  cons_slot_.reserve(c_.size());
+  for (const auto& idx : cgrad_idx_) {
+    cons_slot_.push_back(hv_plan_.add_item(idx.data(), idx.size()));
+  }
+  hv_plan_.freeze(static_cast<std::size_t>(problem.num_vars()));
+  hv_slots_.resize(hv_plan_.num_slots());
 }
 
 double AugLagModel::eval(const std::vector<double>& x, std::vector<double>* grad) {
@@ -85,8 +104,8 @@ double AugLagModel::eval(const std::vector<double>& x, std::vector<double>* grad
   }
 
   grad->assign(static_cast<std::size_t>(p.num_vars()), 0.0);
-  double local[16];
-  double eg[16];
+  double local[kMaxElementArity];
+  double eg[kMaxElementArity];
   std::size_t snap = 0;
 
   // Objective: value + gradient + Hessian snapshot.
@@ -109,8 +128,8 @@ double AugLagModel::eval(const std::vector<double>& x, std::vector<double>* grad
   // writes. Element Hessians of constraint j enter H_Psi with weight
   // y_j = rho c_j - lambda_j.
   runtime::parallel_for(m, 4, [&](std::size_t jb, std::size_t je) {
-    double lcl[16];
-    double leg[16];
+    double lcl[kMaxElementArity];
+    double leg[kMaxElementArity];
     for (std::size_t j = jb; j < je; ++j) {
       const FunctionGroup& g = p.constraint(static_cast<int>(j));
       auto& vals = cgrad_val_[j];
@@ -154,28 +173,84 @@ double AugLagModel::eval(const std::vector<double>& x, std::vector<double>* grad
   return psi;
 }
 
+namespace {
+
+/// Below this many work items (element snapshots + constraints) the two-phase
+/// scatter costs more than the serial loop it replaces.
+constexpr std::size_t kParallelHessVecItems = 512;
+
+/// out = weight * (H vl) with H the packed symmetric element Hessian.
+inline void packed_symmetric_matvec(const double* hess, int n, double weight, const double* vl,
+                                    double* out) {
+  for (int i = 0; i < n; ++i) out[i] = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      const double h = hess[packed_index(n, i, j)];
+      out[i] += h * vl[j];
+      if (j != i) out[j] += h * vl[i];
+    }
+  }
+  for (int i = 0; i < n; ++i) out[i] *= weight;
+}
+
+}  // namespace
+
 void AugLagModel::hess_vec(const std::vector<double>& v, std::vector<double>& hv) const {
   hv.assign(v.size(), 0.0);
-  double vl[16];
-  double out[16];
+  const std::size_t ns = snapshots_.size();
+  const std::size_t m = c_.size();
+
+  if (runtime::threads() > 1 && ns + m >= kParallelHessVecItems) {
+    // Phase 1 — parallel over items: each snapshot / constraint computes its
+    // per-target contributions into its own plan-slot slice (disjoint
+    // writes). The per-item arithmetic is identical to the serial loops
+    // below; zero-weight items fill zeros where the serial code skips, which
+    // leaves every accumulated double equal (x + 0.0 == x).
+    runtime::parallel_for(ns + m, 64, [&](std::size_t b, std::size_t e) {
+      double vl[kMaxElementArity];
+      for (std::size_t w = b; w < e; ++w) {
+        if (w < ns) {
+          const ElementSnapshot& s = snapshots_[w];
+          const int n = s.fn->arity();
+          double* out = hv_slots_.data() + snap_slot_[w];
+          if (s.weight == 0.0) {
+            for (int i = 0; i < n; ++i) out[i] = 0.0;
+            continue;
+          }
+          for (int i = 0; i < n; ++i) vl[i] = v[static_cast<std::size_t>(s.vars[i])];
+          packed_symmetric_matvec(s.hess, n, s.weight, vl, out);
+        } else {
+          const std::size_t j = w - ns;
+          const auto& idx = cgrad_idx_[j];
+          const auto& val = cgrad_val_[j];
+          double dot = 0.0;
+          for (std::size_t k = 0; k < idx.size(); ++k) {
+            dot += val[k] * v[static_cast<std::size_t>(idx[k])];
+          }
+          const double scale = rho_ * dot;
+          double* out = hv_slots_.data() + cons_slot_[j];
+          for (std::size_t k = 0; k < idx.size(); ++k) out[k] = scale * val[k];
+        }
+      }
+    });
+    // Phase 2 — conflict-free fold: every variable gathers its slots in
+    // ascending slot order (= the serial loops' write order), parallel over
+    // variables. Equal doubles at any thread count.
+    hv_plan_.fold_add(hv_slots_.data(), hv.data());
+    return;
+  }
+
+  double vl[kMaxElementArity];
+  double out[kMaxElementArity];
   for (const ElementSnapshot& s : snapshots_) {
     if (s.weight == 0.0) continue;
     const int n = s.fn->arity();
     for (int i = 0; i < n; ++i) vl[i] = v[static_cast<std::size_t>(s.vars[i])];
-    // Packed symmetric matvec.
-    for (int i = 0; i < n; ++i) out[i] = 0.0;
-    for (int i = 0; i < n; ++i) {
-      const double* row = s.hess;
-      for (int j = i; j < n; ++j) {
-        const double h = row[packed_index(n, i, j)];
-        out[i] += h * vl[j];
-        if (j != i) out[j] += h * vl[i];
-      }
-    }
-    for (int i = 0; i < n; ++i) hv[static_cast<std::size_t>(s.vars[i])] += s.weight * out[i];
+    packed_symmetric_matvec(s.hess, n, s.weight, vl, out);
+    for (int i = 0; i < n; ++i) hv[static_cast<std::size_t>(s.vars[i])] += out[i];
   }
   // Gauss-Newton term: rho * sum_j (grad c_j . v) grad c_j.
-  for (std::size_t j = 0; j < c_.size(); ++j) {
+  for (std::size_t j = 0; j < m; ++j) {
     const auto& idx = cgrad_idx_[j];
     const auto& val = cgrad_val_[j];
     double dot = 0.0;

@@ -24,6 +24,7 @@
 
 #include "nlp/model.h"
 #include "nlp/problem.h"
+#include "runtime/scatter_plan.h"
 
 namespace statsize::nlp {
 
@@ -83,9 +84,12 @@ class AugLagModel final : public SmoothModel {
   /// thread count (see DESIGN.md §7).
   double eval(const std::vector<double>& x, std::vector<double>* grad) override;
 
-  /// Hessian-vector product from the element snapshots. Stays serial: the
-  /// scatter targets overlap across elements and the CG loop calling it is
-  /// itself sequential; parallelizing it is an open item (ROADMAP).
+  /// Hessian-vector product from the element snapshots. Large problems run
+  /// parallel via a structural ScatterPlan (per-element/per-constraint
+  /// contributions into disjoint slots, then a conflict-free target-major
+  /// fold in serial item order — see DESIGN.md §7); small problems keep the
+  /// direct serial scatter. Both paths produce equal doubles at any thread
+  /// count.
   void hess_vec(const std::vector<double>& v, std::vector<double>& hv) const override;
 
   void set_rho(double rho) { rho_ = rho; }
@@ -116,6 +120,14 @@ class AugLagModel final : public SmoothModel {
   std::vector<std::vector<int>> cgrad_idx_;     ///< sparse grad c_j indices
   std::vector<std::vector<double>> cgrad_val_;  ///< sparse grad c_j values
   std::vector<double> probe_c_;                 ///< scratch for value-only eval
+
+  // hess_vec parallel-scatter structure (static per Problem): one plan item
+  // per element snapshot (targets = its vars) followed by one per constraint
+  // (targets = sparse grad c_j indices), in the serial loop's order.
+  runtime::ScatterPlan hv_plan_;
+  std::vector<std::size_t> snap_slot_;          ///< snapshot i's first plan slot
+  std::vector<std::size_t> cons_slot_;          ///< constraint j's first plan slot
+  mutable std::vector<double> hv_slots_;        ///< phase-1 contribution scratch
 };
 
 }  // namespace statsize::nlp

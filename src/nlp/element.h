@@ -14,6 +14,14 @@
 
 namespace statsize::nlp {
 
+/// Hard upper bound on ElementFunction::arity(). Evaluation paths stage
+/// element-local values/gradients in fixed stack buffers of this size
+/// (FunctionGroup::eval / accumulate_grad, AugLagModel::eval / hess_vec), so
+/// a larger element would be a stack-buffer overflow. Problem::validate(),
+/// Problem::own() and the AugLagModel constructor all reject violations with
+/// a named diagnostic before any such buffer is touched.
+inline constexpr int kMaxElementArity = 16;
+
 /// A smooth function of a small number of "local" variables with analytic
 /// gradient and (packed upper-triangle, row-major) Hessian. Implementations
 /// must be stateless with respect to eval (callable concurrently).

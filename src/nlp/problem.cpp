@@ -29,7 +29,7 @@ double FunctionGroup::eval(const std::vector<double>& x) const {
   if (runtime::threads() > 1 && ne >= kParallelElements) {
     std::vector<double> vals(ne);
     runtime::parallel_for(ne, kElementGrain, [&](std::size_t b, std::size_t e) {
-      double local[16];
+      double local[kMaxElementArity];
       for (std::size_t k = b; k < e; ++k) {
         const ElementRef& el = elements[k];
         const int n = el.fn->arity();
@@ -40,7 +40,7 @@ double FunctionGroup::eval(const std::vector<double>& x) const {
     for (const double val : vals) v += val;
     return v;
   }
-  double local[16];
+  double local[kMaxElementArity];
   for (const ElementRef& e : elements) {
     const int n = e.fn->arity();
     for (int i = 0; i < n; ++i) local[i] = x[static_cast<std::size_t>(e.vars[i])];
@@ -63,7 +63,7 @@ void FunctionGroup::accumulate_grad(const std::vector<double>& x, double scale,
     }
     std::vector<double> eg_flat(offset[ne]);
     runtime::parallel_for(ne, kElementGrain, [&](std::size_t b, std::size_t e) {
-      double local[16];
+      double local[kMaxElementArity];
       for (std::size_t k = b; k < e; ++k) {
         const ElementRef& el = elements[k];
         const int n = el.fn->arity();
@@ -81,8 +81,8 @@ void FunctionGroup::accumulate_grad(const std::vector<double>& x, double scale,
     }
     return;
   }
-  double local[16];
-  double g[16];
+  double local[kMaxElementArity];
+  double g[kMaxElementArity];
   for (const ElementRef& e : elements) {
     const int n = e.fn->arity();
     for (int i = 0; i < n; ++i) local[i] = x[static_cast<std::size_t>(e.vars[i])];
@@ -103,7 +103,11 @@ int Problem::add_variable(double lower, double upper, double start, std::string 
 }
 
 const ElementFunction* Problem::own(std::unique_ptr<ElementFunction> fn) {
-  if (fn->arity() > 16) throw std::invalid_argument("element arity > 16 unsupported");
+  if (fn->arity() > kMaxElementArity) {
+    throw std::invalid_argument("element arity " + std::to_string(fn->arity()) +
+                                " exceeds the supported maximum of " +
+                                std::to_string(kMaxElementArity));
+  }
   owned_.push_back(std::move(fn));
   return owned_.back().get();
 }
@@ -122,20 +126,29 @@ int Problem::add_inequality(FunctionGroup group, double bound, double slack_star
 
 namespace {
 
-void validate_group(const FunctionGroup& g, int num_vars, const char* what) {
+void validate_group(const FunctionGroup& g, int num_vars, const std::string& what) {
   for (const LinearTerm& t : g.linear) {
     if (t.var < 0 || t.var >= num_vars) {
-      throw std::runtime_error(std::string(what) + ": linear term variable out of range");
+      throw std::runtime_error(what + ": linear term variable out of range");
     }
   }
-  for (const ElementRef& e : g.elements) {
-    if (e.fn == nullptr) throw std::runtime_error(std::string(what) + ": null element");
+  for (std::size_t k = 0; k < g.elements.size(); ++k) {
+    const ElementRef& e = g.elements[k];
+    if (e.fn == nullptr) throw std::runtime_error(what + ": null element");
+    // Evaluation paths stage element locals in kMaxElementArity-sized stack
+    // buffers; a larger element would overflow them, so it is a hard error
+    // here — before any evaluation can touch a buffer.
+    if (e.fn->arity() > kMaxElementArity) {
+      throw std::runtime_error(what + ": element #" + std::to_string(k) + " has arity " +
+                               std::to_string(e.fn->arity()) + ", which exceeds the supported "
+                               "maximum of " + std::to_string(kMaxElementArity));
+    }
     if (static_cast<int>(e.vars.size()) != e.fn->arity()) {
-      throw std::runtime_error(std::string(what) + ": element variable count != arity");
+      throw std::runtime_error(what + ": element variable count != arity");
     }
     for (int v : e.vars) {
       if (v < 0 || v >= num_vars) {
-        throw std::runtime_error(std::string(what) + ": element variable out of range");
+        throw std::runtime_error(what + ": element variable out of range");
       }
     }
   }
@@ -145,7 +158,9 @@ void validate_group(const FunctionGroup& g, int num_vars, const char* what) {
 
 void Problem::validate() const {
   validate_group(objective_, num_vars(), "objective");
-  for (const FunctionGroup& c : constraints_) validate_group(c, num_vars(), "constraint");
+  for (std::size_t j = 0; j < constraints_.size(); ++j) {
+    validate_group(constraints_[j], num_vars(), "constraint #" + std::to_string(j));
+  }
 }
 
 void Problem::eval_constraints(const std::vector<double>& x, std::vector<double>& c) const {

@@ -50,6 +50,28 @@ class LevelSchedule {
     }
   }
 
+  /// Reverse sweep for adjoint propagation: levels run highest-first, so a
+  /// gate executes only after every fanout (always at a strictly higher
+  /// level) has finished. Within a level, fn(id) fans out across the pool;
+  /// after each level's barrier, after_level(l) runs on the calling thread —
+  /// the hook where cross-gate contributions are folded in a fixed order
+  /// (e.g. via ScatterPlan::fold_add) before the next level reads them.
+  template <class Fn, class AfterLevelFn>
+  void for_each_gate_reverse(std::size_t grain, Fn&& fn, AfterLevelFn&& after_level) const {
+    for (int l = num_levels(); l-- > 0;) {
+      const std::vector<netlist::NodeId>& lvl = level(l);
+      parallel_for(lvl.size(), grain, [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) fn(lvl[i]);
+      });
+      after_level(l);
+    }
+  }
+
+  template <class Fn>
+  void for_each_gate_reverse(std::size_t grain, Fn&& fn) const {
+    for_each_gate_reverse(grain, fn, [](int) {});
+  }
+
  private:
   const std::vector<std::vector<netlist::NodeId>>* levels_;
   int num_gates_ = 0;

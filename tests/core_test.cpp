@@ -369,5 +369,50 @@ TEST(ReducedEvaluatorTest, SpeedingUpReducesDelayMetric) {
   EXPECT_LT(total, 0.0);
 }
 
+TEST(ReducedEvaluatorTest, RejectsCircuitWithNoPrimaryOutputs) {
+  // Without outputs, Tmax (and the step-slice arithmetic of the adjoint) is
+  // undefined; the evaluator must refuse with a named diagnostic instead of
+  // underflowing `outs.size() - 1`. A circuit like this cannot survive
+  // finalize(), so probe the guard pre-finalize — it sits before any
+  // topo-order access.
+  const netlist::CellLibrary& lib = netlist::CellLibrary::standard();
+  Circuit c(lib);
+  const NodeId a = c.add_input("a");
+  const NodeId g0 = c.add_gate(lib.find("INV"), {a}, "g0");
+  (void)g0;  // never marked as an output
+  const ReducedEvaluator eval(c, {0.25, 0.0});
+  std::vector<double> speed(static_cast<std::size_t>(c.num_nodes()), 1.0);
+  std::vector<double> grad;
+  try {
+    eval.eval_with_grad(speed, 1.0, 0.0, grad);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("no primary outputs"), std::string::npos) << e.what();
+  }
+}
+
+TEST(ReducedEvaluatorTest, EvalMetricEqualsProbeSeededAdjoint) {
+  // eval_metric seeds the adjoint from the forward sweep's own Tmax instead
+  // of running a separate sigma probe. The two must be *equal* (not merely
+  // close): clark_max and clark_max_grad share their moment arithmetic, so
+  // the in-sweep Tmax is the same double the probe would have produced.
+  const Circuit c = netlist::make_mcnc_like("apex2");
+  const ReducedEvaluator eval(c, {0.25, 0.0});
+  std::vector<double> speed(static_cast<std::size_t>(c.num_nodes()), 1.4);
+  const double k = 3.0;
+
+  std::vector<double> grad;
+  const double metric = eval.eval_metric(speed, k, &grad);
+
+  const NormalRV probe = eval.eval(speed);
+  const double sigma = probe.sigma();
+  const double seed_var = sigma > 1e-12 ? k / (2.0 * sigma) : 0.0;
+  std::vector<double> want_grad;
+  const NormalRV t = eval.eval_with_grad(speed, 1.0, seed_var, want_grad);
+
+  EXPECT_EQ(metric, t.mu + k * t.sigma());
+  EXPECT_EQ(grad, want_grad);
+}
+
 }  // namespace
 }  // namespace statsize::core

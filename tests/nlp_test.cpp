@@ -639,5 +639,60 @@ TEST_P(AugLagRandomQuadratic, MatchesClosedForm) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AugLagRandomQuadratic, ::testing::Range(1, 11));
 
+// ---------------------------------------------------------------------------
+// Element arity bound (stack buffers in every evaluation path)
+// ---------------------------------------------------------------------------
+
+/// An element wider than the kMaxElementArity stack buffers; must be rejected
+/// before any evaluation path could touch one.
+class TooWideElement final : public ElementFunction {
+ public:
+  int arity() const override { return kMaxElementArity + 1; }
+  double eval(const double*, double*, double*) const override { return 0.0; }
+};
+
+TEST(Problem, OwnRejectsElementBeyondMaxArity) {
+  Problem p;
+  try {
+    p.own(std::make_unique<TooWideElement>());
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("arity 17"), std::string::npos) << what;
+    EXPECT_NE(what.find("16"), std::string::npos) << what;
+  }
+}
+
+TEST(Problem, ValidateNamesOverWideElement) {
+  static const TooWideElement wide;  // bypasses own() on purpose
+  Problem p;
+  std::vector<int> vars;
+  for (int i = 0; i < wide.arity(); ++i) vars.push_back(p.add_variable(0.0, 1.0, 0.5));
+  p.set_objective({});
+  FunctionGroup g;
+  g.elements = {{&wide, vars, 1.0}};
+  p.add_equality(std::move(g));
+  try {
+    p.validate();
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("constraint #0"), std::string::npos) << what;
+    EXPECT_NE(what.find("element #0"), std::string::npos) << what;
+    EXPECT_NE(what.find("arity 17"), std::string::npos) << what;
+  }
+}
+
+TEST(AugLagModel, ConstructorRejectsElementBeyondMaxArity) {
+  static const TooWideElement wide;
+  Problem p;
+  std::vector<int> vars;
+  for (int i = 0; i < wide.arity(); ++i) vars.push_back(p.add_variable(0.0, 1.0, 0.5));
+  FunctionGroup obj;
+  obj.elements = {{&wide, vars, 1.0}};
+  p.set_objective(std::move(obj));
+  EXPECT_THROW(nlp::AugLagModel(p, {}, 10.0), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace statsize::nlp

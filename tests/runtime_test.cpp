@@ -5,6 +5,7 @@
 // thread count (serial path, --jobs 1, --jobs N).
 
 #include <atomic>
+#include <cmath>
 #include <cstring>
 #include <memory>
 #include <stdexcept>
@@ -19,6 +20,7 @@
 #include "nlp/problem.h"
 #include "runtime/level_schedule.h"
 #include "runtime/runtime.h"
+#include "runtime/scatter_plan.h"
 #include "runtime/thread_pool.h"
 #include "ssta/delay_model.h"
 #include "ssta/monte_carlo.h"
@@ -317,6 +319,140 @@ TEST(Determinism, ReducedSpaceGradientBitwiseEqualAcrossThreadCounts) {
     EXPECT_EQ(t.mu, t1.mu);
     EXPECT_EQ(t.var, t1.var);
     EXPECT_EQ(grad, grad1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ScatterPlan
+// ---------------------------------------------------------------------------
+
+TEST(ScatterPlan, FoldAddEqualsSerialScatterInItemOrder) {
+  // Overlapping targets, duplicates inside one item, and an untouched target.
+  // The fold must produce exactly the doubles the serial scatter produces,
+  // because per-target slot order is the serial write order.
+  runtime::ScatterPlan plan;
+  const std::vector<std::vector<int>> items = {
+      {3, 1, 3, 0}, {1, 2}, {0, 0, 4}, {2, 3, 1}, {}};
+  std::vector<std::size_t> first;
+  for (const auto& it : items) first.push_back(plan.add_item(it.data(), it.size()));
+  plan.freeze(6);
+  EXPECT_TRUE(plan.frozen());
+  EXPECT_EQ(plan.num_slots(), 12u);
+  EXPECT_EQ(plan.num_targets(), 6u);
+
+  std::vector<double> vals(plan.num_slots());
+  for (std::size_t s = 0; s < vals.size(); ++s) vals[s] = 0.1 + 1.7 * static_cast<double>(s);
+
+  std::vector<double> want(6, 0.25);  // fold adds on top of existing content
+  for (std::size_t k = 0; k < items.size(); ++k) {
+    for (std::size_t j = 0; j < items[k].size(); ++j) {
+      want[static_cast<std::size_t>(items[k][j])] += vals[first[k] + j];
+    }
+  }
+
+  for (int threads : {1, 4}) {
+    ThreadGuard guard;
+    runtime::set_threads(threads);
+    std::vector<double> out(6, 0.25);
+    plan.fold_add(vals.data(), out.data(), /*grain=*/2);
+    EXPECT_EQ(out, want);
+  }
+  EXPECT_EQ(want[5], 0.25);  // target 5 has no slots — untouched
+}
+
+TEST(ScatterPlan, RejectsMisuse) {
+  runtime::ScatterPlan plan;
+  const int targets[2] = {0, 1};
+  plan.add_item(targets, 2);
+  std::vector<double> vals(2, 0.0);
+  std::vector<double> out(2, 0.0);
+  EXPECT_THROW(plan.fold_add(vals.data(), out.data()), std::logic_error);
+  plan.freeze(2);
+  EXPECT_THROW(plan.add_item(targets, 2), std::logic_error);
+  EXPECT_THROW(plan.freeze(2), std::logic_error);
+
+  runtime::ScatterPlan bad;
+  const int oob[1] = {7};
+  bad.add_item(oob, 1);
+  EXPECT_THROW(bad.freeze(4), std::out_of_range);
+}
+
+// ---------------------------------------------------------------------------
+// Hessian-vector products (the former serial islands)
+// ---------------------------------------------------------------------------
+
+TEST(Determinism, AugLagHessVecBitwiseEqualAcrossThreadCounts) {
+  ThreadGuard guard;
+  const netlist::Circuit c = medium_dag(300);
+  core::SizingSpec spec;
+  spec.objective = core::Objective::min_delay(0.0);
+  const std::vector<double> start(static_cast<std::size_t>(c.num_nodes()), 1.0);
+  const core::FullSpaceFormulation form = core::build_full_space(c, spec, start);
+  const nlp::Problem& p = *form.problem;
+  const std::vector<double> multipliers(static_cast<std::size_t>(p.num_constraints()), 0.25);
+  const std::vector<double> x = p.start();
+  std::vector<double> v(static_cast<std::size_t>(p.num_vars()));
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = std::sin(0.37 * static_cast<double>(i)) + 0.1;
+  }
+
+  runtime::set_threads(1);
+  nlp::AugLagModel serial_model(p, multipliers, 10.0);
+  std::vector<double> grad;
+  serial_model.eval(x, &grad);  // refresh the element snapshots at x
+  std::vector<double> hv1;
+  serial_model.hess_vec(v, hv1);
+
+  for (int threads : {2, 4}) {
+    runtime::set_threads(threads);
+    nlp::AugLagModel model(p, multipliers, 10.0);
+    model.eval(x, &grad);
+    std::vector<double> hv;
+    model.hess_vec(v, hv);
+    EXPECT_EQ(hv, hv1);
+  }
+}
+
+TEST(AugLagHessVec, MatchesFiniteDifferenceOfGradientAtAnyThreadCount) {
+  // v^T H v column check on a Table-1 sized sizing problem: hess_vec must
+  // match (grad(x + h v) - grad(x - h v)) / 2h in serial and parallel modes.
+  const netlist::Circuit c = medium_dag();
+  core::SizingSpec spec;
+  spec.objective = core::Objective::min_delay(0.0);
+  const std::vector<double> start(static_cast<std::size_t>(c.num_nodes()), 1.2);
+  const core::FullSpaceFormulation form = core::build_full_space(c, spec, start);
+  const nlp::Problem& p = *form.problem;
+  const std::vector<double> multipliers(static_cast<std::size_t>(p.num_constraints()), 0.1);
+  const std::vector<double> x = p.start();
+  std::vector<double> v(static_cast<std::size_t>(p.num_vars()));
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = std::cos(0.23 * static_cast<double>(i));
+  }
+
+  for (int threads : {1, 4}) {
+    ThreadGuard guard;
+    runtime::set_threads(threads);
+    nlp::AugLagModel model(p, multipliers, 10.0);
+    const double h = 1e-6;
+    std::vector<double> xp = x;
+    std::vector<double> xm = x;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      xp[i] += h * v[i];
+      xm[i] -= h * v[i];
+    }
+    std::vector<double> gp;
+    std::vector<double> gm;
+    model.eval(xp, &gp);
+    model.eval(xm, &gm);
+    std::vector<double> grad;
+    model.eval(x, &grad);  // re-snapshot at x before the Hessian product
+    std::vector<double> hv;
+    model.hess_vec(v, hv);
+    for (std::size_t i = 0; i < hv.size(); ++i) {
+      const double fd = (gp[i] - gm[i]) / (2.0 * h);
+      EXPECT_NEAR(hv[i], fd, 5e-3 * (1.0 + std::abs(hv[i])))
+          << "component " << i << " at " << threads << " threads";
+    }
   }
 }
 
