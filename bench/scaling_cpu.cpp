@@ -12,6 +12,11 @@
 //      adjoint gradient on a k2-scale DAG across the same thread counts —
 //      the two kernels that used to run single-threaded, now parallel via
 //      ScatterPlan with the same exact-equality determinism contract.
+//   4. TimingView sweep: the historical per-Node pointer walk vs the flat CSR
+//      view path (DESIGN.md §8) for delay evaluation, SSTA, and corner STA at
+//      one thread — a pure memory-layout comparison whose results must be
+//      bit-identical (the view copies the same doubles and keeps every fold
+//      order), so any mismatch hard-fails the benchmark.
 //
 // Machine-readable results go to BENCH_scaling.json via bench::JsonArtifact.
 
@@ -33,6 +38,7 @@
 #include "runtime/runtime.h"
 #include "ssta/monte_carlo.h"
 #include "ssta/ssta.h"
+#include "stat/clark.h"
 
 namespace {
 
@@ -270,6 +276,119 @@ int main() {
     }
   } else {
     std::printf("  [note] only %d hardware thread(s): speedup cannot be demonstrated here\n", hw);
+  }
+
+  // ---- TimingView retarget: Node walk vs flat CSR view, single-threaded so
+  // the comparison is purely about memory layout. The references below are
+  // the pre-view traversals kept alive here as a yardstick; results must be
+  // bit-identical because the view stores copies of the same doubles and the
+  // production sweeps kept every fold order.
+  std::printf("\n--- timing_view: Node walk vs CSR view (%d-gate DAG, 1 thread) ---\n",
+              k2.num_gates());
+  std::printf("%10s | %12s %12s %8s | %s\n", "sweep", "node ms", "view ms", "speedup",
+              "identical");
+  runtime::set_threads(1);
+  const ssta::SigmaModel sm{};
+  const ssta::DelayCalculator k2_calc(k2, sm);
+  std::vector<double> sp(static_cast<std::size_t>(k2.num_nodes()));
+  for (std::size_t i = 0; i < sp.size(); ++i) {
+    sp[i] = 1.0 + 0.21 * static_cast<double>(i % 9);  // uneven, deterministic
+  }
+
+  auto node_all_delays = [&](std::vector<stat::NormalRV>& out) {
+    out.assign(static_cast<std::size_t>(k2.num_nodes()), stat::NormalRV{});
+    for (const netlist::NodeId id : k2.topo_order()) {
+      const netlist::Node& n = k2.node(id);
+      if (n.kind != netlist::NodeKind::kGate) continue;
+      const netlist::CellType& cell = k2.library().cell(n.cell);
+      double load = n.wire_load + (n.is_output ? n.pad_load : 0.0);
+      for (const netlist::NodeId fo : n.fanouts) {
+        load += k2.library().cell(k2.node(fo).cell).c_in * sp[static_cast<std::size_t>(fo)];
+      }
+      const double mu = cell.t_int + cell.c * load / sp[static_cast<std::size_t>(id)];
+      out[static_cast<std::size_t>(id)] = stat::NormalRV::from_sigma(mu, sm.sigma(mu));
+    }
+  };
+  auto node_ssta = [&](const std::vector<stat::NormalRV>& d, std::vector<stat::NormalRV>& arr) {
+    arr.assign(static_cast<std::size_t>(k2.num_nodes()), stat::NormalRV{});
+    for (const netlist::NodeId id : k2.topo_order()) {
+      const netlist::Node& n = k2.node(id);
+      if (n.kind == netlist::NodeKind::kPrimaryInput) continue;
+      stat::NormalRV u = arr[static_cast<std::size_t>(n.fanins[0])];
+      for (std::size_t i = 1; i < n.fanins.size(); ++i) {
+        u = stat::clark_max(u, arr[static_cast<std::size_t>(n.fanins[i])]);
+      }
+      arr[static_cast<std::size_t>(id)] = stat::add(u, d[static_cast<std::size_t>(id)]);
+    }
+  };
+  auto node_sta = [&](const std::vector<stat::NormalRV>& d, std::vector<double>& arr) {
+    arr.assign(static_cast<std::size_t>(k2.num_nodes()), 0.0);
+    for (const netlist::NodeId id : k2.topo_order()) {
+      const netlist::Node& n = k2.node(id);
+      if (n.kind == netlist::NodeKind::kPrimaryInput) continue;
+      double u = arr[static_cast<std::size_t>(n.fanins[0])];
+      for (std::size_t i = 1; i < n.fanins.size(); ++i) {
+        u = std::max(u, arr[static_cast<std::size_t>(n.fanins[i])]);
+      }
+      arr[static_cast<std::size_t>(id)] = u + d[static_cast<std::size_t>(id)].quantile_offset(3.0);
+    }
+  };
+
+  std::vector<stat::NormalRV> node_delays;
+  node_all_delays(node_delays);
+  const std::vector<stat::NormalRV> view_delays = k2_calc.all_delays(sp);
+  bool delays_same = node_delays.size() == view_delays.size();
+  for (std::size_t i = 0; delays_same && i < node_delays.size(); ++i) {
+    delays_same = node_delays[i].mu == view_delays[i].mu &&
+                  node_delays[i].var == view_delays[i].var;
+  }
+
+  std::vector<stat::NormalRV> node_arr;
+  node_ssta(view_delays, node_arr);
+  const ssta::TimingReport view_ssta = ssta::run_ssta(k2, view_delays);
+  bool ssta_same = node_arr.size() == view_ssta.arrival.size();
+  for (std::size_t i = 0; ssta_same && i < node_arr.size(); ++i) {
+    ssta_same = node_arr[i].mu == view_ssta.arrival[i].mu &&
+                node_arr[i].var == view_ssta.arrival[i].var;
+  }
+
+  std::vector<double> node_arr_sta;
+  node_sta(view_delays, node_arr_sta);
+  const ssta::StaReport view_sta = ssta::run_sta(k2, view_delays, ssta::Corner::kWorst);
+  const bool sta_same = node_arr_sta == view_sta.arrival;
+
+  struct ViewSweep {
+    const char* name;
+    bool identical;
+    std::function<void()> node_fn;
+    std::function<void()> view_fn;
+  };
+  std::vector<stat::NormalRV> rv_scratch;
+  std::vector<double> d_scratch;
+  const ViewSweep sweeps[] = {
+      {"delays", delays_same, [&] { node_all_delays(rv_scratch); },
+       [&] { k2_calc.all_delays(sp); }},
+      {"ssta", ssta_same, [&] { node_ssta(view_delays, rv_scratch); },
+       [&] { ssta::run_ssta(k2, view_delays); }},
+      {"sta", sta_same, [&] { node_sta(view_delays, d_scratch); },
+       [&] { ssta::run_sta(k2, view_delays, ssta::Corner::kWorst); }},
+  };
+  for (const ViewSweep& s : sweeps) {
+    if (!s.identical) {
+      std::printf("  [FAIL] %s: view path differs from the Node-walk reference\n", s.name);
+      ++failures;
+    }
+    const double node_ms = wall_ms(s.node_fn, 5);
+    const double view_ms = wall_ms(s.view_fn, 5);
+    std::printf("%10s | %12.3f %12.3f %7.2fx | %s\n", s.name, node_ms, view_ms,
+                node_ms / view_ms, s.identical ? "yes" : "NO");
+    artifact.add_row()
+        .field("section", "timing_view")
+        .field("gates", k2.num_gates())
+        .field("sweep", s.name)
+        .field("node_ms", node_ms)
+        .field("view_ms", view_ms)
+        .field("identical", s.identical ? "yes" : "no");
   }
 
   artifact.write();

@@ -36,11 +36,12 @@ if [ "$SANITIZE" = "thread" ]; then
   # are exposed even where hardware_concurrency() == 1 would otherwise keep
   # every code path serial. Suites are selected by label (the executable
   # name, see tests/CMakeLists.txt): the runtime itself, SSTA/Monte Carlo,
-  # and the nlp + core suites whose hess_vec / adjoint sweeps fan out over
-  # ScatterPlan folds.
+  # the nlp + core suites whose hess_vec / adjoint sweeps fan out over
+  # ScatterPlan folds, and the TimingView suite every parallel sweep now
+  # traverses.
   echo "== ctest under ThreadSanitizer (runtime + parallel engines) =="
   STATSIZE_JOBS=4 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-    -L '^(runtime_test|ssta_test|nlp_test|core_test)$'
+    -L '^(runtime_test|ssta_test|nlp_test|core_test|timing_view_test)$'
   echo "thread-sanitizer checks passed"
   exit 0
 fi

@@ -23,6 +23,10 @@ Report lint_circuit(netlist::Circuit& circuit, const LintOptions& options) {
     }
     report.merge(lint_sigma_model(options.model.sigma_model, min_t_int));
   }
+  // MOD005 must run before finalize(): a non-finite cell parameter or load
+  // makes finalize() throw while compiling the TimingView, and lint should
+  // report the defect, not die on it.
+  report.merge(audit_view_compilability(circuit));
   if (report.has_errors()) {
     report.sort();
     return report;

@@ -185,6 +185,42 @@ Report audit_spec(const core::SizingSpec& spec, const netlist::Circuit& circuit)
   return report;
 }
 
+Report audit_view_compilability(const netlist::Circuit& circuit) {
+  Report report;
+  const netlist::CellLibrary& lib = circuit.library();
+  std::vector<char> cell_flagged(static_cast<std::size_t>(lib.size()), 0);
+  for (NodeId id = 0; id < circuit.num_nodes(); ++id) {
+    const netlist::Node& n = circuit.node(id);
+    if (!std::isfinite(n.wire_load) || (n.is_output && !std::isfinite(n.pad_load))) {
+      report.add("MOD005", "node '" + n.name + "'",
+                 "wire/pad load (" + fmt(n.wire_load) + " / " + fmt(n.pad_load) +
+                     ") is not finite, so the node's precomputed static load would be NaN/Inf",
+                 "Circuit::finalize() would reject the circuit when compiling its TimingView");
+    }
+    if (n.kind != NodeKind::kGate || n.cell < 0 || n.cell >= lib.size()) continue;
+    if (cell_flagged[static_cast<std::size_t>(n.cell)]) continue;  // one finding per cell
+    const netlist::CellType& cell = lib.cell(n.cell);
+    const struct {
+      const char* what;
+      double value;
+    } params[] = {{"intrinsic delay t_int", cell.t_int},
+                  {"drive coefficient c", cell.c},
+                  {"input capacitance c_in", cell.c_in},
+                  {"area", cell.area}};
+    for (const auto& p : params) {
+      if (std::isfinite(p.value)) continue;
+      cell_flagged[static_cast<std::size_t>(n.cell)] = 1;
+      report.add("MOD005", "cell '" + cell.name + "'",
+                 std::string(p.what) + " = " + fmt(p.value) +
+                     " is not finite; the TimingView precomputes it into per-gate constants "
+                     "and per-fanout-edge capacitances, poisoning every timing sweep",
+                 "Circuit::finalize() would reject the circuit when compiling its TimingView");
+      break;
+    }
+  }
+  return report;
+}
+
 Report audit_model(const netlist::Circuit& circuit, const ModelAuditOptions& options) {
   Report report;
   core::SizingSpec base;

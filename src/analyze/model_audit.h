@@ -65,6 +65,15 @@ Report audit_problem_derivatives(const nlp::Problem& problem, std::string_view w
 /// satisfiable delay bound sign).
 Report audit_spec(const core::SizingSpec& spec, const netlist::Circuit& circuit);
 
+/// MOD005: every constant the TimingView compilation precomputes — per-gate
+/// cell t_int / c / c_in / area and per-node wire/pad load — must be finite.
+/// The library and circuit builders reject negative values but NaN slips
+/// through every `<= 0` comparison, and a single non-finite c_in poisons the
+/// precomputed fanout edge capacitances (and hence every sweep). Safe on
+/// non-finalized circuits; gates whose cell id is invalid are skipped (that is
+/// CIR003's finding).
+Report audit_view_compilability(const netlist::Circuit& circuit);
+
 /// Full model audit on a finalized circuit: spec checks, Clark degeneracy at
 /// S = 1, then bound + derivative audits over full-space formulations built
 /// with a mu + 3 sigma objective and an active delay constraint (so every

@@ -56,6 +56,9 @@ const std::vector<RuleInfo>& rule_catalog() {
        "an analytic gradient or Hessian disagrees with its finite-difference estimate"},
       {"MOD004", "model", Severity::kError, "invalid-spec",
        "the sizing spec is inconsistent (e.g. max_speed < 1, or malformed objective weights)"},
+      {"MOD005", "model", Severity::kError, "non-compilable-timing-view",
+       "a cell parameter (t_int, c, c_in, area) or node load is non-finite, so the flat "
+       "TimingView's precomputed delay-model constants would propagate NaN/Inf into every sweep"},
       // -- netlist parsers --------------------------------------------------
       {"PAR001", "parse", Severity::kError, "blif-parse-error",
        "the BLIF input is malformed (undeclared net, duplicate definition, unsupported construct)"},

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/clark_element.h"
+#include "netlist/timing_view.h"
 #include "ssta/delay_model.h"
 #include "stat/clark.h"
 
@@ -34,7 +35,7 @@ class Builder {
  public:
   Builder(const netlist::Circuit& circuit, const SizingSpec& spec,
           const std::vector<double>& start_speed)
-      : circuit_(circuit), spec_(spec), start_speed_(start_speed) {
+      : circuit_(circuit), view_(circuit.view()), spec_(spec), start_speed_(start_speed) {
     out_.problem = std::make_unique<Problem>();
     out_.speed_var.assign(static_cast<std::size_t>(circuit.num_nodes()), -1);
   }
@@ -45,10 +46,11 @@ class Builder {
   Problem& p() { return *out_.problem; }
 
   Operand fold_max(const Operand& a, const Operand& b, const std::string& tag);
-  Operand nary_fanin_fold(const netlist::Node& gate);
+  Operand nary_fanin_fold(NodeId gate);
   Operand operand_of(NodeId id) const;
 
-  const netlist::Circuit& circuit_;
+  const netlist::Circuit& circuit_;  ///< names only; structure comes from view_
+  const netlist::TimingView& view_;
   const SizingSpec& spec_;
   const std::vector<double>& start_speed_;
   FullSpaceFormulation out_;
@@ -70,8 +72,7 @@ class Builder {
 };
 
 Operand Builder::operand_of(NodeId id) const {
-  const netlist::Node& n = circuit_.node(id);
-  if (n.kind == NodeKind::kPrimaryInput) {
+  if (view_.kind(id) == NodeKind::kPrimaryInput) {
     return Operand{true, NormalRV{0.0, 0.0}, -1, -1, 0.0};
   }
   Operand op;
@@ -145,13 +146,14 @@ Operand Builder::fold_max(const Operand& a, const Operand& b, const std::string&
   return r;
 }
 
-Operand Builder::nary_fanin_fold(const netlist::Node& gate) {
+Operand Builder::nary_fanin_fold(NodeId gate) {
+  const std::string& gate_name = circuit_.node(gate).name;
   // Split operands into a constant prefix (primary-input arrivals, folded at
   // build time) and the variable ones.
   bool has_const = false;
   NormalRV const_init{0.0, 0.0};
   std::vector<Operand> vars;
-  for (NodeId f : gate.fanins) {
+  for (NodeId f : view_.fanins(gate)) {
     const Operand op = operand_of(f);
     if (op.is_const) {
       const_init = has_const ? stat::clark_max(const_init, op.value) : op.value;
@@ -166,7 +168,7 @@ Operand Builder::nary_fanin_fold(const netlist::Node& gate) {
     // Very wide gates: fall back to a pairwise chain beyond the element cap.
     Operand acc = has_const ? Operand{true, const_init, -1, -1, 0.0} : vars.front();
     for (std::size_t k = has_const ? 0 : 1; k < vars.size(); ++k) {
-      acc = fold_max(acc, vars[k], gate.name + "_w" + std::to_string(k));
+      acc = fold_max(acc, vars[k], gate_name + "_w" + std::to_string(k));
     }
     return acc;
   }
@@ -186,8 +188,8 @@ Operand Builder::nary_fanin_fold(const netlist::Node& gate) {
   r.is_const = false;
   r.value = start;
   r.var_floor = floor;
-  r.mu_var = p().add_variable(-nlp::kInfinity, nlp::kInfinity, start.mu, "muU_" + gate.name);
-  r.var_var = p().add_variable(floor, nlp::kInfinity, start.var, "varU_" + gate.name);
+  r.mu_var = p().add_variable(-nlp::kInfinity, nlp::kInfinity, start.mu, "muU_" + gate_name);
+  r.var_var = p().add_variable(floor, nlp::kInfinity, start.var, "varU_" + gate_name);
 
   std::vector<int> arg_vars;
   arg_vars.reserve(static_cast<std::size_t>(2 * m));
@@ -236,52 +238,49 @@ FullSpaceFormulation Builder::build() {
   arr_var_floor_.assign(static_cast<std::size_t>(c.num_nodes()), 0.0);
   const double kappa0 = spec_.sigma_model.kappa;
   const double offset0 = spec_.sigma_model.offset;
-  for (NodeId id : c.topo_order()) {
-    const netlist::Node& n = c.node(id);
-    if (n.kind != NodeKind::kGate) continue;
+  for (NodeId id : view_.gates_in_topo_order()) {
     const std::size_t i = static_cast<std::size_t>(id);
-    const netlist::CellType& cell = c.library().cell(n.cell);
+    const std::string& name = c.node(id).name;
+    const double t_int = view_.t_int(id);
     // Physically valid bounds: the load is positive, so mu_t >= t_int; hence
     // var_t >= (kappa t_int + offset)^2, and the arrival variance is at least
     // the gate's own delay variance (var_T = var_U + var_t, var_U >= 0).
     // Beyond correctness these floors remove the spurious var -> 0 corner
     // that k*sqrt(var) objectives otherwise dive into.
-    const double sigma_floor = kappa0 * cell.t_int + offset0;
+    const double sigma_floor = kappa0 * t_int + offset0;
     const double var_floor = sigma_floor * sigma_floor;
     arr_var_floor_[i] = var_floor;
     out_.speed_var[i] =
-        p().add_variable(1.0, spec_.max_speed, start_speed_[i], "S_" + n.name);
+        p().add_variable(1.0, spec_.max_speed, start_speed_[i], "S_" + name);
     mu_t_var_[i] =
-        p().add_variable(cell.t_int, nlp::kInfinity, delay_start_[i].mu, "mut_" + n.name);
+        p().add_variable(t_int, nlp::kInfinity, delay_start_[i].mu, "mut_" + name);
     var_t_var_[i] =
-        p().add_variable(var_floor, nlp::kInfinity, delay_start_[i].var, "vart_" + n.name);
+        p().add_variable(var_floor, nlp::kInfinity, delay_start_[i].var, "vart_" + name);
     // Arrival starts are filled during pass 2 (they need fold ordering), but
     // the variables must exist; seed with delay for now and overwrite below.
-    mu_arr_var_[i] = p().add_variable(0.0, nlp::kInfinity, 0.0, "muT_" + n.name);
-    var_arr_var_[i] = p().add_variable(var_floor, nlp::kInfinity, 0.0, "varT_" + n.name);
+    mu_arr_var_[i] = p().add_variable(0.0, nlp::kInfinity, 0.0, "muT_" + name);
+    var_arr_var_[i] = p().add_variable(var_floor, nlp::kInfinity, 0.0, "varT_" + name);
   }
 
   // ---- Pass 2: constraints, in topological order.
   const double kappa = spec_.sigma_model.kappa;
   const double offset = spec_.sigma_model.offset;
-  for (NodeId id : c.topo_order()) {
-    const netlist::Node& n = c.node(id);
-    if (n.kind != NodeKind::kGate) continue;
+  for (NodeId id : view_.gates_in_topo_order()) {
     const std::size_t i = static_cast<std::size_t>(id);
-    const netlist::CellType& cell = c.library().cell(n.cell);
+    const std::string& name = c.node(id).name;
 
     // (a) delay: mu_t S - t_int S - c * C_load - sum c * C_in,fo * S_fo = 0.
     {
       FunctionGroup g;
       g.elements = {{product_, {mu_t_var_[i], out_.speed_var[i]}, 1.0}};
-      g.linear.push_back({out_.speed_var[i], -cell.t_int});
-      double c_const = n.wire_load + (n.is_output ? n.pad_load : 0.0);
-      for (NodeId fo : n.fanouts) {
-        const netlist::Node& sink = c.node(fo);
-        g.linear.push_back({out_.speed_var[static_cast<std::size_t>(fo)],
-                            -cell.c * c.library().cell(sink.cell).c_in});
+      g.linear.push_back({out_.speed_var[i], -view_.t_int(id)});
+      const netlist::NodeSpan fanouts = view_.fanouts(id);
+      const double* fo_cin = view_.fanout_cin(id);
+      for (std::size_t k = 0; k < fanouts.size(); ++k) {
+        g.linear.push_back({out_.speed_var[static_cast<std::size_t>(fanouts[k])],
+                            -view_.drive_c(id) * fo_cin[k]});
       }
-      g.constant = -cell.c * c_const;
+      g.constant = -view_.drive_c(id) * view_.static_load(id);
       p().add_equality(std::move(g));
     }
 
@@ -302,11 +301,12 @@ FullSpaceFormulation Builder::build() {
     // with spec.nary_fanin_max, a single n-ary element (future-work mode).
     Operand u;
     if (spec_.nary_fanin_max) {
-      u = nary_fanin_fold(n);
+      u = nary_fanin_fold(id);
     } else {
-      u = operand_of(n.fanins[0]);
-      for (std::size_t k = 1; k < n.fanins.size(); ++k) {
-        u = fold_max(u, operand_of(n.fanins[k]), n.name + "_" + std::to_string(k));
+      const netlist::NodeSpan fanins = view_.fanins(id);
+      u = operand_of(fanins[0]);
+      for (std::size_t k = 1; k < fanins.size(); ++k) {
+        u = fold_max(u, operand_of(fanins[k]), name + "_" + std::to_string(k));
       }
     }
     arrival_start_[i] = stat::add(u.value, delay_start_[i]);
@@ -330,9 +330,10 @@ FullSpaceFormulation Builder::build() {
   }
 
   // ---- Circuit delay: statistical max over primary outputs (eq. 18a).
-  Operand tmax = operand_of(c.outputs().front());
-  for (std::size_t k = 1; k < c.outputs().size(); ++k) {
-    tmax = fold_max(tmax, operand_of(c.outputs()[k]), "out_" + std::to_string(k));
+  const std::vector<NodeId>& outs = view_.outputs();
+  Operand tmax = operand_of(outs.front());
+  for (std::size_t k = 1; k < outs.size(); ++k) {
+    tmax = fold_max(tmax, operand_of(outs[k]), "out_" + std::to_string(k));
   }
   out_.mu_tmax_var = tmax.mu_var;
   out_.var_tmax_var = tmax.var_var;
@@ -359,21 +360,17 @@ FullSpaceFormulation Builder::build() {
         }
         break;
       case ObjectiveKind::kArea:
-        for (NodeId id : c.topo_order()) {
-          if (c.node(id).kind == NodeKind::kGate) {
-            obj.linear.push_back({out_.speed_var[static_cast<std::size_t>(id)], 1.0});
-          }
+        for (NodeId id : view_.gates_in_topo_order()) {
+          obj.linear.push_back({out_.speed_var[static_cast<std::size_t>(id)], 1.0});
         }
         break;
       case ObjectiveKind::kSigma:
         obj.linear.push_back({out_.var_tmax_var, spec_.objective.sign});
         break;
       case ObjectiveKind::kWeighted:
-        for (NodeId id : c.topo_order()) {
-          if (c.node(id).kind == NodeKind::kGate) {
-            obj.linear.push_back({out_.speed_var[static_cast<std::size_t>(id)],
-                                  spec_.objective.weights[static_cast<std::size_t>(id)]});
-          }
+        for (NodeId id : view_.gates_in_topo_order()) {
+          obj.linear.push_back({out_.speed_var[static_cast<std::size_t>(id)],
+                                spec_.objective.weights[static_cast<std::size_t>(id)]});
         }
         break;
     }

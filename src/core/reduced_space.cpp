@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <stdexcept>
 #include <utility>
 
+#include "netlist/timing_view.h"
 #include "runtime/level_schedule.h"
 #include "runtime/runtime.h"
 #include "runtime/scatter_plan.h"
@@ -51,8 +53,8 @@ struct ReducedEvaluator::AdjointPlans {
   std::vector<double> avar_vals;
   std::vector<double> grad_vals;
 
-  AdjointPlans(const netlist::Circuit& c, const runtime::LevelSchedule& sched) {
-    const std::size_t n = static_cast<std::size_t>(c.num_nodes());
+  AdjointPlans(const netlist::TimingView& view, const runtime::LevelSchedule& sched) {
+    const std::size_t n = static_cast<std::size_t>(view.num_nodes());
     fanin_slot.assign(n, 0);
     fanout_slot.assign(n, 0);
     levels.resize(static_cast<std::size_t>(sched.num_levels()));
@@ -62,11 +64,13 @@ struct ReducedEvaluator::AdjointPlans {
     for (int l = 0; l < sched.num_levels(); ++l) {
       Level& lv = levels[static_cast<std::size_t>(l)];
       for (NodeId id : sched.level(l)) {
-        const netlist::Node& node = c.node(id);
-        rev.assign(node.fanins.rbegin(), node.fanins.rend());
+        const netlist::NodeSpan fanins = view.fanins(id);
+        const netlist::NodeSpan fanouts = view.fanouts(id);
+        rev.assign(std::make_reverse_iterator(fanins.end()),
+                   std::make_reverse_iterator(fanins.begin()));
         fanin_slot[static_cast<std::size_t>(id)] = lv.fanin_plan.add_item(rev.data(), rev.size());
         fanout_slot[static_cast<std::size_t>(id)] =
-            lv.fanout_plan.add_item(node.fanouts.data(), node.fanouts.size());
+            lv.fanout_plan.add_item(fanouts.begin(), fanouts.size());
       }
       lv.fanin_plan.freeze(n);
       lv.fanout_plan.freeze(n);
@@ -96,12 +100,15 @@ NormalRV ReducedEvaluator::eval_with_grad_impl(const std::vector<double>& speed,
   const netlist::Circuit& c = *circuit_;
   const std::size_t n = static_cast<std::size_t>(c.num_nodes());
   if (speed.size() != n) throw std::invalid_argument("speed must be indexed by NodeId");
+  // Guard before view(): an output-less circuit cannot survive finalize(), so
+  // this diagnostic must fire pre-finalize (core_test pins it).
   const std::vector<NodeId>& outs = c.outputs();
   if (outs.empty()) {
     throw std::invalid_argument(
         "ReducedEvaluator::eval_with_grad: circuit has no primary outputs, so the "
         "circuit delay (and its gradient) is undefined");
   }
+  const netlist::TimingView& view = c.view();
 
   const ssta::DelayCalculator calc(c, sigma_model_);
 
@@ -116,43 +123,40 @@ NormalRV ReducedEvaluator::eval_with_grad_impl(const std::vector<double>& speed,
   std::vector<NormalRV> delay(n);
   std::vector<std::size_t> step_begin(n, 0);
   std::size_t gate_steps = 0;
-  for (NodeId id : c.topo_order()) {
-    const netlist::Node& node = c.node(id);
-    if (node.kind == NodeKind::kPrimaryInput) continue;
-    if (node.fanins.empty()) {
+  for (NodeId id : view.gates_in_topo_order()) {
+    const netlist::NodeSpan fanins = view.fanins(id);
+    if (fanins.empty()) {
       // Unreachable through the public builders (CellLibrary rejects cells
       // with num_inputs < 1 and the BLIF reader maps zero-fanin .names to
       // auxiliary inputs), but a fanin-less gate would underflow the
       // step-slice arithmetic below — fail loudly instead.
-      throw std::invalid_argument("ReducedEvaluator::eval_with_grad: gate '" + node.name +
+      throw std::invalid_argument("ReducedEvaluator::eval_with_grad: gate '" + c.node(id).name +
                                   "' has no fanins; its arrival fold is undefined");
     }
     step_begin[static_cast<std::size_t>(id)] = gate_steps;
-    gate_steps += node.fanins.size() - 1;
+    gate_steps += fanins.size() - 1;
   }
   const std::size_t out_step_begin = gate_steps;
   std::vector<ClarkGrad> steps(gate_steps + outs.size() - 1);
 
   auto eval_gate = [&](NodeId id) {
-    const netlist::Node& node = c.node(id);
+    const netlist::NodeSpan fanins = view.fanins(id);
     const std::size_t i = static_cast<std::size_t>(id);
-    NormalRV u = arrival[static_cast<std::size_t>(node.fanins[0])];
-    for (std::size_t k = 1; k < node.fanins.size(); ++k) {
+    NormalRV u = arrival[static_cast<std::size_t>(fanins[0])];
+    for (std::size_t k = 1; k < fanins.size(); ++k) {
       ClarkGrad g;
-      u = stat::clark_max_grad(u, arrival[static_cast<std::size_t>(node.fanins[k])], g);
+      u = stat::clark_max_grad(u, arrival[static_cast<std::size_t>(fanins[k])], g);
       steps[step_begin[i] + (k - 1)] = g;
     }
     delay[i] = calc.delay(id, speed);
     arrival[i] = stat::add(u, delay[i]);
   };
-  const bool parallel = runtime::threads() > 1 && c.num_gates() >= kParallelGateCutoff;
-  const runtime::LevelSchedule sched(c);
+  const bool parallel = runtime::threads() > 1 && view.num_gates() >= kParallelGateCutoff;
+  const runtime::LevelSchedule sched(view);
   if (parallel) {
     sched.for_each_gate(kGateGrain, eval_gate);
   } else {
-    for (NodeId id : c.topo_order()) {
-      if (c.node(id).kind == NodeKind::kGate) eval_gate(id);
-    }
+    for (NodeId id : view.gates_in_topo_order()) eval_gate(id);
   }
 
   NormalRV tmax = arrival[static_cast<std::size_t>(outs[0])];
@@ -208,7 +212,6 @@ NormalRV ReducedEvaluator::eval_with_grad_impl(const std::vector<double>& speed,
   // the serial fold's write order (fanins[n-1] .. fanins[1], then fanins[0]).
   // Returns false — nothing written — when the gate's adjoint is zero.
   auto gate_adjoint = [&](NodeId id, double* fo_g, double* fin_mu, double* fin_var) -> bool {
-    const netlist::Node& node = c.node(id);
     const std::size_t i = static_cast<std::size_t>(id);
     const double a_mu = amu[i];
     const double a_var = avar[i];
@@ -220,20 +223,24 @@ NormalRV ReducedEvaluator::eval_with_grad_impl(const std::vector<double>& speed,
     const double adj_mu_t = a_mu + a_var * 2.0 * kappa * sigma_t;
 
     // mu_t = t_int + c * load / S: sensitivities to this gate's own S and to
-    // every fanout's S (their pins are part of the load).
-    const netlist::CellType& cell = c.library().cell(node.cell);
+    // every fanout's S (their pins are part of the load). The per-edge sink
+    // pin capacitances are the view's precomputed fanout_cin array — the same
+    // doubles the load dot product reads.
+    const double drive_c = view.drive_c(id);
     const double s_own = speed[i];
-    const double load = c.load_capacitance(id, speed);
-    grad[i] += adj_mu_t * (-cell.c * load / (s_own * s_own));
-    for (std::size_t k = 0; k < node.fanouts.size(); ++k) {
-      const NodeId fo = node.fanouts[k];
-      fo_g[k] = adj_mu_t * cell.c * c.library().cell(c.node(fo).cell).c_in / s_own;
+    const double load = view.load_capacitance(id, speed.data());
+    grad[i] += adj_mu_t * (-drive_c * load / (s_own * s_own));
+    const netlist::NodeSpan fanouts = view.fanouts(id);
+    const double* fo_cin = view.fanout_cin(id);
+    for (std::size_t k = 0; k < fanouts.size(); ++k) {
+      fo_g[k] = adj_mu_t * drive_c * fo_cin[k] / s_own;
     }
 
     // Through this gate's fanin fold, reverse order.
     double acc_mu = a_mu;
     double acc_var = a_var;
-    const std::size_t nf = node.fanins.size();
+    const netlist::NodeSpan fanins = view.fanins(id);
+    const std::size_t nf = fanins.size();
     for (std::size_t k = nf; k-- > 1;) {
       const ClarkGrad& g = steps[step_begin[i] + (k - 1)];
       fin_mu[nf - 1 - k] = acc_mu * g.dmu[1] + acc_var * g.dvar[1];
@@ -249,12 +256,11 @@ NormalRV ReducedEvaluator::eval_with_grad_impl(const std::vector<double>& speed,
   };
 
   if (parallel) {
-    if (!plans_) plans_ = std::make_unique<AdjointPlans>(c, sched);
+    if (!plans_) plans_ = std::make_unique<AdjointPlans>(view, sched);
     AdjointPlans& plans = *plans_;
     sched.for_each_gate_reverse(
         kGateGrain,
         [&](NodeId id) {
-          const netlist::Node& node = c.node(id);
           const std::size_t i = static_cast<std::size_t>(id);
           // Slot offsets are level-local: each level's gates write disjoint
           // slices of the shared scratch, folded before the next level runs.
@@ -264,8 +270,8 @@ NormalRV ReducedEvaluator::eval_with_grad_impl(const std::vector<double>& speed,
           if (!gate_adjoint(id, fo_g, fin_mu, fin_var)) {
             // Zero adjoint: the serial sweep skips this gate entirely; fold
             // zeros so the folded sums stay equal (x + 0.0 == x).
-            for (std::size_t k = 0; k < node.fanouts.size(); ++k) fo_g[k] = 0.0;
-            for (std::size_t k = 0; k < node.fanins.size(); ++k) {
+            for (std::size_t k = 0; k < view.fanouts(id).size(); ++k) fo_g[k] = 0.0;
+            for (std::size_t k = 0; k < view.fanins(id).size(); ++k) {
               fin_mu[k] = 0.0;
               fin_var[k] = 0.0;
             }
@@ -282,9 +288,8 @@ NormalRV ReducedEvaluator::eval_with_grad_impl(const std::vector<double>& speed,
     std::size_t max_fanout = 0;
     for (int l = 0; l < sched.num_levels(); ++l) {
       for (NodeId id : sched.level(l)) {
-        const netlist::Node& node = c.node(id);
-        max_fanin = std::max(max_fanin, node.fanins.size());
-        max_fanout = std::max(max_fanout, node.fanouts.size());
+        max_fanin = std::max(max_fanin, view.fanins(id).size());
+        max_fanout = std::max(max_fanout, view.fanouts(id).size());
       }
     }
     std::vector<double> fo_g(max_fanout);
@@ -292,15 +297,16 @@ NormalRV ReducedEvaluator::eval_with_grad_impl(const std::vector<double>& speed,
     std::vector<double> fin_var(max_fanin);
     for (int l = sched.num_levels(); l-- > 0;) {
       for (NodeId id : sched.level(l)) {
-        const netlist::Node& node = c.node(id);
         if (!gate_adjoint(id, fo_g.data(), fin_mu.data(), fin_var.data())) continue;
-        for (std::size_t k = 0; k < node.fanouts.size(); ++k) {
-          grad[static_cast<std::size_t>(node.fanouts[k])] += fo_g[k];
+        const netlist::NodeSpan fanouts = view.fanouts(id);
+        for (std::size_t k = 0; k < fanouts.size(); ++k) {
+          grad[static_cast<std::size_t>(fanouts[k])] += fo_g[k];
         }
-        const std::size_t nf = node.fanins.size();
+        const netlist::NodeSpan fanins = view.fanins(id);
+        const std::size_t nf = fanins.size();
         for (std::size_t j = 0; j < nf; ++j) {
           // Slot j targets fanins[nf-1-j] (the serial fold's write order).
-          const std::size_t f = static_cast<std::size_t>(node.fanins[nf - 1 - j]);
+          const std::size_t f = static_cast<std::size_t>(fanins[nf - 1 - j]);
           amu[f] += fin_mu[j];
           avar[f] += fin_var[j];
         }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "analyze/circuit_lint.h"
+#include "netlist/timing_view.h"
 
 namespace statsize::netlist {
 
@@ -133,7 +134,22 @@ void Circuit::finalize() {
         .push_back(id);
   }
 
+  // Compile the flat timing graph (the finalized flag must be set first —
+  // the view reads through the require_finalized accessors). A failed
+  // compile (non-finite cell constants/loads, see MOD005) leaves the
+  // circuit un-finalized, never half-frozen.
   finalized_ = true;
+  try {
+    view_ = std::make_shared<const TimingView>(*this);
+  } catch (...) {
+    finalized_ = false;
+    throw;
+  }
+}
+
+const TimingView& Circuit::view() const {
+  require_finalized();
+  return *view_;
 }
 
 const std::vector<std::vector<NodeId>>& Circuit::gate_levels() const {
@@ -153,13 +169,9 @@ const std::vector<NodeId>& Circuit::topo_order() const {
 
 double Circuit::load_capacitance(NodeId id, const std::vector<double>& speed) const {
   require_finalized();
-  const Node& n = node(id);
-  double cap = n.wire_load + (n.is_output ? n.pad_load : 0.0);
-  for (NodeId fo : n.fanouts) {
-    const Node& sink = node(fo);
-    cap += library_->cell(sink.cell).c_in * speed[static_cast<std::size_t>(fo)];
-  }
-  return cap;
+  // Same edge order and arithmetic as the historical Node walk, through the
+  // compiled per-edge capacitances — bit-identical, no library chasing.
+  return view_->load_capacitance(id, speed.data());
 }
 
 int Circuit::depth() const {

@@ -14,12 +14,15 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "netlist/cell_library.h"
 
 namespace statsize::netlist {
+
+class TimingView;
 
 using NodeId = std::int32_t;
 inline constexpr NodeId kInvalidNode = -1;
@@ -62,16 +65,25 @@ class Circuit {
 
   void set_wire_load(NodeId id, double load);
 
-  /// Freezes the circuit: derives fanouts, topologically sorts, validates.
+  /// Freezes the circuit: derives fanouts, topologically sorts, validates,
+  /// and compiles the flat TimingView every hot sweep runs on (see view()).
   /// Validation runs through analyze::lint_circuit_structure, so the thrown
   /// std::runtime_error lists every structural error at once and names the
   /// offending nodes (including the actual gates forming a combinational
   /// cycle). Circuits built with fanin-before-fanout ordering keep the
   /// identity topological order; deferred construction gets the
-  /// lexicographically smallest valid order.
+  /// lexicographically smallest valid order. Non-finite cell constants or
+  /// loads make the view compile throw std::invalid_argument (rule MOD005
+  /// reports them at lint time).
   void finalize();
 
   bool finalized() const { return finalized_; }
+
+  /// The flat structure-of-arrays timing graph compiled by finalize() —
+  /// CSR edges, packed node attributes, precomputed loads (timing_view.h).
+  /// Immutable and shared by value-copies of this circuit. Throws until
+  /// finalize() has run.
+  const TimingView& view() const;
 
   const CellLibrary& library() const { return *library_; }
   const Node& node(NodeId id) const { return nodes_.at(static_cast<std::size_t>(id)); }
@@ -109,6 +121,7 @@ class Circuit {
   void require_finalized() const;
 
   const CellLibrary* library_;
+  std::shared_ptr<const TimingView> view_;  ///< compiled by finalize()
   std::vector<Node> nodes_;
   std::vector<NodeId> outputs_;
   std::vector<NodeId> topo_;

@@ -1,0 +1,103 @@
+#include "netlist/timing_view.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace statsize::netlist {
+
+namespace {
+
+void require_finite(double v, const std::string& what) {
+  if (std::isfinite(v)) return;
+  throw std::invalid_argument(
+      "TimingView: " + what + " is not finite, so the compiled timing graph would " +
+      "propagate NaN/Inf into every sweep; `statsize lint` (rule MOD005) diagnoses " +
+      "this before finalize()");
+}
+
+}  // namespace
+
+TimingView::TimingView(const Circuit& circuit) {
+  if (!circuit.finalized()) {
+    throw std::logic_error(
+        "TimingView requires a finalized circuit: fanouts, the topological "
+        "order, and the level partition are derived by Circuit::finalize()");
+  }
+  const std::size_t n = static_cast<std::size_t>(circuit.num_nodes());
+  num_gates_ = circuit.num_gates();
+  num_inputs_ = circuit.num_inputs();
+
+  kind_.resize(n);
+  is_output_.assign(n, 0);
+  level_.assign(n, 0);
+  cell_.assign(n, -1);
+  function_.assign(n, CellFunction::kBuf);
+  t_int_.assign(n, 0.0);
+  drive_c_.assign(n, 0.0);
+  c_in_.assign(n, 0.0);
+  area_.assign(n, 0.0);
+  static_load_.assign(n, 0.0);
+
+  fanin_offset_.assign(n + 1, 0);
+  fanout_offset_.assign(n + 1, 0);
+
+  for (NodeId id = 0; id < static_cast<NodeId>(n); ++id) {
+    const Node& node = circuit.node(id);
+    const std::size_t i = static_cast<std::size_t>(id);
+    kind_[i] = node.kind;
+    is_output_[i] = node.is_output ? 1 : 0;
+    level_[i] = circuit.node_level(id);
+    static_load_[i] = node.wire_load + (node.is_output ? node.pad_load : 0.0);
+    require_finite(static_load_[i], "node '" + node.name + "' wire/pad load");
+    if (node.kind == NodeKind::kGate) {
+      const CellType& cell = circuit.library().cell(node.cell);
+      cell_[i] = node.cell;
+      function_[i] = cell.function;
+      t_int_[i] = cell.t_int;
+      drive_c_[i] = cell.c;
+      c_in_[i] = cell.c_in;
+      area_[i] = cell.area;
+      require_finite(cell.t_int, "cell '" + cell.name + "' intrinsic delay t_int");
+      require_finite(cell.c, "cell '" + cell.name + "' drive coefficient c");
+      require_finite(cell.c_in, "cell '" + cell.name + "' input capacitance c_in");
+      require_finite(cell.area, "cell '" + cell.name + "' area");
+    }
+    fanin_offset_[i + 1] = fanin_offset_[i] + node.fanins.size();
+    fanout_offset_[i + 1] = fanout_offset_[i] + node.fanouts.size();
+  }
+
+  fanin_.reserve(fanin_offset_[n]);
+  fanout_.reserve(fanout_offset_[n]);
+  fanout_cin_.reserve(fanout_offset_[n]);
+  for (NodeId id = 0; id < static_cast<NodeId>(n); ++id) {
+    const Node& node = circuit.node(id);
+    fanin_.insert(fanin_.end(), node.fanins.begin(), node.fanins.end());
+    for (NodeId fo : node.fanouts) {
+      // Fanouts are always gates (only gates have fanins), so the sink's pin
+      // capacitance was copied — and finiteness-checked — above when fo was
+      // visited, or will be; read the library directly to keep one pass.
+      fanout_.push_back(fo);
+      fanout_cin_.push_back(circuit.library().cell(circuit.node(fo).cell).c_in);
+    }
+  }
+
+  topo_ = circuit.topo_order();
+  outputs_ = circuit.outputs();
+  gate_topo_.reserve(static_cast<std::size_t>(num_gates_));
+  for (NodeId id : topo_) {
+    if (kind_[static_cast<std::size_t>(id)] == NodeKind::kGate) gate_topo_.push_back(id);
+  }
+
+  const std::vector<std::vector<NodeId>>& levels = circuit.gate_levels();
+  level_offset_.assign(levels.size() + 1, 0);
+  for (std::size_t l = 0; l < levels.size(); ++l) {
+    level_offset_[l + 1] = level_offset_[l] + levels[l].size();
+  }
+  level_gate_.reserve(level_offset_[levels.size()]);
+  for (const std::vector<NodeId>& lvl : levels) {
+    level_gate_.insert(level_gate_.end(), lvl.begin(), lvl.end());
+  }
+}
+
+}  // namespace statsize::netlist

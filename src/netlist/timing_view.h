@@ -1,0 +1,163 @@
+// Flat, immutable structure-of-arrays compilation of a finalized Circuit —
+// the cache-friendly timing graph every hot sweep traverses (DESIGN.md §8).
+//
+// The mutable netlist (Circuit/Node: per-node heap vectors, bounds-checked
+// node() access, library chasing in load_capacitance) stays the build-time
+// substrate; TimingView is what the timing engines actually walk:
+//
+//   * CSR fanin/fanout edge arrays (offsets + one flat NodeId array each),
+//   * packed per-node kind / is_output / level / cell arrays,
+//   * per-gate delay-model constants (t_int, c, c_in, area, Boolean function)
+//     copied out of the CellLibrary once,
+//   * per-node static load (wire_load + pad_load-if-output) and a
+//     per-fanout-edge precomputed sink C_in, so load_capacitance (eq. 14's
+//     C_load + sum C_in,i S_i) is a contiguous dot product with no Node or
+//     CellLibrary chasing,
+//   * the topological order, the gates-only topological order, the primary
+//     outputs, and the CSR level partition the parallel LevelSchedule runs.
+//
+// Invariants vs. Circuit: edge and level orders are exactly the Node lists'
+// orders (fanins pin order, fanouts ascending driver-derived order, levels in
+// ascending topo position), and every stored double is a *copy* of the value
+// the Node path reads — so any sweep retargeted from Node walks to the view
+// performs the same floating-point operations in the same order and stays
+// bit-identical. Circuit::finalize() compiles and caches the view
+// (Circuit::view()); there is no way to mutate a view, and a Circuit cannot
+// change after finalize(), so the two can never disagree.
+//
+// Compilation validates that every precomputed constant is finite and throws
+// std::invalid_argument naming the offending cell/node otherwise; `statsize
+// lint` diagnoses the same defect earlier as rule MOD005.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/cell_library.h"
+#include "netlist/circuit.h"
+
+namespace statsize::netlist {
+
+/// Non-owning contiguous run of NodeIds (a CSR row of the view).
+struct NodeSpan {
+  const NodeId* ptr = nullptr;
+  std::size_t count = 0;
+
+  const NodeId* begin() const { return ptr; }
+  const NodeId* end() const { return ptr + count; }
+  std::size_t size() const { return count; }
+  bool empty() const { return count == 0; }
+  NodeId operator[](std::size_t i) const { return ptr[i]; }
+  NodeId front() const { return ptr[0]; }
+};
+
+class TimingView {
+ public:
+  /// Compiles `circuit`, which must be finalized (std::logic_error otherwise)
+  /// and must outlive nothing: the view copies everything it needs. Normally
+  /// not called directly — finalize() builds one and Circuit::view() serves
+  /// it. Throws std::invalid_argument if any compiled constant (cell t_int /
+  /// c / c_in / area, wire or pad load) is non-finite.
+  explicit TimingView(const Circuit& circuit);
+
+  int num_nodes() const { return static_cast<int>(kind_.size()); }
+  int num_gates() const { return num_gates_; }
+  int num_inputs() const { return num_inputs_; }
+  int num_levels() const { return static_cast<int>(level_offset_.size()) - 1; }
+
+  NodeKind kind(NodeId id) const { return kind_[static_cast<std::size_t>(id)]; }
+  bool is_gate(NodeId id) const { return kind(id) == NodeKind::kGate; }
+  bool is_output(NodeId id) const { return is_output_[static_cast<std::size_t>(id)] != 0; }
+  /// Topological level: 0 for primary inputs, 1 + max fanin level for gates.
+  int level(NodeId id) const { return level_[static_cast<std::size_t>(id)]; }
+  /// CellLibrary id of the gate's cell; -1 for primary inputs.
+  int cell(NodeId id) const { return cell_[static_cast<std::size_t>(id)]; }
+  CellFunction function(NodeId id) const { return function_[static_cast<std::size_t>(id)]; }
+
+  // Per-gate delay-model constants (eq. 14), 0 for primary inputs.
+  double t_int(NodeId id) const { return t_int_[static_cast<std::size_t>(id)]; }
+  double drive_c(NodeId id) const { return drive_c_[static_cast<std::size_t>(id)]; }
+  double c_in(NodeId id) const { return c_in_[static_cast<std::size_t>(id)]; }
+  double area(NodeId id) const { return area_[static_cast<std::size_t>(id)]; }
+  /// wire_load + pad_load-if-output: the constant part of eq. 14's C_load.
+  double static_load(NodeId id) const { return static_load_[static_cast<std::size_t>(id)]; }
+
+  /// Fanins of `id` in pin order (empty for primary inputs).
+  NodeSpan fanins(NodeId id) const {
+    const std::size_t i = static_cast<std::size_t>(id);
+    return {fanin_.data() + fanin_offset_[i], fanin_offset_[i + 1] - fanin_offset_[i]};
+  }
+
+  /// Fanout gates of `id`, in the same order as Node::fanouts.
+  NodeSpan fanouts(NodeId id) const {
+    const std::size_t i = static_cast<std::size_t>(id);
+    return {fanout_.data() + fanout_offset_[i], fanout_offset_[i + 1] - fanout_offset_[i]};
+  }
+
+  /// Precomputed sink-pin capacitance (C_in at S = 1) per fanout edge of
+  /// `id`, aligned with fanouts(id).
+  const double* fanout_cin(NodeId id) const {
+    return fanout_cin_.data() + fanout_offset_[static_cast<std::size_t>(id)];
+  }
+
+  /// Total load at `id` under `speed` (indexed by NodeId): eq. 14's
+  /// C_load + sum C_in,i S_i as one contiguous dot product over the node's
+  /// fanout edges. Identical arithmetic and edge order to the Node walk.
+  double load_capacitance(NodeId id, const double* speed) const {
+    const std::size_t i = static_cast<std::size_t>(id);
+    double cap = static_load_[i];
+    const std::size_t end = fanout_offset_[i + 1];
+    for (std::size_t e = fanout_offset_[i]; e < end; ++e) {
+      cap += fanout_cin_[e] * speed[static_cast<std::size_t>(fanout_[e])];
+    }
+    return cap;
+  }
+
+  /// Every node, fanins before fanouts (Circuit::topo_order's order).
+  const std::vector<NodeId>& topo_order() const { return topo_; }
+
+  /// The gates of topo_order() in the same relative order — the serial
+  /// sweeps' iteration set, with the kind branch compiled out.
+  const std::vector<NodeId>& gates_in_topo_order() const { return gate_topo_; }
+
+  /// Primary outputs in mark_output order (the eq. 18a fold order).
+  const std::vector<NodeId>& outputs() const { return outputs_; }
+
+  /// Gates of level `l` (0-based) in ascending topo position — the same
+  /// partition Circuit::gate_levels() holds, as one flat CSR array.
+  NodeSpan level_gates(int l) const {
+    const std::size_t k = static_cast<std::size_t>(l);
+    return {level_gate_.data() + level_offset_[k], level_offset_[k + 1] - level_offset_[k]};
+  }
+
+ private:
+  int num_gates_ = 0;
+  int num_inputs_ = 0;
+
+  std::vector<NodeKind> kind_;
+  std::vector<unsigned char> is_output_;
+  std::vector<int> level_;
+  std::vector<int> cell_;
+  std::vector<CellFunction> function_;
+
+  std::vector<double> t_int_;
+  std::vector<double> drive_c_;
+  std::vector<double> c_in_;
+  std::vector<double> area_;
+  std::vector<double> static_load_;
+
+  std::vector<std::size_t> fanin_offset_;  ///< size num_nodes + 1
+  std::vector<NodeId> fanin_;
+  std::vector<std::size_t> fanout_offset_;  ///< size num_nodes + 1
+  std::vector<NodeId> fanout_;
+  std::vector<double> fanout_cin_;  ///< aligned with fanout_
+
+  std::vector<NodeId> topo_;
+  std::vector<NodeId> gate_topo_;
+  std::vector<NodeId> outputs_;
+  std::vector<std::size_t> level_offset_;  ///< size num_levels + 1
+  std::vector<NodeId> level_gate_;
+};
+
+}  // namespace statsize::netlist

@@ -8,10 +8,9 @@ LevelSchedule::LevelSchedule(const netlist::Circuit& circuit) {
   if (!circuit.finalized()) {
     throw std::logic_error(
         "LevelSchedule requires a finalized circuit: the topological level "
-        "partition is derived by Circuit::finalize()");
+        "partition is compiled into the TimingView by Circuit::finalize()");
   }
-  levels_ = &circuit.gate_levels();
-  num_gates_ = circuit.num_gates();
+  view_ = &circuit.view();
 }
 
 }  // namespace statsize::runtime

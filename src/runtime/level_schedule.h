@@ -4,9 +4,10 @@
 // topological level: a gate's arrival depends only on fanins, which live at
 // strictly smaller levels, so executing level 1, barrier, level 2, barrier,
 // ... lets every gate in a level run concurrently with no synchronization
-// beyond the barrier. The level partition itself is structural — Circuit
-// computes and caches it once in finalize() (Circuit::gate_levels()); this
-// class binds that cache to the global pool and adds the barriered executor.
+// beyond the barrier. The level partition itself is structural — it is
+// compiled into the flat TimingView by Circuit::finalize() (one CSR array,
+// netlist::TimingView::level_gates); this class binds that view to the
+// global pool and adds the barriered executors.
 //
 // A LevelSchedule over a non-finalized circuit is rejected with
 // std::logic_error: the level partition does not exist before finalize(),
@@ -17,33 +18,36 @@
 
 #include <cstddef>
 
-#include "netlist/circuit.h"
+#include "netlist/timing_view.h"
 #include "runtime/runtime.h"
 
 namespace statsize::runtime {
 
 class LevelSchedule {
  public:
-  /// Binds to `circuit`'s cached level partition. Throws std::logic_error if
+  /// Binds to `circuit`'s compiled TimingView. Throws std::logic_error if
   /// the circuit is not finalized. The circuit must outlive the schedule.
   explicit LevelSchedule(const netlist::Circuit& circuit);
 
-  int num_levels() const { return static_cast<int>(levels_->size()); }
+  /// Binds directly to an already-compiled view (which must outlive the
+  /// schedule) — the form the retargeted sweeps use.
+  explicit LevelSchedule(const netlist::TimingView& view) : view_(&view) {}
+
+  int num_levels() const { return view_->num_levels(); }
 
   /// Gates at level `l` (0-based; level 0 holds gates fed only by primary
   /// inputs), in ascending topological-order position.
-  const std::vector<netlist::NodeId>& level(int l) const {
-    return (*levels_)[static_cast<std::size_t>(l)];
-  }
+  netlist::NodeSpan level(int l) const { return view_->level_gates(l); }
 
-  int num_gates() const { return num_gates_; }
+  int num_gates() const { return view_->num_gates(); }
 
   /// Runs fn(id) for every gate, level by level with a barrier between
   /// levels and the gates of each level fanned out across the global pool
   /// (`grain` gates per chunk). fn must only write to slots keyed by id.
   template <class Fn>
   void for_each_gate(std::size_t grain, Fn&& fn) const {
-    for (const std::vector<netlist::NodeId>& lvl : *levels_) {
+    for (int l = 0; l < num_levels(); ++l) {
+      const netlist::NodeSpan lvl = level(l);
       parallel_for(lvl.size(), grain, [&](std::size_t b, std::size_t e) {
         for (std::size_t i = b; i < e; ++i) fn(lvl[i]);
       });
@@ -59,7 +63,7 @@ class LevelSchedule {
   template <class Fn, class AfterLevelFn>
   void for_each_gate_reverse(std::size_t grain, Fn&& fn, AfterLevelFn&& after_level) const {
     for (int l = num_levels(); l-- > 0;) {
-      const std::vector<netlist::NodeId>& lvl = level(l);
+      const netlist::NodeSpan lvl = level(l);
       parallel_for(lvl.size(), grain, [&](std::size_t b, std::size_t e) {
         for (std::size_t i = b; i < e; ++i) fn(lvl[i]);
       });
@@ -73,8 +77,7 @@ class LevelSchedule {
   }
 
  private:
-  const std::vector<std::vector<netlist::NodeId>>* levels_;
-  int num_gates_ = 0;
+  const netlist::TimingView* view_;
 };
 
 }  // namespace statsize::runtime

@@ -3,6 +3,8 @@
 #include <random>
 #include <stdexcept>
 
+#include "netlist/timing_view.h"
+
 namespace statsize::ssta {
 
 using netlist::CellFunction;
@@ -11,10 +13,9 @@ using netlist::NodeKind;
 
 namespace {
 
-double prob_of_gate(CellFunction fn, const std::vector<double>& p,
-                    const std::vector<NodeId>& fanins, const std::vector<double>& probs) {
+double prob_of_gate(CellFunction fn, const NodeId* fanins, std::size_t num_fanins,
+                    const std::vector<double>& probs) {
   auto pin = [&](std::size_t i) { return probs[static_cast<std::size_t>(fanins[i])]; };
-  (void)p;
   switch (fn) {
     case CellFunction::kBuf:
       return pin(0);
@@ -23,19 +24,19 @@ double prob_of_gate(CellFunction fn, const std::vector<double>& p,
     case CellFunction::kAnd:
     case CellFunction::kNand: {
       double all1 = 1.0;
-      for (std::size_t i = 0; i < fanins.size(); ++i) all1 *= pin(i);
+      for (std::size_t i = 0; i < num_fanins; ++i) all1 *= pin(i);
       return fn == CellFunction::kAnd ? all1 : 1.0 - all1;
     }
     case CellFunction::kOr:
     case CellFunction::kNor: {
       double all0 = 1.0;
-      for (std::size_t i = 0; i < fanins.size(); ++i) all0 *= 1.0 - pin(i);
+      for (std::size_t i = 0; i < num_fanins; ++i) all0 *= 1.0 - pin(i);
       return fn == CellFunction::kOr ? 1.0 - all0 : all0;
     }
     case CellFunction::kXor: {
       // P(odd number of ones): fold p_xor = a(1-b) + b(1-a).
       double acc = pin(0);
-      for (std::size_t i = 1; i < fanins.size(); ++i) {
+      for (std::size_t i = 1; i < num_fanins; ++i) {
         acc = acc * (1.0 - pin(i)) + pin(i) * (1.0 - acc);
       }
       return acc;
@@ -52,7 +53,7 @@ double prob_of_gate(CellFunction fn, const std::vector<double>& p,
   throw std::logic_error("unhandled cell function");
 }
 
-bool eval_gate(CellFunction fn, const std::vector<NodeId>& fanins,
+bool eval_gate(CellFunction fn, const NodeId* fanins, std::size_t num_fanins,
                const std::vector<char>& value) {
   auto pin = [&](std::size_t i) { return value[static_cast<std::size_t>(fanins[i])] != 0; };
   switch (fn) {
@@ -63,18 +64,18 @@ bool eval_gate(CellFunction fn, const std::vector<NodeId>& fanins,
     case CellFunction::kAnd:
     case CellFunction::kNand: {
       bool all = true;
-      for (std::size_t i = 0; i < fanins.size() && all; ++i) all = pin(i);
+      for (std::size_t i = 0; i < num_fanins && all; ++i) all = pin(i);
       return fn == CellFunction::kAnd ? all : !all;
     }
     case CellFunction::kOr:
     case CellFunction::kNor: {
       bool any = false;
-      for (std::size_t i = 0; i < fanins.size() && !any; ++i) any = pin(i);
+      for (std::size_t i = 0; i < num_fanins && !any; ++i) any = pin(i);
       return fn == CellFunction::kOr ? any : !any;
     }
     case CellFunction::kXor: {
       bool acc = false;
-      for (std::size_t i = 0; i < fanins.size(); ++i) acc = acc != pin(i);
+      for (std::size_t i = 0; i < num_fanins; ++i) acc = acc != pin(i);
       return acc;
     }
     case CellFunction::kAoi21:
@@ -92,14 +93,15 @@ std::vector<double> signal_probabilities(const netlist::Circuit& circuit,
   if (input_probability < 0.0 || input_probability > 1.0) {
     throw std::invalid_argument("input probability must lie in [0, 1]");
   }
-  std::vector<double> probs(static_cast<std::size_t>(circuit.num_nodes()), 0.0);
-  for (NodeId id : circuit.topo_order()) {
-    const netlist::Node& n = circuit.node(id);
-    if (n.kind == NodeKind::kPrimaryInput) {
+  const netlist::TimingView& view = circuit.view();
+  std::vector<double> probs(static_cast<std::size_t>(view.num_nodes()), 0.0);
+  for (NodeId id : view.topo_order()) {
+    if (view.kind(id) == NodeKind::kPrimaryInput) {
       probs[static_cast<std::size_t>(id)] = input_probability;
     } else {
+      const netlist::NodeSpan fanins = view.fanins(id);
       probs[static_cast<std::size_t>(id)] =
-          prob_of_gate(circuit.cell_of(id).function, probs, n.fanins, probs);
+          prob_of_gate(view.function(id), fanins.begin(), fanins.size(), probs);
     }
   }
   return probs;
@@ -115,13 +117,12 @@ std::vector<double> switching_activity(const netlist::Circuit& circuit,
 std::vector<double> power_weights(const netlist::Circuit& circuit, double input_probability,
                                   double internal_cap_fraction) {
   const std::vector<double> act = switching_activity(circuit, input_probability);
-  std::vector<double> weights(static_cast<std::size_t>(circuit.num_nodes()), 0.0);
-  for (NodeId id : circuit.topo_order()) {
-    const netlist::Node& n = circuit.node(id);
-    if (n.kind != NodeKind::kGate) continue;
-    const netlist::CellType& cell = circuit.cell_of(id);
-    double w = internal_cap_fraction * cell.c_in * act[static_cast<std::size_t>(id)];
-    for (NodeId f : n.fanins) w += cell.c_in * act[static_cast<std::size_t>(f)];
+  const netlist::TimingView& view = circuit.view();
+  std::vector<double> weights(static_cast<std::size_t>(view.num_nodes()), 0.0);
+  for (NodeId id : view.gates_in_topo_order()) {
+    const double cin = view.c_in(id);
+    double w = internal_cap_fraction * cin * act[static_cast<std::size_t>(id)];
+    for (NodeId f : view.fanins(id)) w += cin * act[static_cast<std::size_t>(f)];
     weights[static_cast<std::size_t>(id)] = w;
   }
   return weights;
@@ -130,16 +131,20 @@ std::vector<double> power_weights(const netlist::Circuit& circuit, double input_
 std::vector<double> signal_probabilities_monte_carlo(const netlist::Circuit& circuit,
                                                      int num_samples, std::uint64_t seed,
                                                      double input_probability) {
+  const netlist::TimingView& view = circuit.view();
   std::mt19937_64 rng(seed);
   std::bernoulli_distribution coin(input_probability);
-  std::vector<char> value(static_cast<std::size_t>(circuit.num_nodes()), 0);
-  std::vector<long> ones(static_cast<std::size_t>(circuit.num_nodes()), 0);
+  std::vector<char> value(static_cast<std::size_t>(view.num_nodes()), 0);
+  std::vector<long> ones(static_cast<std::size_t>(view.num_nodes()), 0);
   for (int s = 0; s < num_samples; ++s) {
-    for (NodeId id : circuit.topo_order()) {
-      const netlist::Node& n = circuit.node(id);
-      const bool v = n.kind == NodeKind::kPrimaryInput
-                         ? coin(rng)
-                         : eval_gate(circuit.cell_of(id).function, n.fanins, value);
+    for (NodeId id : view.topo_order()) {
+      bool v;
+      if (view.kind(id) == NodeKind::kPrimaryInput) {
+        v = coin(rng);
+      } else {
+        const netlist::NodeSpan fanins = view.fanins(id);
+        v = eval_gate(view.function(id), fanins.begin(), fanins.size(), value);
+      }
       value[static_cast<std::size_t>(id)] = v ? 1 : 0;
       if (v) ++ones[static_cast<std::size_t>(id)];
     }

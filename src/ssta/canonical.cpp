@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "netlist/timing_view.h"
 #include "stat/clark.h"
 
 namespace statsize::ssta {
@@ -125,19 +126,20 @@ CanonicalTimingReport run_canonical_ssta(const netlist::Circuit& circuit,
   if (static_cast<int>(gate_delays.size()) != circuit.num_nodes()) {
     throw std::invalid_argument("gate_delays must be indexed by NodeId");
   }
+  const netlist::TimingView& view = circuit.view();
   CanonicalTimingReport report;
-  report.arrival.resize(static_cast<std::size_t>(circuit.num_nodes()));
-  int next_source = circuit.num_nodes();  // residual ids beyond gate ids
+  report.arrival.resize(static_cast<std::size_t>(view.num_nodes()));
+  int next_source = view.num_nodes();  // residual ids beyond gate ids
 
-  for (NodeId id : circuit.topo_order()) {
-    const netlist::Node& n = circuit.node(id);
-    if (n.kind == NodeKind::kPrimaryInput) {
+  for (NodeId id : view.topo_order()) {
+    if (view.kind(id) == NodeKind::kPrimaryInput) {
       report.arrival[static_cast<std::size_t>(id)] = CanonicalForm::constant(0.0);
       continue;
     }
-    CanonicalForm u = report.arrival[static_cast<std::size_t>(n.fanins[0])];
-    for (std::size_t k = 1; k < n.fanins.size(); ++k) {
-      u = CanonicalForm::max(u, report.arrival[static_cast<std::size_t>(n.fanins[k])],
+    const netlist::NodeSpan fanins = view.fanins(id);
+    CanonicalForm u = report.arrival[static_cast<std::size_t>(fanins[0])];
+    for (std::size_t k = 1; k < fanins.size(); ++k) {
+      u = CanonicalForm::max(u, report.arrival[static_cast<std::size_t>(fanins[k])],
                              next_source);
     }
     const NormalRV& d = gate_delays[static_cast<std::size_t>(id)];
@@ -145,7 +147,7 @@ CanonicalTimingReport run_canonical_ssta(const netlist::Circuit& circuit,
         u, CanonicalForm::variable(d.mu, static_cast<int>(id), d.sigma()));
   }
 
-  const std::vector<NodeId>& outs = circuit.outputs();
+  const std::vector<NodeId>& outs = view.outputs();
   CanonicalForm total = report.arrival[static_cast<std::size_t>(outs[0])];
   for (std::size_t k = 1; k < outs.size(); ++k) {
     total = CanonicalForm::max(total, report.arrival[static_cast<std::size_t>(outs[k])],

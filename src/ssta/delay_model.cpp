@@ -1,15 +1,15 @@
 #include "ssta/delay_model.h"
 
+#include "netlist/timing_view.h"
+
 namespace statsize::ssta {
 
 using netlist::NodeId;
-using netlist::NodeKind;
 
 double DelayCalculator::mean_delay(NodeId id, const std::vector<double>& speed) const {
-  const netlist::Node& n = circuit_->node(id);
-  const netlist::CellType& cell = circuit_->library().cell(n.cell);
-  const double load = circuit_->load_capacitance(id, speed);
-  return cell.t_int + cell.c * load / speed[static_cast<std::size_t>(id)];
+  const netlist::TimingView& view = circuit_->view();
+  const double load = view.load_capacitance(id, speed.data());
+  return view.t_int(id) + view.drive_c(id) * load / speed[static_cast<std::size_t>(id)];
 }
 
 stat::NormalRV DelayCalculator::delay(NodeId id, const std::vector<double>& speed) const {
@@ -18,11 +18,10 @@ stat::NormalRV DelayCalculator::delay(NodeId id, const std::vector<double>& spee
 }
 
 std::vector<stat::NormalRV> DelayCalculator::all_delays(const std::vector<double>& speed) const {
-  std::vector<stat::NormalRV> delays(static_cast<std::size_t>(circuit_->num_nodes()));
-  for (NodeId id : circuit_->topo_order()) {
-    if (circuit_->node(id).kind == NodeKind::kGate) {
-      delays[static_cast<std::size_t>(id)] = delay(id, speed);
-    }
+  const netlist::TimingView& view = circuit_->view();
+  std::vector<stat::NormalRV> delays(static_cast<std::size_t>(view.num_nodes()));
+  for (NodeId id : view.gates_in_topo_order()) {
+    delays[static_cast<std::size_t>(id)] = delay(id, speed);
   }
   return delays;
 }
@@ -30,20 +29,18 @@ std::vector<stat::NormalRV> DelayCalculator::all_delays(const std::vector<double
 double DelayCalculator::total_speed(const netlist::Circuit& circuit,
                                     const std::vector<double>& speed) {
   double sum = 0.0;
-  for (NodeId id : circuit.topo_order()) {
-    if (circuit.node(id).kind == NodeKind::kGate) sum += speed[static_cast<std::size_t>(id)];
+  for (NodeId id : circuit.view().gates_in_topo_order()) {
+    sum += speed[static_cast<std::size_t>(id)];
   }
   return sum;
 }
 
 double DelayCalculator::total_area(const netlist::Circuit& circuit,
                                    const std::vector<double>& speed) {
+  const netlist::TimingView& view = circuit.view();
   double sum = 0.0;
-  for (NodeId id : circuit.topo_order()) {
-    const netlist::Node& n = circuit.node(id);
-    if (n.kind == NodeKind::kGate) {
-      sum += circuit.library().cell(n.cell).area * speed[static_cast<std::size_t>(id)];
-    }
+  for (NodeId id : view.gates_in_topo_order()) {
+    sum += view.area(id) * speed[static_cast<std::size_t>(id)];
   }
   return sum;
 }

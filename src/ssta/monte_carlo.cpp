@@ -6,7 +6,9 @@
 #include <mutex>
 #include <random>
 #include <stdexcept>
+#include <string>
 
+#include "netlist/timing_view.h"
 #include "runtime/runtime.h"
 
 namespace statsize::ssta {
@@ -16,6 +18,12 @@ using netlist::NodeKind;
 
 double MonteCarloResult::quantile(double p) const {
   if (samples.empty()) throw std::runtime_error("no samples");
+  if (!(p >= 0.0 && p <= 1.0)) {
+    // A negative index would wrap through the size_t cast into an
+    // out-of-bounds read; reject NaN too (it fails both comparisons).
+    throw std::invalid_argument("MonteCarloResult::quantile: p = " + std::to_string(p) +
+                                " is outside [0, 1]");
+  }
   const double idx = p * (static_cast<double>(samples.size()) - 1.0);
   const std::size_t lo = static_cast<std::size_t>(idx);
   const std::size_t hi = std::min(lo + 1, samples.size() - 1);
@@ -47,25 +55,27 @@ std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t stream) {
   return z ^ (z >> 31);
 }
 
-/// One trial: sample delays, propagate, return (delay, critical PO).
+/// One trial: sample delays, propagate over the flat CSR view, return
+/// (delay, critical PO).
 template <class SampleFn>
-double propagate_once(const netlist::Circuit& circuit, SampleFn&& sample_delay,
+double propagate_once(const netlist::TimingView& view, SampleFn&& sample_delay,
                       std::vector<double>& arrival, NodeId* critical_output) {
-  for (NodeId id : circuit.topo_order()) {
-    const netlist::Node& n = circuit.node(id);
-    if (n.kind == NodeKind::kPrimaryInput) {
+  for (NodeId id : view.topo_order()) {
+    if (view.kind(id) == NodeKind::kPrimaryInput) {
       arrival[static_cast<std::size_t>(id)] = 0.0;
       continue;
     }
-    double u = arrival[static_cast<std::size_t>(n.fanins[0])];
-    for (std::size_t i = 1; i < n.fanins.size(); ++i) {
-      u = std::max(u, arrival[static_cast<std::size_t>(n.fanins[i])]);
+    const netlist::NodeSpan fanins = view.fanins(id);
+    double u = arrival[static_cast<std::size_t>(fanins[0])];
+    for (std::size_t i = 1; i < fanins.size(); ++i) {
+      u = std::max(u, arrival[static_cast<std::size_t>(fanins[i])]);
     }
     arrival[static_cast<std::size_t>(id)] = u + sample_delay(id);
   }
+  const std::vector<NodeId>& outs = view.outputs();
   double total = -1.0;
-  NodeId crit = circuit.outputs().front();
-  for (NodeId o : circuit.outputs()) {
+  NodeId crit = outs.front();
+  for (NodeId o : outs) {
     if (arrival[static_cast<std::size_t>(o)] > total) {
       total = arrival[static_cast<std::size_t>(o)];
       crit = o;
@@ -78,11 +88,11 @@ double propagate_once(const netlist::Circuit& circuit, SampleFn&& sample_delay,
 /// Runs trials [first, last) of the experiment defined by (options, chunk)
 /// with the chunk's private RNG stream; on_trial(trial, total, arrival).
 template <class OnTrial>
-void run_chunk(const netlist::Circuit& circuit, const std::vector<stat::NormalRV>& gate_delays,
+void run_chunk(const netlist::TimingView& view, const std::vector<stat::NormalRV>& gate_delays,
                const MonteCarloOptions& options, std::size_t chunk, OnTrial&& on_trial) {
   std::mt19937_64 rng(stream_seed(options.seed, chunk));
   std::normal_distribution<double> unit(0.0, 1.0);
-  std::vector<double> arrival(static_cast<std::size_t>(circuit.num_nodes()));
+  std::vector<double> arrival(static_cast<std::size_t>(view.num_nodes()));
   const int first = static_cast<int>(chunk) * kChunkSamples;
   const int last = std::min(first + kChunkSamples, options.num_samples);
   for (int trial = first; trial < last; ++trial) {
@@ -93,7 +103,7 @@ void run_chunk(const netlist::Circuit& circuit, const std::vector<stat::NormalRV
       return t;
     };
     NodeId crit = netlist::kInvalidNode;
-    const double total = propagate_once(circuit, sample_delay, arrival, &crit);
+    const double total = propagate_once(view, sample_delay, arrival, &crit);
     on_trial(trial, total, crit, arrival);
   }
 }
@@ -110,6 +120,7 @@ MonteCarloResult run_monte_carlo(const netlist::Circuit& circuit,
   if (static_cast<int>(gate_delays.size()) != circuit.num_nodes()) {
     throw std::invalid_argument("gate_delays must be indexed by NodeId");
   }
+  const netlist::TimingView& view = circuit.view();
   const std::size_t chunks = num_chunks(options);
   MonteCarloResult result;
   result.samples.resize(static_cast<std::size_t>(options.num_samples));
@@ -120,7 +131,7 @@ MonteCarloResult run_monte_carlo(const netlist::Circuit& circuit,
     for (std::size_t c = cb; c < ce; ++c) {
       double sum = 0.0;
       double sum2 = 0.0;
-      run_chunk(circuit, gate_delays, options, c,
+      run_chunk(view, gate_delays, options, c,
                 [&](int trial, double total, NodeId, const std::vector<double>&) {
                   result.samples[static_cast<std::size_t>(trial)] = total;
                   sum += total;
@@ -153,25 +164,26 @@ std::vector<double> monte_carlo_criticality(const netlist::Circuit& circuit,
   if (static_cast<int>(gate_delays.size()) != circuit.num_nodes()) {
     throw std::invalid_argument("gate_delays must be indexed by NodeId");
   }
+  const netlist::TimingView& view = circuit.view();
   const std::size_t chunks = num_chunks(options);
-  std::vector<long> hits(static_cast<std::size_t>(circuit.num_nodes()), 0);
+  std::vector<long> hits(static_cast<std::size_t>(view.num_nodes()), 0);
   std::mutex hits_mutex;  // integer merge: exact, order-independent
 
   runtime::parallel_for(chunks, 1, [&](std::size_t cb, std::size_t ce) {
     std::vector<long> local(hits.size(), 0);
     for (std::size_t c = cb; c < ce; ++c) {
-      run_chunk(circuit, gate_delays, options, c,
+      run_chunk(view, gate_delays, options, c,
                 [&](int, double, NodeId crit, const std::vector<double>& arrival) {
                   // Walk back along argmax fanins from the critical output.
                   NodeId cur = crit;
-                  while (circuit.node(cur).kind == NodeKind::kGate) {
+                  while (view.is_gate(cur)) {
                     ++local[static_cast<std::size_t>(cur)];
-                    const netlist::Node& n = circuit.node(cur);
-                    NodeId best = n.fanins[0];
-                    for (std::size_t i = 1; i < n.fanins.size(); ++i) {
-                      if (arrival[static_cast<std::size_t>(n.fanins[i])] >
+                    const netlist::NodeSpan fanins = view.fanins(cur);
+                    NodeId best = fanins[0];
+                    for (std::size_t i = 1; i < fanins.size(); ++i) {
+                      if (arrival[static_cast<std::size_t>(fanins[i])] >
                           arrival[static_cast<std::size_t>(best)]) {
-                        best = n.fanins[i];
+                        best = fanins[i];
                       }
                     }
                     cur = best;
@@ -182,7 +194,7 @@ std::vector<double> monte_carlo_criticality(const netlist::Circuit& circuit,
     for (std::size_t i = 0; i < hits.size(); ++i) hits[i] += local[i];
   });
 
-  std::vector<double> criticality(static_cast<std::size_t>(circuit.num_nodes()), 0.0);
+  std::vector<double> criticality(static_cast<std::size_t>(view.num_nodes()), 0.0);
   for (std::size_t i = 0; i < hits.size(); ++i) {
     criticality[i] = static_cast<double>(hits[i]) / options.num_samples;
   }

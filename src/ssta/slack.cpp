@@ -3,12 +3,12 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "netlist/timing_view.h"
 #include "stat/clark.h"
 
 namespace statsize::ssta {
 
 using netlist::NodeId;
-using netlist::NodeKind;
 using stat::NormalRV;
 
 double SlackReport::meet_probability(NodeId id) const {
@@ -32,18 +32,18 @@ SlackReport compute_slacks(const netlist::Circuit& circuit,
   // Backward sweep in reverse topological order. A node's required time is
   // the statistical min over consumers of (their required time minus their
   // delay); output pads require the deadline itself.
+  const netlist::TimingView& view = circuit.view();
   std::vector<char> has_required(n, 0);
-  const std::vector<NodeId>& topo = circuit.topo_order();
+  const std::vector<NodeId>& topo = view.topo_order();
   for (std::size_t t = topo.size(); t-- > 0;) {
     const NodeId id = topo[t];
-    const netlist::Node& node = circuit.node(id);
     NormalRV req;
     bool have = false;
-    if (node.is_output) {
+    if (view.is_output(id)) {
       req = NormalRV{deadline, 0.0};
       have = true;
     }
-    for (NodeId fo : node.fanouts) {
+    for (NodeId fo : view.fanouts(id)) {
       const std::size_t f = static_cast<std::size_t>(fo);
       if (!has_required[f]) continue;  // consumer unreachable from outputs
       const NormalRV through = {report.required[f].mu - gate_delays[f].mu,
@@ -63,8 +63,9 @@ SlackReport compute_slacks(const netlist::Circuit& circuit,
 std::vector<NodeId> extract_critical_path(const netlist::Circuit& circuit,
                                           const TimingReport& timing) {
   // Start at the PO with the largest mean arrival.
-  NodeId cur = circuit.outputs().front();
-  for (NodeId o : circuit.outputs()) {
+  const netlist::TimingView& view = circuit.view();
+  NodeId cur = view.outputs().front();
+  for (NodeId o : view.outputs()) {
     if (timing.arrival[static_cast<std::size_t>(o)].mu >
         timing.arrival[static_cast<std::size_t>(cur)].mu) {
       cur = o;
@@ -72,10 +73,10 @@ std::vector<NodeId> extract_critical_path(const netlist::Circuit& circuit,
   }
   std::vector<NodeId> path;
   path.push_back(cur);
-  while (circuit.node(cur).kind == NodeKind::kGate) {
-    const netlist::Node& n = circuit.node(cur);
-    NodeId best = n.fanins[0];
-    for (NodeId f : n.fanins) {
+  while (view.is_gate(cur)) {
+    const netlist::NodeSpan fanins = view.fanins(cur);
+    NodeId best = fanins[0];
+    for (NodeId f : fanins) {
       if (timing.arrival[static_cast<std::size_t>(f)].mu >
           timing.arrival[static_cast<std::size_t>(best)].mu) {
         best = f;

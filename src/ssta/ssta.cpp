@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "netlist/timing_view.h"
 #include "runtime/level_schedule.h"
 #include "runtime/runtime.h"
 #include "stat/clark.h"
@@ -21,8 +22,8 @@ namespace {
 constexpr int kParallelGateCutoff = 192;
 constexpr std::size_t kGateGrain = 32;
 
-bool use_parallel(const netlist::Circuit& circuit) {
-  return runtime::threads() > 1 && circuit.num_gates() >= kParallelGateCutoff;
+bool use_parallel(const netlist::TimingView& view) {
+  return runtime::threads() > 1 && view.num_gates() >= kParallelGateCutoff;
 }
 
 }  // namespace
@@ -32,15 +33,21 @@ TimingReport run_ssta(const netlist::Circuit& circuit, const std::vector<NormalR
   if (static_cast<int>(gate_delays.size()) != circuit.num_nodes()) {
     throw std::invalid_argument("gate_delays must be indexed by NodeId");
   }
+  if (static_cast<int>(input_arrivals.size()) != circuit.num_inputs()) {
+    throw std::invalid_argument(
+        "input_arrivals must carry one entry per primary input (in topological "
+        "input order)");
+  }
+  const netlist::TimingView& view = circuit.view();
   TimingReport report;
-  report.arrival.resize(static_cast<std::size_t>(circuit.num_nodes()));
+  report.arrival.resize(static_cast<std::size_t>(view.num_nodes()));
 
   // Primary inputs take their schedule time; ordinal = position among the
   // inputs in topological order (stable whether or not gates run in
   // parallel below).
   int pi_index = 0;
-  for (NodeId id : circuit.topo_order()) {
-    if (circuit.node(id).kind == NodeKind::kPrimaryInput) {
+  for (NodeId id : view.topo_order()) {
+    if (view.kind(id) == NodeKind::kPrimaryInput) {
       report.arrival[static_cast<std::size_t>(id)] =
           input_arrivals[static_cast<std::size_t>(pi_index++)];
     }
@@ -51,23 +58,21 @@ TimingReport run_ssta(const netlist::Circuit& circuit, const std::vector<NormalR
   // only strictly-lower-level arrivals and writes its own slot, so gates of
   // one level run concurrently with bit-identical results.
   auto eval_gate = [&](NodeId id) {
-    const netlist::Node& n = circuit.node(id);
-    NormalRV u = report.arrival[static_cast<std::size_t>(n.fanins[0])];
-    for (std::size_t i = 1; i < n.fanins.size(); ++i) {
-      u = stat::clark_max(u, report.arrival[static_cast<std::size_t>(n.fanins[i])]);
+    const netlist::NodeSpan fanins = view.fanins(id);
+    NormalRV u = report.arrival[static_cast<std::size_t>(fanins[0])];
+    for (std::size_t i = 1; i < fanins.size(); ++i) {
+      u = stat::clark_max(u, report.arrival[static_cast<std::size_t>(fanins[i])]);
     }
     report.arrival[static_cast<std::size_t>(id)] =
         stat::add(u, gate_delays[static_cast<std::size_t>(id)]);
   };
-  if (use_parallel(circuit)) {
-    runtime::LevelSchedule(circuit).for_each_gate(kGateGrain, eval_gate);
+  if (use_parallel(view)) {
+    runtime::LevelSchedule(view).for_each_gate(kGateGrain, eval_gate);
   } else {
-    for (NodeId id : circuit.topo_order()) {
-      if (circuit.node(id).kind == NodeKind::kGate) eval_gate(id);
-    }
+    for (NodeId id : view.gates_in_topo_order()) eval_gate(id);
   }
 
-  const std::vector<NodeId>& outs = circuit.outputs();
+  const std::vector<NodeId>& outs = view.outputs();
   NormalRV total = report.arrival[static_cast<std::size_t>(outs[0])];
   for (std::size_t i = 1; i < outs.size(); ++i) {
     total = stat::clark_max(total, report.arrival[static_cast<std::size_t>(outs[i])]);
@@ -92,27 +97,26 @@ StaReport run_sta(const netlist::Circuit& circuit, const std::vector<NormalRV>& 
   if (static_cast<int>(gate_delays.size()) != circuit.num_nodes()) {
     throw std::invalid_argument("gate_delays must be indexed by NodeId");
   }
+  const netlist::TimingView& view = circuit.view();
   const double k = corner == Corner::kBest ? -3.0 : corner == Corner::kWorst ? 3.0 : 0.0;
   StaReport report;
-  report.arrival.resize(static_cast<std::size_t>(circuit.num_nodes()), 0.0);
+  report.arrival.resize(static_cast<std::size_t>(view.num_nodes()), 0.0);
   auto eval_gate = [&](NodeId id) {
-    const netlist::Node& n = circuit.node(id);
-    double u = report.arrival[static_cast<std::size_t>(n.fanins[0])];
-    for (std::size_t i = 1; i < n.fanins.size(); ++i) {
-      u = std::max(u, report.arrival[static_cast<std::size_t>(n.fanins[i])]);
+    const netlist::NodeSpan fanins = view.fanins(id);
+    double u = report.arrival[static_cast<std::size_t>(fanins[0])];
+    for (std::size_t i = 1; i < fanins.size(); ++i) {
+      u = std::max(u, report.arrival[static_cast<std::size_t>(fanins[i])]);
     }
     report.arrival[static_cast<std::size_t>(id)] =
         u + gate_delays[static_cast<std::size_t>(id)].quantile_offset(k);
   };
-  if (use_parallel(circuit)) {
-    runtime::LevelSchedule(circuit).for_each_gate(kGateGrain, eval_gate);
+  if (use_parallel(view)) {
+    runtime::LevelSchedule(view).for_each_gate(kGateGrain, eval_gate);
   } else {
-    for (NodeId id : circuit.topo_order()) {
-      if (circuit.node(id).kind == NodeKind::kGate) eval_gate(id);
-    }
+    for (NodeId id : view.gates_in_topo_order()) eval_gate(id);
   }
   double total = 0.0;
-  for (NodeId o : circuit.outputs()) {
+  for (NodeId o : view.outputs()) {
     total = std::max(total, report.arrival[static_cast<std::size_t>(o)]);
   }
   report.circuit_delay = total;

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
@@ -427,6 +428,49 @@ TEST(ModelAudit, SpecInconsistenciesAreMOD004) {
   EXPECT_TRUE(has_rule(report, "MOD004"));
 }
 
+netlist::Circuit nan_cell_circuit() {
+  // CellLibrary::add rejects non-positive constants but a NaN slips through
+  // every `<= 0` comparison — the defect class MOD005 exists for.
+  static netlist::CellLibrary lib = [] {
+    netlist::CellLibrary l;
+    netlist::CellType bad;
+    bad.name = "INV_NAN";
+    bad.num_inputs = 1;
+    bad.c_in = std::numeric_limits<double>::quiet_NaN();
+    bad.function = netlist::CellFunction::kInv;
+    l.add(bad);
+    return l;
+  }();
+  Circuit c(lib);
+  const NodeId a = c.add_input("a");
+  const NodeId g = c.add_gate(0, {a}, "g");
+  c.mark_output(g, 1.0);
+  return c;
+}
+
+TEST(ModelAudit, NonFiniteCellParameterIsMOD005) {
+  Circuit c = nan_cell_circuit();
+  const Report report = analyze::audit_view_compilability(c);
+  ASSERT_TRUE(has_rule(report, "MOD005"));
+  EXPECT_TRUE(report.has_errors());
+  const std::string msg = message_of(report, "MOD005");
+  EXPECT_NE(msg.find("INV_NAN"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("c_in"), std::string::npos) << msg;
+}
+
+TEST(ModelAudit, NonFiniteWireLoadIsMOD005) {
+  NodeId g;
+  Circuit c = small_base(nullptr, nullptr, &g);
+  c.set_wire_load(g, std::numeric_limits<double>::infinity());
+  const Report report = analyze::audit_view_compilability(c);
+  ASSERT_TRUE(has_rule(report, "MOD005"));
+  EXPECT_NE(message_of(report, "MOD005").find("'C'"), std::string::npos);
+  // A healthy circuit is clean.
+  Circuit ok = small_base();
+  EXPECT_FALSE(analyze::audit_view_compilability(ok).has_errors());
+}
+
+
 // ---------------------------------------------------------------------------
 // Lint driver + parser error paths
 // ---------------------------------------------------------------------------
@@ -453,6 +497,17 @@ TEST(LintDriver, StructuralErrorsSuppressModelAudit) {
   for (const auto& d : report.diagnostics()) {
     EXPECT_NE(d.id.substr(0, 3), "MOD") << "model audit must not run on broken structure";
   }
+}
+
+TEST(LintDriver, NonCompilableViewIsReportedNotThrown) {
+  // lint_circuit must report MOD005 instead of dying when finalize() (which
+  // compiles the TimingView) would throw on the non-finite parameter — so the
+  // audit has to run before the driver's finalize step.
+  Circuit c = nan_cell_circuit();
+  const Report report = analyze::lint_circuit(c, fast_options());
+  EXPECT_TRUE(has_rule(report, "MOD005"));
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_FALSE(c.finalized());
 }
 
 TEST(BlifErrors, UndefinedSignalThrowsAndLints) {

@@ -140,6 +140,21 @@ TEST(Ssta, RejectsMisSizedDelayVector) {
   EXPECT_THROW(run_sta(c, wrong, Corner::kTypical), std::invalid_argument);
 }
 
+TEST(Ssta, RejectsMisSizedInputArrivalVector) {
+  // Regression: a short per-input schedule used to index past its end (one
+  // slot per primary input is consumed in topological input order).
+  const Circuit c = make_tree_circuit();
+  ASSERT_GT(c.num_inputs(), 1);
+  DelayCalculator calc(c);
+  const auto delays = calc.all_delays(unit_speed(c));
+  const std::vector<NormalRV> shorter(static_cast<std::size_t>(c.num_inputs()) - 1);
+  EXPECT_THROW(run_ssta(c, delays, shorter), std::invalid_argument);
+  const std::vector<NormalRV> longer(static_cast<std::size_t>(c.num_inputs()) + 1);
+  EXPECT_THROW(run_ssta(c, delays, longer), std::invalid_argument);
+  const std::vector<NormalRV> exact(static_cast<std::size_t>(c.num_inputs()));
+  EXPECT_NO_THROW(run_ssta(c, delays, exact));
+}
+
 // --- SSTA vs Monte Carlo on whole circuits (parameterized) -----------------
 
 struct McCase {
@@ -202,6 +217,23 @@ TEST(MonteCarlo, QuantileAndYieldAreConsistent) {
   EXPECT_LE(mc.mean, mc.max);
   EXPECT_NEAR(mc.yield(mc.max), 1.0, 1e-12);
   EXPECT_LT(mc.yield(mc.min - 1.0), 0.01);
+}
+
+TEST(MonteCarlo, QuantileRejectsProbabilityOutsideUnitInterval) {
+  // Regression: quantile(p) used to cast a negative scaled index straight to
+  // size_t, turning a caller typo (p = -0.1) into a wild out-of-bounds read.
+  const Circuit c = make_tree_circuit();
+  DelayCalculator calc(c);
+  const auto delays = calc.all_delays(unit_speed(c));
+  MonteCarloOptions opt;
+  opt.num_samples = 200;
+  const MonteCarloResult mc = run_monte_carlo(c, delays, opt);
+  EXPECT_THROW(mc.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(mc.quantile(1.5), std::invalid_argument);
+  EXPECT_THROW(mc.quantile(std::nan("")), std::invalid_argument);
+  // The closed endpoints stay valid and bracket the sample range.
+  EXPECT_EQ(mc.quantile(0.0), mc.min);
+  EXPECT_EQ(mc.quantile(1.0), mc.max);
 }
 
 TEST(MonteCarlo, SeedReproducibility) {
