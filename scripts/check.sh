@@ -38,16 +38,23 @@ if [ "$SANITIZE" = "thread" ]; then
   # name, see tests/CMakeLists.txt): the runtime itself, SSTA/Monte Carlo,
   # the nlp + core suites whose hess_vec / adjoint sweeps fan out over
   # ScatterPlan folds, and the TimingView suite every parallel sweep now
-  # traverses.
+  # traverses. The resilience suite rides along: cancellation polls and fault
+  # hit-counting run on pool worker threads, so their synchronization is part
+  # of the concurrency surface.
   echo "== ctest under ThreadSanitizer (runtime + parallel engines) =="
   STATSIZE_JOBS=4 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-    -L '^(runtime_test|ssta_test|nlp_test|core_test|timing_view_test)$'
+    -L '^(runtime_test|ssta_test|nlp_test|core_test|timing_view_test|resilience_test)$'
   echo "thread-sanitizer checks passed"
   exit 0
 fi
 
 echo "== ctest under sanitizers =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+# The recovery contract deserves its own visible gate: an injected NaN or
+# deadline must degrade to a checkpoint, never to a sanitizer-visible crash.
+echo "== ctest resilience label under sanitizers =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L '^resilience$'
 
 echo "== clang-tidy =="
 if command -v clang-tidy > /dev/null 2>&1; then

@@ -4,12 +4,17 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <limits>
+#include <random>
 #include <stdexcept>
 
 #include "core/full_space.h"
 #include "core/reduced_space.h"
 #include "nlp/auglag.h"
+#include "nlp/breakdown.h"
 #include "nlp/projected_lbfgs.h"
+#include "runtime/cancel.h"
+#include "runtime/fault.h"
 #include "ssta/ssta.h"
 
 namespace statsize::core {
@@ -56,22 +61,9 @@ void Sizer::finish(SizingResult& result) const {
   }
 }
 
-SizingResult Sizer::run(const SizerOptions& options) const {
-  return run(options, default_start());
-}
-
-SizingResult Sizer::run(const SizerOptions& options,
-                        const std::vector<double>& initial_speed) const {
-  const auto t0 = std::chrono::steady_clock::now();
-  SizingResult result = options.method == Method::kFullSpace
-                            ? run_full_space(options, initial_speed)
-                            : run_reduced_space(options, initial_speed);
-  finish(result);
-  result.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-  return result;
-}
-
 namespace {
+
+namespace fault = runtime::fault;
 
 /// Lexicographic quality of a sizing: constraint violation first (rounded to
 /// the feasibility tolerance), then objective value, both evaluated on the
@@ -88,22 +80,173 @@ struct Score {
   }
 };
 
+/// The spec objective evaluated at a sizing whose circuit delay is `t`.
+double objective_metric(const netlist::Circuit& c, const SizingSpec& spec,
+                        const std::vector<double>& speed, const stat::NormalRV& t) {
+  switch (spec.objective.kind) {
+    case ObjectiveKind::kDelay:
+      return t.mu + spec.objective.sigma_weight * t.sigma();
+    case ObjectiveKind::kArea:
+      return ssta::DelayCalculator::total_speed(c, speed);
+    case ObjectiveKind::kSigma:
+      return spec.objective.sign * t.sigma();
+    case ObjectiveKind::kWeighted: {
+      double w = 0.0;
+      for (std::size_t i = 0; i < speed.size(); ++i) {
+        if (c.node(static_cast<NodeId>(i)).kind == NodeKind::kGate) {
+          w += spec.objective.weights[i] * speed[i];
+        }
+      }
+      return w;
+    }
+  }
+  return 0.0;
+}
+
+Score score_sizing(const netlist::Circuit& c, const SizingSpec& spec,
+                   const std::vector<double>& speed) {
+  const ReducedEvaluator eval(c, spec.sigma_model);
+  const stat::NormalRV t = eval.eval(speed);
+  Score s;
+  s.objective = objective_metric(c, spec, speed, t);
+  if (spec.delay_constraint) {
+    const DelayConstraint& dc = *spec.delay_constraint;
+    const double h = t.mu + dc.sigma_weight * t.sigma() - dc.bound;
+    s.violation = dc.equality ? std::abs(h) : std::max(0.0, h);
+  }
+  return s;
+}
+
+/// Seeded multiplicative jitter for multistart retries. mt19937's output
+/// sequence is pinned by the standard, so retry starts are bit-reproducible
+/// across platforms; amplitude grows with the attempt number.
+std::vector<double> perturbed_start(const std::vector<double>& start, double max_speed,
+                                    unsigned seed, int attempt) {
+  std::vector<double> s = start;
+  std::mt19937 rng(seed + 7919u * static_cast<unsigned>(attempt));
+  const double amp = std::min(0.05 * attempt, 0.5);
+  for (double& v : s) {
+    const double u = static_cast<double>(rng()) * (1.0 / 4294967296.0);  // [0, 1)
+    v = std::clamp(v * (1.0 + amp * (2.0 * u - 1.0)), 1.0, max_speed);
+  }
+  return s;
+}
+
+/// Per-retry backoff of the initial penalty parameter, bounded below so a
+/// retry cascade cannot drive rho to zero.
+constexpr double kRetryRhoBackoff = 0.1;
+constexpr double kMinRhoScale = 1e-3;
+
 }  // namespace
 
-SizingResult Sizer::run_full_space(const SizerOptions& options,
-                                   const std::vector<double>& start) const {
+SizingResult Sizer::run(const SizerOptions& options) const {
+  return run(options, default_start());
+}
+
+SizingResult Sizer::run(const SizerOptions& options,
+                        const std::vector<double>& initial_speed) const {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Degraded fallback when a cancel/tripwire fires outside the solvers' own
+  // checkpointed regions (e.g. during full-space problem construction): the
+  // clamped start sizing, honestly labelled.
+  auto degraded = [&](const std::vector<double>& start, const char* what, std::string site) {
+    SizingResult r;
+    r.status = std::string(options.method == Method::kFullSpace ? "full-space/" : "reduced/") + what;
+    r.breakdown_site = std::move(site);
+    r.from_checkpoint = true;
+    r.speed.assign(static_cast<std::size_t>(circuit_->num_nodes()), 1.0);
+    for (NodeId id : circuit_->topo_order()) {
+      if (circuit_->node(id).kind == NodeKind::kGate) {
+        r.speed[static_cast<std::size_t>(id)] =
+            std::clamp(start[static_cast<std::size_t>(id)], 1.0, spec_.max_speed);
+      }
+    }
+    return r;
+  };
+
+  SizingResult result;
+  {
+    const runtime::Deadline deadline = options.time_limit_seconds > 0.0
+                                           ? runtime::Deadline::after_seconds(options.time_limit_seconds)
+                                           : runtime::Deadline::never();
+    runtime::CancelScope scope(options.cancel, deadline);
+
+    // A failed solve is worth retrying only when the failure is
+    // start-dependent — a numerical breakdown or a stall. Deadline and
+    // budget exhaustion would just reproduce.
+    auto wants_retry = [](const SizingResult& r) {
+      return !r.converged && (r.status.find("numerical-breakdown") != std::string::npos ||
+                              r.status.find("stalled") != std::string::npos);
+    };
+
+    int attempts_run = 0;
+    double rho_scale = 1.0;
+    for (int attempt = 0; attempt <= options.max_retries; ++attempt) {
+      if (attempt > 0 && runtime::cancel_requested()) break;  // no budget left for retries
+      const std::vector<double> start =
+          attempt == 0 ? initial_speed
+                       : perturbed_start(initial_speed, spec_.max_speed, options.retry_seed, attempt);
+      SizingResult r;
+      try {
+        r = run_attempt(options, start, rho_scale);
+      } catch (const runtime::OperationCancelled&) {
+        r = degraded(start, "time-limit", "");
+      } catch (const nlp::EvalBreakdown& e) {
+        r = degraded(start, "numerical-breakdown", e.site());
+      }
+      ++attempts_run;
+      if (attempt == 0) {
+        result = std::move(r);
+      } else {
+        // Keep the lexicographically better sizing; an expired deadline can
+        // make the comparison itself uncomputable, in which case keep what
+        // we have.
+        bool take = r.converged && !result.converged;
+        if (r.converged == result.converged) {
+          try {
+            take = score_sizing(*circuit_, spec_, r.speed)
+                       .better_than(score_sizing(*circuit_, spec_, result.speed),
+                                    options.feasibility_tol);
+          } catch (const runtime::OperationCancelled&) {
+            take = false;
+          }
+        }
+        if (take) result = std::move(r);
+      }
+      if (result.converged || !wants_retry(result)) break;
+      rho_scale = std::max(rho_scale * kRetryRhoBackoff, kMinRhoScale);
+    }
+    result.retries_used = attempts_run - 1;
+  }
+  // The final SSTA scoring runs outside the cancel scope: an expired deadline
+  // must not poison the returned timing numbers.
+  finish(result);
+  result.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return result;
+}
+
+SizingResult Sizer::run_attempt(const SizerOptions& options, const std::vector<double>& start,
+                                double rho_scale) const {
+  return options.method == Method::kFullSpace ? run_full_space(options, start, rho_scale)
+                                              : run_reduced_space(options, start, rho_scale);
+}
+
+SizingResult Sizer::run_full_space(const SizerOptions& options, const std::vector<double>& start,
+                                   double rho_scale) const {
   std::vector<double> s0 = start;
   SizingResult warm;
   if (options.warm_start_full_space) {
     SizerOptions pre = options;
     pre.method = Method::kReducedSpace;
     pre.verbose = false;
-    warm = run_reduced_space(pre, start);
+    warm = run_reduced_space(pre, start, rho_scale);
     s0 = warm.speed;
   }
   FullSpaceFormulation form = build_full_space(*circuit_, spec_, s0);
 
   nlp::AugLagOptions al;
+  al.initial_rho *= rho_scale;
   al.feasibility_tol = options.feasibility_tol;
   al.optimality_tol = options.optimality_tol;
   al.max_outer_iterations = options.max_outer_iterations;
@@ -117,43 +260,24 @@ SizingResult Sizer::run_full_space(const SizerOptions& options,
   result.speed = form.speeds_from(sol.x);
   result.objective_value = sol.objective;
   result.iterations = sol.inner_iterations;
+  result.from_checkpoint = sol.from_checkpoint;
+  result.checkpoint_outer = sol.checkpoint_outer;
+  result.breakdown_site = sol.breakdown_site;
 
   // A non-converged augmented-Lagrangian run can drift off the warm-start
   // optimum; never return something worse than the point we started from.
+  // (An expired deadline can make the rescore throw — keep the solver's
+  // checkpoint in that case.)
   if (!result.converged && options.warm_start_full_space) {
-    auto score_of = [this](const std::vector<double>& speed) {
-      const ReducedEvaluator eval(*circuit_, spec_.sigma_model);
-      const stat::NormalRV t = eval.eval(speed);
-      Score s;
-      switch (spec_.objective.kind) {
-        case ObjectiveKind::kDelay:
-          s.objective = t.mu + spec_.objective.sigma_weight * t.sigma();
-          break;
-        case ObjectiveKind::kArea:
-          s.objective = ssta::DelayCalculator::total_speed(*circuit_, speed);
-          break;
-        case ObjectiveKind::kSigma:
-          s.objective = spec_.objective.sign * t.sigma();
-          break;
-        case ObjectiveKind::kWeighted: {
-          double w = 0.0;
-          for (std::size_t i = 0; i < speed.size(); ++i) {
-            if (circuit_->node(static_cast<netlist::NodeId>(i)).kind == NodeKind::kGate) {
-              w += spec_.objective.weights[i] * speed[i];
-            }
-          }
-          s.objective = w;
-          break;
-        }
-      }
-      if (spec_.delay_constraint) {
-        const DelayConstraint& dc = *spec_.delay_constraint;
-        const double h = t.mu + dc.sigma_weight * t.sigma() - dc.bound;
-        s.violation = dc.equality ? std::abs(h) : std::max(0.0, h);
-      }
-      return s;
-    };
-    if (score_of(warm.speed).better_than(score_of(result.speed), options.feasibility_tol)) {
+    bool use_warm = false;
+    try {
+      use_warm = score_sizing(*circuit_, spec_, warm.speed)
+                     .better_than(score_sizing(*circuit_, spec_, result.speed),
+                                  options.feasibility_tol);
+    } catch (const runtime::OperationCancelled&) {
+      use_warm = false;
+    }
+    if (use_warm) {
       result.speed = warm.speed;
       result.converged = warm.converged;
       result.status += "+fallback:" + warm.status;
@@ -164,7 +288,8 @@ SizingResult Sizer::run_full_space(const SizerOptions& options,
 }
 
 SizingResult Sizer::run_reduced_space(const SizerOptions& options,
-                                      const std::vector<double>& start) const {
+                                      const std::vector<double>& start,
+                                      double rho_scale) const {
   const netlist::Circuit& c = *circuit_;
   const ReducedEvaluator eval(c, spec_.sigma_model);
 
@@ -184,7 +309,7 @@ SizingResult Sizer::run_reduced_space(const SizerOptions& options,
   std::vector<double> speed(static_cast<std::size_t>(c.num_nodes()), 1.0);
   std::vector<double> full_grad;
   double lambda = 0.0;
-  double rho = 10.0;
+  double rho = 10.0 * rho_scale;
 
   const bool has_constraint = spec_.delay_constraint.has_value();
   const double obj_k =
@@ -250,6 +375,19 @@ SizingResult Sizer::run_reduced_space(const SizerOptions& options,
         grad[i] += spec_.objective.weights[static_cast<std::size_t>(gates[i])];
       }
     }
+    // Tripwires at the evaluation boundary (DESIGN.md §9): name the gate, not
+    // "NaN somewhere".
+    if (fault::hit(fault::kReducedEval)) f = std::numeric_limits<double>::quiet_NaN();
+    if (!std::isfinite(f)) {
+      throw nlp::EvalBreakdown("reduced-space objective (mu=" + std::to_string(probe.mu) +
+                               ", sigma=" + std::to_string(sigma) + ")");
+    }
+    for (std::size_t i = 0; i < ng; ++i) {
+      if (!std::isfinite(grad[i])) {
+        throw nlp::EvalBreakdown("reduced-space gradient (gate " +
+                                 c.node(gates[i]).name + ")");
+      }
+    }
     return f;
   };
 
@@ -259,51 +397,85 @@ SizingResult Sizer::run_reduced_space(const SizerOptions& options,
   lb.max_iterations = options.max_inner_iterations;
   lb.verbose = false;
 
-  if (!has_constraint) {
-    const nlp::LbfgsResult r = minimize_projected_lbfgs(eval_al, x, lo, hi, lb);
-    result.converged = r.converged;
-    result.iterations = r.iterations;
-    result.status = std::string("reduced/") + (r.converged ? "converged" : "max-iterations");
-  } else {
-    const DelayConstraint& dc = *spec_.delay_constraint;
-    // The delay metric is O(bound); judge feasibility relative to it so the
-    // same tolerance works for 7-unit trees and 150-unit netlists.
-    const double feas = options.feasibility_tol * (1.0 + std::abs(dc.bound));
-    bool done = false;
-    int total_it = 0;
-    double viol = 0.0;
-    for (int outer = 0; outer < options.max_outer_iterations && !done; ++outer) {
-      // LANCELOT-style omega schedule: early subproblems are solved loosely
-      // (their multipliers are wrong anyway), tightening toward the final
-      // optimality tolerance.
-      nlp::LbfgsOptions lb_outer = lb;
-      lb_outer.tol = std::max(lb.tol, 1e-2 / std::pow(4.0, outer));
-      const nlp::LbfgsResult r = minimize_projected_lbfgs(eval_al, x, lo, hi, lb_outer);
-      total_it += r.iterations;
-      for (std::size_t i = 0; i < ng; ++i) speed[static_cast<std::size_t>(gates[i])] = x[i];
-      const stat::NormalRV probe = eval.eval(speed);
-      const double h = probe.mu + dc.sigma_weight * probe.sigma() - dc.bound;
-      viol = dc.equality ? std::abs(h) : std::max(0.0, h);
-      if (options.verbose) {
-        std::printf("[sizer-reduced] outer=%d viol=%.3e pg=%.3e rho=%.1e\n", outer, viol,
-                    r.projected_gradient, rho);
+  // Best-iterate checkpoint across the constrained outer loop (scored on the
+  // true propagated timing, which the loop computes anyway). Restored only
+  // when the run degrades — normal exits return exactly the pre-resilience
+  // iterate.
+  std::vector<double> ckpt_x;
+  Score ckpt_score;
+  int ckpt_outer = -1;
+  bool have_ckpt = false;
+  int total_it = 0;
+
+  try {
+    if (!has_constraint) {
+      const nlp::LbfgsResult r = minimize_projected_lbfgs(eval_al, x, lo, hi, lb);
+      result.converged = r.converged;
+      result.iterations = r.iterations;
+      result.status = std::string("reduced/") + (r.converged ? "converged" : "max-iterations");
+    } else {
+      const DelayConstraint& dc = *spec_.delay_constraint;
+      // The delay metric is O(bound); judge feasibility relative to it so the
+      // same tolerance works for 7-unit trees and 150-unit netlists.
+      const double feas = options.feasibility_tol * (1.0 + std::abs(dc.bound));
+      bool done = false;
+      double viol = 0.0;
+      for (int outer = 0; outer < options.max_outer_iterations && !done; ++outer) {
+        // LANCELOT-style omega schedule: early subproblems are solved loosely
+        // (their multipliers are wrong anyway), tightening toward the final
+        // optimality tolerance.
+        nlp::LbfgsOptions lb_outer = lb;
+        lb_outer.tol = std::max(lb.tol, 1e-2 / std::pow(4.0, outer));
+        const nlp::LbfgsResult r = minimize_projected_lbfgs(eval_al, x, lo, hi, lb_outer);
+        total_it += r.iterations;
+        for (std::size_t i = 0; i < ng; ++i) speed[static_cast<std::size_t>(gates[i])] = x[i];
+        const stat::NormalRV probe = eval.eval(speed);
+        const double h = probe.mu + dc.sigma_weight * probe.sigma() - dc.bound;
+        viol = dc.equality ? std::abs(h) : std::max(0.0, h);
+        if (options.verbose) {
+          std::printf("[sizer-reduced] outer=%d viol=%.3e pg=%.3e rho=%.1e\n", outer, viol,
+                      r.projected_gradient, rho);
+        }
+        const double obj_now = objective_metric(c, spec_, speed, probe);
+        if (std::isfinite(viol) && std::isfinite(obj_now) &&
+            (!have_ckpt || Score{viol, obj_now}.better_than(ckpt_score, feas))) {
+          ckpt_x = x;
+          ckpt_score = Score{viol, obj_now};
+          ckpt_outer = outer;
+          have_ckpt = true;
+        }
+        if (viol <= feas && lb_outer.tol <= 2.0 * lb.tol &&
+            r.projected_gradient <= 10.0 * options.optimality_tol) {
+          done = true;
+          break;
+        }
+        // Multiplier / penalty updates (PHR).
+        if (dc.equality) {
+          lambda += rho * h;
+        } else {
+          lambda = std::max(0.0, lambda + rho * h);
+        }
+        if (viol > 0.25 * feas) rho = std::min(rho * 4.0, 1e9);
       }
-      if (viol <= feas && lb_outer.tol <= 2.0 * lb.tol &&
-          r.projected_gradient <= 10.0 * options.optimality_tol) {
-        done = true;
-        break;
-      }
-      // Multiplier / penalty updates (PHR).
-      if (dc.equality) {
-        lambda += rho * h;
-      } else {
-        lambda = std::max(0.0, lambda + rho * h);
-      }
-      if (viol > 0.25 * feas) rho = std::min(rho * 4.0, 1e9);
+      result.converged = done;
+      result.iterations = total_it;
+      result.status = std::string("reduced/") + (done ? "converged" : "max-iterations");
     }
-    result.converged = done;
+  } catch (const runtime::OperationCancelled&) {
+    result.converged = false;
+    result.status = "reduced/time-limit";
     result.iterations = total_it;
-    result.status = std::string("reduced/") + (done ? "converged" : "max-iterations");
+    result.from_checkpoint = true;
+    if (have_ckpt) x = ckpt_x;  // else: last accepted L-BFGS iterate, still valid
+    result.checkpoint_outer = ckpt_outer;
+  } catch (const nlp::EvalBreakdown& e) {
+    result.converged = false;
+    result.status = "reduced/numerical-breakdown";
+    result.breakdown_site = e.site();
+    result.iterations = total_it;
+    result.from_checkpoint = true;
+    if (have_ckpt) x = ckpt_x;
+    result.checkpoint_outer = ckpt_outer;
   }
 
   result.speed.assign(static_cast<std::size_t>(c.num_nodes()), 1.0);
@@ -311,7 +483,11 @@ SizingResult Sizer::run_reduced_space(const SizerOptions& options,
     result.speed[static_cast<std::size_t>(gates[i])] = x[i];
   }
   std::vector<double> g;
-  result.objective_value = eval_al(x, g);
+  try {
+    result.objective_value = eval_al(x, g);
+  } catch (...) {  // deadline already expired / still-armed tripwire
+    result.objective_value = 0.0;
+  }
   return result;
 }
 

@@ -22,6 +22,7 @@
 
 #include "core/spec.h"
 #include "netlist/circuit.h"
+#include "runtime/cancel.h"
 #include "stat/normal.h"
 
 namespace statsize::core {
@@ -41,6 +42,24 @@ struct SizerOptions {
   /// paper's cold-start behaviour.
   bool warm_start_full_space = true;
   bool verbose = false;
+
+  // ---- Resilience (DESIGN.md §9) ----
+  /// Wall-clock budget for the whole run (0 = unlimited). The sizer installs
+  /// a runtime::CancelScope; every solver loop and pool chunk polls it, so
+  /// the solve stops within one chunk/iteration of the deadline and returns
+  /// the best checkpoint with status ".../time-limit". The final SSTA runs
+  /// outside the scope, so the returned sizing is always fully scored.
+  double time_limit_seconds = 0.0;
+  /// Optional external cancel flag (watchdog / signal handler), polled
+  /// alongside the deadline.
+  const runtime::CancellationToken* cancel = nullptr;
+  /// Deterministic multistart retries after a numerical breakdown or stall:
+  /// each retry restarts from seeded perturbed initial sizes with the initial
+  /// penalty backed off (bounded), and the lexicographically best attempt
+  /// wins. 0 disables.
+  int max_retries = 0;
+  /// Seed for the retry perturbations (mt19937; bit-reproducible anywhere).
+  unsigned retry_seed = 12345u;
 };
 
 struct SizingResult {
@@ -54,6 +73,12 @@ struct SizingResult {
   double constraint_violation = 0.0;
   int iterations = 0;               ///< total inner iterations
   double wall_seconds = 0.0;
+
+  // ---- Resilience report (DESIGN.md §9) ----
+  int retries_used = 0;             ///< multistart restarts consumed
+  bool from_checkpoint = false;     ///< sizing restored from a best-iterate checkpoint
+  int checkpoint_outer = -1;        ///< outer iteration the checkpoint was taken after
+  std::string breakdown_site;       ///< tripwire detail on numerical breakdown, else ""
 
   /// mu + k sigma of the final circuit delay.
   double delay_metric(double sigma_weight) const {
@@ -74,10 +99,14 @@ class Sizer {
   const SizingSpec& spec() const { return spec_; }
 
  private:
-  SizingResult run_full_space(const SizerOptions& options,
-                              const std::vector<double>& start) const;
-  SizingResult run_reduced_space(const SizerOptions& options,
-                                 const std::vector<double>& start) const;
+  /// One solve from `start`. `rho_scale` backs the initial penalty off on
+  /// retries after a penalty explosion (1.0 on the first attempt).
+  SizingResult run_attempt(const SizerOptions& options, const std::vector<double>& start,
+                           double rho_scale) const;
+  SizingResult run_full_space(const SizerOptions& options, const std::vector<double>& start,
+                              double rho_scale) const;
+  SizingResult run_reduced_space(const SizerOptions& options, const std::vector<double>& start,
+                                 double rho_scale) const;
   std::vector<double> default_start() const;
   void finish(SizingResult& result) const;
 

@@ -6,10 +6,39 @@
 #include <limits>
 #include <stdexcept>
 
+#include "nlp/breakdown.h"
 #include "nlp/tron.h"
+#include "runtime/fault.h"
 #include "runtime/runtime.h"
 
 namespace statsize::nlp {
+
+namespace {
+
+namespace fault = runtime::fault;
+
+/// "constraint #3 (vars varT_n7, muT_n7, ...)" — names the first few variables
+/// a non-finite group touches so the diagnostic points at a gate, not at
+/// "NaN somewhere".
+std::string describe_group(const Problem& p, const FunctionGroup& g, const std::string& what) {
+  std::string site = what;
+  std::vector<int> vars;
+  for (const LinearTerm& t : g.linear) vars.push_back(t.var);
+  for (const ElementRef& e : g.elements) vars.insert(vars.end(), e.vars.begin(), e.vars.end());
+  if (!vars.empty()) {
+    site += " (vars ";
+    const std::size_t shown = vars.size() < 4 ? vars.size() : 4;
+    for (std::size_t i = 0; i < shown; ++i) {
+      if (i) site += ", ";
+      site += p.var_name(vars[i]);
+    }
+    if (vars.size() > shown) site += ", ...";
+    site += ")";
+  }
+  return site;
+}
+
+}  // namespace
 
 std::string SolveResult::status_string() const {
   switch (status) {
@@ -17,6 +46,8 @@ std::string SolveResult::status_string() const {
     case SolveStatus::kAcceptable: return "acceptable";
     case SolveStatus::kMaxIterations: return "max-iterations";
     case SolveStatus::kStalled: return "stalled";
+    case SolveStatus::kTimeLimit: return "time-limit";
+    case SolveStatus::kNumericalBreakdown: return "numerical-breakdown";
   }
   return "unknown";
 }
@@ -92,12 +123,19 @@ double AugLagModel::eval(const std::vector<double>& x, std::vector<double>* grad
   if (grad == nullptr) {
     // Value-only probe: cheap pass, snapshot untouched.
     double psi = p.eval_objective(x);
+    if (!std::isfinite(psi)) {
+      throw EvalBreakdown(describe_group(p, p.objective(), "objective (value probe)"));
+    }
     probe_c_.resize(m);
     runtime::parallel_for(m, 8, [&](std::size_t jb, std::size_t je) {
       for (std::size_t j = jb; j < je; ++j) probe_c_[j] = p.constraint(static_cast<int>(j)).eval(x);
     });
     for (std::size_t j = 0; j < m; ++j) {
       const double cj = probe_c_[j];
+      if (!std::isfinite(cj)) {
+        throw EvalBreakdown(describe_group(p, p.constraint(static_cast<int>(j)),
+                                           "constraint #" + std::to_string(j) + " (value probe)"));
+      }
       psi += -multipliers_[j] * cj + 0.5 * rho_ * cj * cj;
     }
     return psi;
@@ -121,6 +159,10 @@ double AugLagModel::eval(const std::vector<double>& x, std::vector<double>* grad
     for (int i = 0; i < n; ++i) (*grad)[static_cast<std::size_t>(e.vars[i])] += e.weight * eg[i];
     snapshots_[snap].weight = e.weight;
     ++snap;
+  }
+  if (fault::hit(fault::kAuglagObjective)) f = std::numeric_limits<double>::quiet_NaN();
+  if (!std::isfinite(f)) {
+    throw EvalBreakdown(describe_group(p, p.objective(), "objective"));
   }
 
   // Phase 1 — parallel over constraints: each j owns c_[j], cgrad_val_[j]
@@ -157,11 +199,21 @@ double AugLagModel::eval(const std::vector<double>& x, std::vector<double>* grad
     }
   });
 
+  if (fault::hit(fault::kAuglagConstraint) && m > 0) {
+    c_[m / 2] = std::numeric_limits<double>::quiet_NaN();
+  }
+
   // Phase 2 — ordered accumulation: grad Psi += y_j * grad c_j and the psi
-  // fold run in ascending j, matching the serial code bit-for-bit.
+  // fold run in ascending j, matching the serial code bit-for-bit. The
+  // serial scan doubles as the constraint tripwire: a non-finite c_j is
+  // reported in ascending-j order regardless of which thread evaluated it.
   double psi = f;
   for (std::size_t j = 0; j < m; ++j) {
     const double cj = c_[j];
+    if (!std::isfinite(cj)) {
+      throw EvalBreakdown(describe_group(p, p.constraint(static_cast<int>(j)),
+                                         "constraint #" + std::to_string(j)));
+    }
     const double y = rho_ * cj - multipliers_[j];
     const auto& idx = cgrad_idx_[j];
     const auto& vals = cgrad_val_[j];
@@ -169,6 +221,14 @@ double AugLagModel::eval(const std::vector<double>& x, std::vector<double>* grad
       (*grad)[static_cast<std::size_t>(idx[k])] += y * vals[k];
     }
     psi += -multipliers_[j] * cj + 0.5 * rho_ * cj * cj;
+  }
+  if (!std::isfinite(psi)) {
+    throw EvalBreakdown("penalty Psi (rho=" + std::to_string(rho_) + ")");
+  }
+  for (std::size_t i = 0; i < grad->size(); ++i) {
+    if (!std::isfinite((*grad)[i])) {
+      throw EvalBreakdown("gradient entry " + p.var_name(static_cast<int>(i)));
+    }
   }
   return psi;
 }
@@ -263,6 +323,33 @@ void AugLagModel::hess_vec(const std::vector<double>& v, std::vector<double>& hv
   }
 }
 
+namespace {
+
+/// Best-iterate checkpoint (DESIGN.md §9): the lexicographically best outer
+/// iterate seen so far — least violation beyond the feasibility tolerance
+/// first, then lowest objective. Restored only on the kTimeLimit /
+/// kNumericalBreakdown paths, so every other status returns exactly what the
+/// pre-resilience solver returned.
+struct Checkpoint {
+  std::vector<double> x;
+  std::vector<double> multipliers;
+  double objective = std::numeric_limits<double>::infinity();
+  double cnorm = std::numeric_limits<double>::infinity();
+  double projected_gradient = std::numeric_limits<double>::infinity();
+  int outer = -1;
+  bool valid = false;
+
+  bool improves(double new_cnorm, double new_objective, double feas_tol) const {
+    if (!valid) return true;
+    const double v_new = std::max(0.0, new_cnorm - feas_tol);
+    const double v_old = std::max(0.0, cnorm - feas_tol);
+    if (v_new != v_old) return v_new < v_old;
+    return new_objective < objective;
+  }
+};
+
+}  // namespace
+
 SolveResult solve_augmented_lagrangian(const Problem& problem, const AugLagOptions& options) {
   problem.validate();
   const int m = problem.num_constraints();
@@ -275,15 +362,54 @@ SolveResult solve_augmented_lagrangian(const Problem& problem, const AugLagOptio
                    problem.upper()[static_cast<std::size_t>(i)]);
   }
   result.multipliers.assign(static_cast<std::size_t>(m), 0.0);
+  const std::vector<double> x_start = result.x;
 
   double rho = options.initial_rho;
   double eta = 1.0 / std::pow(rho, 0.1);
   double omega = 1.0 / rho;
 
   AugLagModel model(problem, result.multipliers, rho);
+  Checkpoint ckpt;
+
+  // Graceful degradation: map a deadline/cancel or a numerical tripwire to a
+  // result built from the best checkpoint instead of letting the exception
+  // escape the solve entry point.
+  auto degrade = [&](SolveStatus status, const std::string& site) {
+    result.status = status;
+    result.breakdown_site = site;
+    result.from_checkpoint = true;
+    result.checkpoint_outer = ckpt.outer;
+    if (ckpt.valid) {
+      result.x = ckpt.x;
+      result.multipliers = ckpt.multipliers;
+      result.objective = ckpt.objective;
+      result.constraint_violation = ckpt.cnorm;
+      result.projected_gradient = ckpt.projected_gradient;
+    } else {
+      // Nothing completed an outer iteration: fall back to the clamped start
+      // point. Scoring it may itself trip the deadline or a tripwire — in
+      // that case keep the zeros rather than propagate.
+      result.x = x_start;
+      result.multipliers.assign(static_cast<std::size_t>(m), 0.0);
+      try {
+        result.objective = problem.eval_objective(result.x);
+        result.constraint_violation = problem.max_constraint_violation(result.x);
+      } catch (...) {  // NOLINT(bugprone-empty-catch)
+      }
+    }
+    result.final_rho = rho;
+    return result;
+  };
+
   double prev_objective = std::numeric_limits<double>::infinity();
   int stagnant_outers = 0;
+  try {
   for (int outer = 0; outer < options.max_outer_iterations; ++outer) {
+    runtime::poll_cancel();
+    if (fault::hit(fault::kAuglagOuter)) {
+      throw runtime::OperationCancelled(runtime::CancelReason::kDeadline,
+                                        "injected fault: auglag.outer");
+    }
     result.outer_iterations = outer + 1;
     model.set_rho(rho);
     model.set_multipliers(result.multipliers);
@@ -305,6 +431,17 @@ SolveResult solve_augmented_lagrangian(const Problem& problem, const AugLagOptio
                   rho, result.objective, cnorm, inner.projected_gradient, inner.iterations);
     }
     if (options.on_outer) options.on_outer(outer, result.x, cnorm, inner.projected_gradient);
+
+    if (std::isfinite(result.objective) && std::isfinite(cnorm) &&
+        ckpt.improves(cnorm, result.objective, options.feasibility_tol)) {
+      ckpt.x = result.x;
+      ckpt.multipliers = result.multipliers;
+      ckpt.objective = result.objective;
+      ckpt.cnorm = cnorm;
+      ckpt.projected_gradient = inner.projected_gradient;
+      ckpt.outer = outer;
+      ckpt.valid = true;
+    }
 
     if (cnorm <= std::max(eta, options.feasibility_tol)) {
       if (cnorm <= options.feasibility_tol &&
@@ -346,6 +483,11 @@ SolveResult solve_augmented_lagrangian(const Problem& problem, const AugLagOptio
       eta = 1.0 / std::pow(rho, 0.1);
       omega = std::max(1.0 / rho, 0.1 * options.optimality_tol);
     }
+  }
+  } catch (const runtime::OperationCancelled&) {
+    return degrade(SolveStatus::kTimeLimit, "");
+  } catch (const EvalBreakdown& e) {
+    return degrade(SolveStatus::kNumericalBreakdown, e.site());
   }
   result.status = SolveStatus::kMaxIterations;
   return result;

@@ -48,6 +48,11 @@ enum class SolveStatus {
                     ///< ill-conditioning near an active-bound solution)
   kMaxIterations,   ///< outer budget exhausted; best iterate returned
   kStalled,         ///< inner solver made no progress while infeasible
+  kTimeLimit,       ///< a runtime::CancelScope deadline/cancel fired; the
+                    ///< best checkpoint seen is returned (DESIGN.md §9)
+  kNumericalBreakdown,  ///< a non-finite evaluation tripwire fired; the best
+                        ///< checkpoint is returned and `breakdown_site` names
+                        ///< the offending element/constraint
 };
 
 struct SolveResult {
@@ -60,6 +65,14 @@ struct SolveResult {
   int outer_iterations = 0;
   int inner_iterations = 0;
   double final_rho = 0.0;
+
+  // Resilience provenance (meaningful for kTimeLimit / kNumericalBreakdown,
+  // where the returned iterate is the best checkpoint rather than the last
+  // point the inner solver touched).
+  bool from_checkpoint = false;  ///< x restored from the best-iterate checkpoint
+  int checkpoint_outer = -1;     ///< outer iteration the checkpoint was taken
+                                 ///< after (-1 = the clamped start point)
+  std::string breakdown_site;    ///< EvalBreakdown tripwire detail, else empty
 
   bool ok() const {
     return status == SolveStatus::kConverged || status == SolveStatus::kAcceptable;

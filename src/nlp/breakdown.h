@@ -1,0 +1,32 @@
+// Numerical-breakdown tripwire (DESIGN.md §9): thrown by evaluation
+// boundaries (AugLagModel::eval, the reduced-space sizer's objective) when an
+// objective, gradient, constraint, or penalty value comes out non-finite.
+// The `site` names the offending structure — "objective element #k (vars
+// S_G12, mut_G12)" or "constraint #j" — so a failed solve on a real netlist
+// points at the gate instead of at "NaN somewhere".
+//
+// Solver layers (solve_augmented_lagrangian, core::Sizer) catch it and
+// degrade to their best checkpoint with SolveStatus::kNumericalBreakdown; it
+// should never escape a solve entry point.
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace statsize::nlp {
+
+class EvalBreakdown : public std::runtime_error {
+ public:
+  explicit EvalBreakdown(std::string site)
+      : std::runtime_error("non-finite evaluation at " + site), site_(std::move(site)) {}
+
+  /// The named tripwire site (gate/element/constraint identification).
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+}  // namespace statsize::nlp

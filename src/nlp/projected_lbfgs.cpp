@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <deque>
 
+#include "runtime/cancel.h"
+
 namespace statsize::nlp {
 
 namespace {
@@ -45,6 +47,7 @@ LbfgsResult minimize_projected_lbfgs(const GradFn& fn, std::vector<double>& x,
   double f = fn(x, g);
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
+    runtime::poll_cancel();
     result.iterations = iter + 1;
     result.objective = f;
     result.projected_gradient = pg_norm(x, g, lower, upper);

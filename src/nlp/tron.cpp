@@ -4,6 +4,9 @@
 #include <cmath>
 #include <cstdio>
 
+#include "runtime/cancel.h"
+#include "runtime/fault.h"
+
 namespace statsize::nlp {
 
 namespace {
@@ -64,6 +67,13 @@ TrustRegionResult minimize_bound_constrained(SmoothModel& model, std::vector<dou
   int anchor_iter = 0;
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Cooperative cancellation boundary: a --time-limit deadline stops the
+    // solve here even when a single inner solve dominates the wall clock.
+    runtime::poll_cancel();
+    if (runtime::fault::hit(runtime::fault::kTronIter)) {
+      throw runtime::OperationCancelled(runtime::CancelReason::kDeadline,
+                                        "injected fault: tron.iter");
+    }
     if (iter - anchor_iter >= 50) {
       if (f_anchor - f <= 1e-7 * (1.0 + std::abs(f))) return result;
       f_anchor = f;
@@ -134,6 +144,7 @@ TrustRegionResult minimize_bound_constrained(SmoothModel& model, std::vector<dou
       p = r;
       double rr = r0norm * r0norm;
       for (int cg = 0; cg < options.max_cg_iterations; ++cg) {
+        runtime::poll_cancel();
         model.hess_vec(p, hv);
         double php = 0.0;
         for (std::size_t i = 0; i < n; ++i) {

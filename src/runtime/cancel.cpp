@@ -1,0 +1,63 @@
+#include "runtime/cancel.h"
+
+#include <limits>
+
+namespace statsize::runtime {
+
+namespace {
+
+/// Head of the active scope chain. Written by the (single) thread installing
+/// scopes, read by every pool worker at chunk boundaries; release/acquire
+/// ordering publishes the chain nodes themselves.
+std::atomic<const detail::CancelState*> g_active{nullptr};
+
+/// Walks the chain; returns the reason of the first tripped scope.
+bool chain_tripped(const detail::CancelState* head, CancelReason* reason) {
+  for (const detail::CancelState* s = head; s != nullptr; s = s->prev) {
+    if (s->token != nullptr && s->token->cancel_requested()) {
+      *reason = CancelReason::kToken;
+      return true;
+    }
+    if (s->deadline.expired()) {
+      *reason = CancelReason::kDeadline;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+double Deadline::remaining_seconds() const {
+  if (!armed_) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double>(at_ - std::chrono::steady_clock::now()).count();
+}
+
+CancelScope::CancelScope(const CancellationToken* token, Deadline deadline) {
+  state_.token = token;
+  state_.deadline = deadline;
+  state_.prev = g_active.load(std::memory_order_relaxed);
+  g_active.store(&state_, std::memory_order_release);
+}
+
+CancelScope::~CancelScope() { g_active.store(state_.prev, std::memory_order_release); }
+
+bool cancel_requested() {
+  const detail::CancelState* head = g_active.load(std::memory_order_acquire);
+  if (head == nullptr) return false;  // the common, overhead-free case
+  CancelReason reason;
+  return chain_tripped(head, &reason);
+}
+
+void poll_cancel() {
+  const detail::CancelState* head = g_active.load(std::memory_order_acquire);
+  if (head == nullptr) return;
+  CancelReason reason;
+  if (!chain_tripped(head, &reason)) return;
+  if (reason == CancelReason::kDeadline) {
+    throw OperationCancelled(CancelReason::kDeadline, "deadline expired");
+  }
+  throw OperationCancelled(CancelReason::kToken, "cancellation requested");
+}
+
+}  // namespace statsize::runtime

@@ -1,0 +1,99 @@
+#include "runtime/fault.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+
+namespace statsize::runtime::fault {
+
+namespace detail {
+std::atomic<bool> g_armed{false};
+}  // namespace detail
+
+namespace {
+
+std::mutex g_mutex;
+std::string g_site;     // armed site name ("" = none)
+long g_target_hit = 0;  // 1-based hit on which the site fires
+long g_hits = 0;        // hits observed on g_site since arming
+bool g_fired = false;   // a site fires exactly once
+
+}  // namespace
+
+const std::vector<const char*>& known_sites() {
+  static const std::vector<const char*> sites = {
+      kPoolChunk, kAuglagObjective, kAuglagConstraint, kAuglagOuter, kTronIter, kReducedEval,
+  };
+  return sites;
+}
+
+bool detail::fires(const char* site) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_fired || g_site.empty() || std::strcmp(site, g_site.c_str()) != 0) return false;
+  ++g_hits;
+  if (g_hits != g_target_hit) return false;
+  g_fired = true;
+  return true;
+}
+
+void arm(const std::string& spec) {
+  std::string site = spec;
+  long hit = 1;
+  if (const auto colon = spec.find(':'); colon != std::string::npos) {
+    site = spec.substr(0, colon);
+    const std::string count = spec.substr(colon + 1);
+    char* end = nullptr;
+    hit = std::strtol(count.c_str(), &end, 10);
+    if (count.empty() || end == nullptr || *end != '\0' || hit < 1) {
+      throw std::invalid_argument("fault spec '" + spec +
+                                  "': hit count must be a positive integer");
+    }
+  }
+  bool known = false;
+  for (const char* s : known_sites()) {
+    if (site == s) {
+      known = true;
+      break;
+    }
+  }
+  if (!known) {
+    std::string all;
+    for (const char* s : known_sites()) {
+      if (!all.empty()) all += ", ";
+      all += s;
+    }
+    throw std::invalid_argument("fault spec '" + spec + "': unknown site '" + site +
+                                "' (known sites: " + all + ")");
+  }
+  {
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    g_site = site;
+    g_target_hit = hit;
+    g_hits = 0;
+    g_fired = false;
+  }
+  detail::g_armed.store(true, std::memory_order_relaxed);
+}
+
+void arm_from_env() {
+  if (const char* env = std::getenv("STATSIZE_FAULT")) {
+    if (env[0] != '\0') arm(env);
+  }
+}
+
+void disarm() {
+  detail::g_armed.store(false, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  g_site.clear();
+  g_target_hit = 0;
+  g_hits = 0;
+  g_fired = false;
+}
+
+long hits_observed() {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  return g_hits;
+}
+
+}  // namespace statsize::runtime::fault

@@ -1,0 +1,109 @@
+// Deterministic fault injection for resilience tests (DESIGN.md §9).
+//
+// Production code marks recovery-critical spots with named fault points:
+//
+//   if (fault::hit(fault::kAuglagObjective)) f = NaN;          // value fault
+//   if (fault::hit(fault::kPoolChunk)) throw ...;              // task fault
+//
+// A site fires on exactly its configured hit count, once, so tests can force
+// a NaN evaluation, a task exception, or a deadline expiry on an exact
+// iteration and assert the recovery behaviour — not just hope for it.
+//
+// Arming:
+//   * env:          STATSIZE_FAULT=<site>:<hit_n>   (hit_n >= 1; ":1" may be
+//                   omitted), read by fault::arm_from_env() at CLI startup.
+//   * programmatic: fault::arm("tron.iter:3") / fault::disarm(), or the RAII
+//                   ScopedFault for tests.
+//
+// Zero overhead when off: every fault point first checks a single relaxed
+// atomic flag (armed()); the site-name comparison and hit counting live
+// behind it, so unarmed runs pay one predictable never-taken branch. Hit
+// counting is mutex-serialized — deterministic for the single-site,
+// single-thread-hit patterns tests use, and data-race-free everywhere (pool
+// sites are hit from worker threads; the suite runs under TSan).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include <atomic>
+
+namespace statsize::runtime::fault {
+
+// ---------------------------------------------------------------------------
+// Site registry. Every fault point in the codebase uses one of these names;
+// arm() rejects names outside the registry so a typo in a test or in
+// STATSIZE_FAULT fails loudly instead of silently never firing.
+// ---------------------------------------------------------------------------
+
+/// ThreadPool chunk body: fires as an injected std::runtime_error thrown from
+/// whichever participant claims the matching chunk.
+inline constexpr const char* kPoolChunk = "pool.chunk";
+
+/// AugLagModel::eval objective accumulation: fires as a NaN objective value
+/// (counted per gradient evaluation).
+inline constexpr const char* kAuglagObjective = "auglag.eval.objective";
+
+/// AugLagModel::eval constraint accumulation: fires as a NaN constraint value
+/// (counted per gradient evaluation).
+inline constexpr const char* kAuglagConstraint = "auglag.eval.constraint";
+
+/// Augmented-Lagrangian outer loop head: fires as a deadline expiry
+/// (OperationCancelled) at the start of the matching outer iteration.
+inline constexpr const char* kAuglagOuter = "auglag.outer";
+
+/// TRON trust-region iteration head: fires as a deadline expiry
+/// (OperationCancelled) at the start of the matching inner iteration.
+inline constexpr const char* kTronIter = "tron.iter";
+
+/// Reduced-space SSTA evaluation: fires as a NaN circuit-delay mean (counted
+/// per objective evaluation of the reduced-space sizer).
+inline constexpr const char* kReducedEval = "reduced.eval";
+
+/// All registered site names (for --help style listings and arm validation).
+const std::vector<const char*>& known_sites();
+
+// ---------------------------------------------------------------------------
+// Arming and firing.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+/// Slow path: counts a hit on `site`; true exactly on the armed hit.
+bool fires(const char* site);
+}  // namespace detail
+
+/// True when a fault spec is armed (single relaxed load — the fast path).
+inline bool armed() { return detail::g_armed.load(std::memory_order_relaxed); }
+
+/// The fault point: counts a hit when armed and returns true exactly on the
+/// configured hit of the configured site. When unarmed: one relaxed load.
+inline bool hit(const char* site) { return armed() && detail::fires(site); }
+
+/// Arms "<site>:<hit_n>" (or "<site>", hit 1). Throws std::invalid_argument
+/// on an unknown site or malformed hit count. Re-arming replaces the
+/// previous spec and resets the hit counter.
+void arm(const std::string& spec);
+
+/// Arms from the STATSIZE_FAULT environment variable; no-op when unset.
+/// A malformed value is a hard error (a silently ignored fault spec would
+/// make a resilience test vacuously pass).
+void arm_from_env();
+
+/// Disarms and resets all counters.
+void disarm();
+
+/// Hits observed on the armed site so far (test introspection).
+long hits_observed();
+
+/// RAII arm/disarm for tests.
+class ScopedFault {
+ public:
+  explicit ScopedFault(const std::string& spec) { arm(spec); }
+  ~ScopedFault() { disarm(); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+};
+
+}  // namespace statsize::runtime::fault

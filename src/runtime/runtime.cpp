@@ -1,5 +1,7 @@
 #include "runtime/runtime.h"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
@@ -16,16 +18,12 @@ int g_threads = 0;  // 0 = not yet resolved
 
 int default_threads() {
   if (const char* env = std::getenv("STATSIZE_JOBS")) {
-    try {
-      const int n = std::stoi(env);
-      if (n >= 1) return n;
-    } catch (...) {
-      // Malformed STATSIZE_JOBS falls through to hardware concurrency; the
-      // CLI layer validates its own --jobs flag loudly.
-    }
+    std::string warning;
+    const int n = resolve_jobs_value(env, hardware_threads(), &warning);
+    if (!warning.empty()) std::fprintf(stderr, "warning: %s\n", warning.c_str());
+    return n;
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
+  return hardware_threads();
 }
 
 int threads_locked() {
@@ -35,6 +33,27 @@ int threads_locked() {
 
 }  // namespace
 
+int resolve_jobs_value(const char* value, int fallback, std::string* warning) {
+  if (warning != nullptr) warning->clear();
+  auto reject = [&](const std::string& why) {
+    if (warning != nullptr) {
+      *warning = "STATSIZE_JOBS='" + std::string(value == nullptr ? "" : value) + "': " + why +
+                 "; using " + std::to_string(fallback) + " (hardware concurrency)";
+    }
+    return fallback;
+  };
+  if (value == nullptr || value[0] == '\0') return reject("empty value");
+  errno = 0;
+  char* end = nullptr;
+  const long n = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0') return reject("expected an integer");
+  if (errno == ERANGE || n > kMaxJobs) {
+    return reject("value exceeds the maximum of " + std::to_string(kMaxJobs) + " threads");
+  }
+  if (n < 1) return reject("thread count must be >= 1");
+  return static_cast<int>(n);
+}
+
 int threads() {
   const std::lock_guard<std::mutex> lock(g_mutex);
   return threads_locked();
@@ -43,6 +62,7 @@ int threads() {
 void set_threads(int n) {
   const std::lock_guard<std::mutex> lock(g_mutex);
   if (n < 1) n = 1;
+  if (n > kMaxJobs) n = kMaxJobs;
   if (n == g_threads) return;
   g_threads = n;
   g_pool.reset();
@@ -62,6 +82,7 @@ ThreadPool& global_pool() {
 void parallel_for(std::size_t n, std::size_t grain, RangeFn body) {
   if (n == 0) return;
   if (threads() == 1 || n <= (grain == 0 ? 1 : grain)) {
+    poll_cancel();  // serial fallback honors the same chunk-boundary contract
     body(0, n);
     return;
   }

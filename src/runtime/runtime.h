@@ -17,17 +17,33 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
+#include "runtime/cancel.h"
 #include "runtime/thread_pool.h"
 
 namespace statsize::runtime {
 
-/// Current global thread-count setting (>= 1). First use reads STATSIZE_JOBS,
+/// Upper bound on a thread-count setting. STATSIZE_JOBS values above it are
+/// treated as malformed (fall back to hardware concurrency with a warning);
+/// programmatic set_threads clamps into [1, kMaxJobs].
+inline constexpr int kMaxJobs = 1024;
+
+/// Validates a STATSIZE_JOBS-style string: a whole-string positive integer in
+/// [1, kMaxJobs]. Returns the parsed count, or `fallback` when the value is
+/// non-numeric, has trailing junk, is zero/negative, or is absurdly large —
+/// filling `warning` (if non-null) with a named diagnostic in that case.
+/// Exposed for tests; the env resolution and set_threads both route through
+/// it so a bad value can never produce UB or a 0-thread pool.
+int resolve_jobs_value(const char* value, int fallback, std::string* warning = nullptr);
+
+/// Current global thread-count setting (>= 1). First use reads STATSIZE_JOBS
+/// (validated via resolve_jobs_value; malformed values warn on stderr),
 /// falling back to hardware concurrency.
 int threads();
 
-/// Overrides the global thread count (clamped to >= 1) and drops the old
+/// Overrides the global thread count (clamped to [1, kMaxJobs]) and drops the old
 /// pool; the next parallel call lazily builds a pool of the new size. Not
 /// safe to call concurrently with in-flight parallel work.
 void set_threads(int n);

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <exception>
+#include <stdexcept>
 #include <utility>
+
+#include "runtime/cancel.h"
+#include "runtime/fault.h"
 
 namespace statsize::runtime {
 
@@ -42,6 +46,14 @@ struct ForJob {
       const std::size_t begin = chunk * grain;
       const std::size_t end = std::min(begin + grain, n);
       try {
+        // Cooperative cancellation checkpoint: a deadline/cancel stops the
+        // loop within one chunk's overshoot, reusing the exception machinery
+        // below (first thrower cancels the remaining claims). Unarmed, both
+        // checks are one relaxed atomic load each.
+        poll_cancel();
+        if (fault::hit(fault::kPoolChunk)) {
+          throw std::runtime_error("injected fault: pool.chunk");
+        }
         (*body)(begin, end);
         retire(1);
       } catch (...) {
@@ -151,6 +163,7 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t grain, RangeFn body) {
   if (n == 0) return;
   if (grain == 0) grain = 1;
   if (deques_.empty() || n <= grain) {
+    poll_cancel();  // the single-chunk equivalent of the per-chunk checkpoint
     body(0, n);
     return;
   }

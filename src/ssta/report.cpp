@@ -54,6 +54,22 @@ void write_json_report(std::ostream& out, const netlist::Circuit& circuit,
 
   w.key("deadline").value(deadline);
 
+  if (options.solve) {
+    const SolveReport& s = *options.solve;
+    w.key("solve").begin_object();
+    w.key("status").value(s.status);
+    w.key("converged").value(s.converged);
+    w.key("iterations").value(s.iterations);
+    w.key("wall_seconds").value(s.wall_seconds);
+    w.key("resilience").begin_object();
+    w.key("retries_used").value(s.retries_used);
+    w.key("from_checkpoint").value(s.from_checkpoint);
+    w.key("checkpoint_outer").value(s.checkpoint_outer);
+    w.key("breakdown_site").value(s.breakdown_site);
+    w.end_object();
+    w.end_object();
+  }
+
   w.key("critical_path").begin_array();
   for (NodeId id : extract_critical_path(circuit, timing)) {
     w.value(circuit.node(id).name);

@@ -73,17 +73,34 @@ bool ArgParser::parse(int argc, const char* const* argv) {
       if (i + 1 >= argc) throw std::invalid_argument("missing value for --" + arg);
       value = argv[++i];
     }
-    // Validate numeric forms eagerly so errors name the flag.
-    try {
+    // Validate numeric forms eagerly so errors name the flag and distinguish
+    // "not a number" from "a number that doesn't fit".
+    if (it->second.kind == Kind::kInt) {
       std::size_t pos = 0;
-      if (it->second.kind == Kind::kDouble) {
-        (void)std::stod(value, &pos);
-      } else if (it->second.kind == Kind::kInt) {
+      try {
         (void)std::stoi(value, &pos);
+      } catch (const std::out_of_range&) {
+        throw std::invalid_argument("--" + arg + ": value '" + value +
+                                    "' out of range for integer");
+      } catch (const std::invalid_argument&) {
+        pos = std::string::npos;
       }
-      if (it->second.kind != Kind::kString && pos != value.size()) throw std::exception();
-    } catch (const std::exception&) {
-      throw std::invalid_argument("bad value '" + value + "' for --" + arg);
+      if (pos != value.size()) {
+        throw std::invalid_argument("--" + arg + ": expected integer, got '" + value + "'");
+      }
+    } else if (it->second.kind == Kind::kDouble) {
+      std::size_t pos = 0;
+      try {
+        (void)std::stod(value, &pos);
+      } catch (const std::out_of_range&) {
+        throw std::invalid_argument("--" + arg + ": value '" + value +
+                                    "' out of range for a double");
+      } catch (const std::invalid_argument&) {
+        pos = std::string::npos;
+      }
+      if (pos != value.size()) {
+        throw std::invalid_argument("--" + arg + ": expected number, got '" + value + "'");
+      }
     }
     values_[arg] = value;
   }

@@ -66,6 +66,51 @@ TEST(ArgParser, RejectsBadNumbers) {
   }
 }
 
+// The diagnostic must name the flag, say what was expected, and quote the
+// offending value — "bad value" on a 15-flag tool is unactionable.
+TEST(ArgParser, NumericDiagnosticsNameFlagAndExpectation) {
+  auto message_of = [](std::vector<const char*> argv) {
+    ArgParser p = make_parser();
+    try {
+      argv.insert(argv.begin(), "prog");
+      p.parse(static_cast<int>(argv.size()), argv.data());
+    } catch (const std::invalid_argument& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+  EXPECT_EQ(message_of({"--count", "abc"}), "--count: expected integer, got 'abc'");
+  EXPECT_EQ(message_of({"--count", "3.5"}), "--count: expected integer, got '3.5'");
+  EXPECT_EQ(message_of({"--count", "12x"}), "--count: expected integer, got '12x'");
+  EXPECT_EQ(message_of({"--count", ""}), "--count: expected integer, got ''");
+  EXPECT_EQ(message_of({"--ratio", "fast"}), "--ratio: expected number, got 'fast'");
+  EXPECT_EQ(message_of({"--ratio=1.5ghz"}), "--ratio: expected number, got '1.5ghz'");
+}
+
+TEST(ArgParser, OutOfRangeNumbersAreNamedNotMisparsed) {
+  auto message_of = [](std::vector<const char*> argv) {
+    ArgParser p = make_parser();
+    try {
+      argv.insert(argv.begin(), "prog");
+      p.parse(static_cast<int>(argv.size()), argv.data());
+    } catch (const std::invalid_argument& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+  EXPECT_EQ(message_of({"--count", "99999999999999999999"}),
+            "--count: value '99999999999999999999' out of range for integer");
+  EXPECT_EQ(message_of({"--ratio", "1e99999"}),
+            "--ratio: value '1e99999' out of range for a double");
+}
+
+TEST(ArgParser, NumericValidationStillAcceptsEdgeForms) {
+  ArgParser p = make_parser();
+  ASSERT_TRUE(parse(p, {"--count", "-3", "--ratio", "-2.5e-3"}));
+  EXPECT_EQ(p.get_int("count"), -3);
+  EXPECT_DOUBLE_EQ(p.get_double("ratio"), -2.5e-3);
+}
+
 TEST(ArgParser, RejectsValueOnFlagAndPositional) {
   {
     ArgParser p = make_parser();

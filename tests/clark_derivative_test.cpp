@@ -186,5 +186,109 @@ TEST_P(ClarkDerivativeFuzz, HandVsAutodiffEverywhere) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ClarkDerivativeFuzz, ::testing::Range(100, 106));
 
+// ---- Degenerate-regime robustness. The solver's non-finite tripwires
+// (DESIGN.md §9) assume the statistical max itself never manufactures a
+// NaN/inf in its corner regimes: theta -> 0 (near-deterministic operands),
+// extreme |alpha| (one operand utterly dominant), and exactly-zero variances.
+
+void expect_finite_derivatives(const ClarkGrad& g, const ClarkHess& h, const char* label) {
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(std::isfinite(g.dmu[i])) << label << " dmu[" << i << "]";
+    EXPECT_TRUE(std::isfinite(g.dvar[i])) << label << " dvar[" << i << "]";
+  }
+  for (double v : h.mu) EXPECT_TRUE(std::isfinite(v)) << label << " hess.mu";
+  for (double v : h.var) EXPECT_TRUE(std::isfinite(v)) << label << " hess.var";
+}
+
+TEST(ClarkDegenerate, ThetaNearZeroIsFiniteEverywhere) {
+  // Total variance just above the kThetaFloorSq cutoff, so the *analytic*
+  // branch runs with theta ~ 1.4e-10 — the regime where naive formulas
+  // divide by ~0.
+  for (double gap : {0.0, 1e-12, 1e-3, 1.0, -1.0}) {
+    ClarkGrad grad;
+    ClarkHess hess;
+    const NormalRV c = clark_max_full({1.0 + gap, 1e-20}, {1.0, 1e-20}, grad, hess);
+    EXPECT_TRUE(std::isfinite(c.mu)) << "gap " << gap;
+    EXPECT_TRUE(std::isfinite(c.var)) << "gap " << gap;
+    EXPECT_GE(c.var, 0.0) << "gap " << gap;
+    expect_finite_derivatives(grad, hess, "theta->0");
+
+    ClarkGrad grad_hand;
+    const NormalRV ch = clark_max_grad({1.0 + gap, 1e-20}, {1.0, 1e-20}, grad_hand);
+    EXPECT_TRUE(std::isfinite(ch.mu)) << "gap " << gap;
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_TRUE(std::isfinite(grad_hand.dmu[i])) << "gap " << gap << " dmu[" << i << "]";
+      EXPECT_TRUE(std::isfinite(grad_hand.dvar[i])) << "gap " << gap << " dvar[" << i << "]";
+    }
+  }
+}
+
+TEST(ClarkDegenerate, ThetaToZeroLimitPinsToDeterministicMax) {
+  // As theta -> 0 with a fixed gap, the Clark moments must converge to the
+  // deterministic max: mu -> max(muA, muB), var -> the winner's variance,
+  // and dmu converges to the winner-takes-all subgradient.
+  for (double v : {1e-8, 1e-12, 1e-16, 1e-20}) {
+    ClarkGrad grad;
+    ClarkHess hess;
+    const NormalRV c = clark_max_full({2.0, v}, {1.0, v}, grad, hess);
+    EXPECT_NEAR(c.mu, 2.0, 1e-3 * std::sqrt(v)) << "var " << v;
+    // var is assembled as E[x^2] - mu^2, so its absolute accuracy bottoms
+    // out at the cancellation floor ~eps * mu^2, not at a relative error.
+    EXPECT_NEAR(c.var, v, 1e-6 * v + 4e-15) << "var " << v;
+    EXPECT_NEAR(grad.dmu[0], 1.0, 1e-12) << "var " << v;
+    EXPECT_NEAR(grad.dmu[1], 0.0, 1e-12) << "var " << v;
+    EXPECT_NEAR(grad.dvar[2], 1.0, 1e-9) << "var " << v;   // d var / d varA
+    EXPECT_NEAR(grad.dvar[3], 0.0, 1e-9) << "var " << v;   // d var / d varB
+    expect_finite_derivatives(grad, hess, "theta->0 limit");
+  }
+}
+
+TEST(ClarkDegenerate, ExtremeAlphaIsFiniteAndSaturates) {
+  // |alpha| = |gap|/theta in the tens: Phi(-alpha) and phi(alpha) underflow
+  // toward 0 and every alpha-weighted correction term must die with them
+  // instead of producing 0 * inf.
+  const NormalRV wide[] = {{40.0, 1.0}, {0.0, 1.0}};       // alpha ~ +28
+  const NormalRV narrow[] = {{3.0, 1e-4}, {0.0, 1e-4}};    // alpha ~ +212
+  for (const NormalRV* p : {wide, narrow}) {
+    for (int flip = 0; flip < 2; ++flip) {                 // both signs of alpha
+      const NormalRV& a = p[flip];
+      const NormalRV& b = p[1 - flip];
+      ClarkGrad grad;
+      ClarkHess hess;
+      const NormalRV c = clark_max_full(a, b, grad, hess);
+      const NormalRV& winner = a.mu >= b.mu ? a : b;
+      EXPECT_NEAR(c.mu, winner.mu, 1e-10 * (1.0 + std::abs(winner.mu)));
+      EXPECT_NEAR(c.var, winner.var, 1e-10 * winner.var);
+      expect_finite_derivatives(grad, hess, "extreme alpha");
+      // Winner-takes-all saturation of the mean sensitivities.
+      EXPECT_NEAR(grad.dmu[flip], 1.0, 1e-12);
+      EXPECT_NEAR(grad.dmu[1 - flip], 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(ClarkDegenerate, ZeroVarianceOperandsAreFinite) {
+  // One or both operands exactly deterministic — both the analytic branch
+  // (total variance > 0) and the floor branch (== 0) must return finite
+  // moments, gradients, and Hessians.
+  const NormalRV cases[][2] = {
+      {{3.0, 0.0}, {1.0, 4.0}},   // deterministic loser
+      {{5.0, 0.0}, {5.5, 0.25}},  // deterministic, near the other's mean
+      {{2.0, 4.0}, {2.0, 0.0}},   // tie in mu, one deterministic
+      {{5.0, 0.0}, {3.0, 0.0}},   // both deterministic
+      {{2.0, 0.0}, {2.0, 0.0}},   // both deterministic, exact tie
+  };
+  for (const auto& pair : cases) {
+    ClarkGrad grad;
+    ClarkHess hess;
+    const NormalRV c = clark_max_full(pair[0], pair[1], grad, hess);
+    EXPECT_TRUE(std::isfinite(c.mu));
+    EXPECT_TRUE(std::isfinite(c.var));
+    EXPECT_GE(c.var, 0.0);
+    EXPECT_GE(c.mu, std::max(pair[0].mu, pair[1].mu) - 1e-12);
+    expect_finite_derivatives(grad, hess, "zero variance");
+  }
+}
+
 }  // namespace
 }  // namespace statsize::stat

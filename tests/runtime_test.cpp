@@ -118,6 +118,57 @@ TEST(Runtime, SetThreadsClampsAndSticks) {
   runtime::set_threads(3);
   EXPECT_EQ(runtime::threads(), 3);
   EXPECT_EQ(runtime::global_pool().num_threads(), 3);
+  runtime::set_threads(runtime::kMaxJobs + 50);
+  EXPECT_EQ(runtime::threads(), runtime::kMaxJobs);
+}
+
+// STATSIZE_JOBS validation (all env resolution routes through
+// resolve_jobs_value): a malformed value must fall back to hardware
+// concurrency with a warning that names the value and the reason — never UB,
+// never a 0-thread pool.
+TEST(Runtime, JobsEnvValidValuesParse) {
+  EXPECT_EQ(runtime::resolve_jobs_value("1", 8), 1);
+  EXPECT_EQ(runtime::resolve_jobs_value("16", 8), 16);
+  EXPECT_EQ(runtime::resolve_jobs_value("1024", 8), runtime::kMaxJobs);
+  std::string warning = "unset";
+  EXPECT_EQ(runtime::resolve_jobs_value("4", 8, &warning), 4);
+  EXPECT_TRUE(warning.empty());
+}
+
+TEST(Runtime, JobsEnvMalformedValuesFallBackWithNamedWarning) {
+  struct Case {
+    const char* value;
+    const char* why_fragment;
+  };
+  const Case cases[] = {
+      {"abc", "expected an integer"},
+      {"4x", "expected an integer"},
+      {"3.5", "expected an integer"},
+      {"", "empty value"},
+      {"0", ">= 1"},
+      {"-2", ">= 1"},
+      {"99999999999999999999", "maximum"},
+      {"2000000000", "maximum"},
+  };
+  for (const Case& c : cases) {
+    std::string warning;
+    EXPECT_EQ(runtime::resolve_jobs_value(c.value, 8, &warning), 8) << c.value;
+    EXPECT_NE(warning.find("STATSIZE_JOBS"), std::string::npos) << c.value;
+    EXPECT_NE(warning.find(c.why_fragment), std::string::npos)
+        << "'" << c.value << "' -> " << warning;
+    if (c.value[0] != '\0') {
+      EXPECT_NE(warning.find(c.value), std::string::npos) << warning;
+    }
+  }
+  EXPECT_EQ(runtime::resolve_jobs_value(nullptr, 8), 8);
+}
+
+TEST(Runtime, JobsEnvFallbackIsAlwaysPositive) {
+  // Whatever garbage arrives, the resolved count can never build a 0-thread
+  // pool: the fallback itself is the hardware count (>= 1).
+  const int resolved = runtime::resolve_jobs_value("not-a-number", runtime::hardware_threads());
+  EXPECT_GE(resolved, 1);
+  EXPECT_LE(resolved, runtime::kMaxJobs);
 }
 
 TEST(Runtime, BlockedReductionsAreThreadCountInvariant) {

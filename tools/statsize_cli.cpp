@@ -37,6 +37,7 @@
 #include "ssta/monte_carlo.h"
 #include "ssta/report.h"
 #include "ssta/slack.h"
+#include "runtime/fault.h"
 #include "runtime/runtime.h"
 #include "ssta/ssta.h"
 #include "util/args.h"
@@ -234,10 +235,15 @@ int main(int argc, char** argv) {
   args.add_string("json-out", "write the full analysis as JSON to this file");
   args.add_flag("verbose", "solver progress output");
   args.add_int("jobs", "worker threads (0 = STATSIZE_JOBS or hardware)", 0);
+  args.add_double("time-limit", "wall-clock solve budget in seconds (0 = unlimited)", 0.0);
+  args.add_int("retries", "deterministic multistart retries after a breakdown/stall", 0);
 
   try {
     if (!args.parse(argc, argv)) return 0;
     if (const int jobs = args.get_int("jobs"); jobs > 0) runtime::set_threads(jobs);
+    // STATSIZE_FAULT=<site>:<hit> arms the deterministic fault injector
+    // (testing/chaos use; a no-op when unset).
+    runtime::fault::arm_from_env();
 
     const netlist::Circuit circuit = load_circuit(args.get_string("circuit"));
     std::printf("circuit: %d gates, %d inputs, %zu outputs, depth %d\n", circuit.num_gates(),
@@ -282,6 +288,14 @@ int main(int argc, char** argv) {
       throw std::invalid_argument("unknown method '" + method + "'");
     }
     opt.verbose = args.get_flag("verbose");
+    opt.time_limit_seconds = args.get_double("time-limit");
+    opt.max_retries = args.get_int("retries");
+    if (opt.time_limit_seconds < 0.0) {
+      throw std::invalid_argument("--time-limit: expected a value >= 0");
+    }
+    if (opt.max_retries < 0) {
+      throw std::invalid_argument("--retries: expected a value >= 0");
+    }
 
     std::printf("objective: %s%s%s, method: %s\n", spec.objective.description().c_str(),
                 spec.delay_constraint ? ", s.t. " : "",
@@ -291,6 +305,14 @@ int main(int argc, char** argv) {
     const core::SizingResult r = core::Sizer(circuit, spec).run(opt);
     std::printf("\nstatus: %s (%.2f s, %d iterations)\n", r.status.c_str(), r.wall_seconds,
                 r.iterations);
+    if (r.retries_used > 0 || r.from_checkpoint || !r.breakdown_site.empty()) {
+      std::printf("resilience: retries=%d%s%s%s\n", r.retries_used,
+                  r.from_checkpoint ? ", returned best-iterate checkpoint" : "",
+                  r.checkpoint_outer >= 0
+                      ? (" (outer " + std::to_string(r.checkpoint_outer) + ")").c_str()
+                      : "",
+                  r.breakdown_site.empty() ? "" : (", tripwire: " + r.breakdown_site).c_str());
+    }
     std::printf("result: mu=%.4f sigma=%.4f mu+3sigma=%.4f | sum S=%.2f area=%.2f\n",
                 r.circuit_delay.mu, r.circuit_delay.sigma(), r.delay_metric(3.0), r.sum_speed,
                 r.area);
@@ -321,6 +343,16 @@ int main(int argc, char** argv) {
       ssta::JsonReportOptions jopt;
       jopt.include_canonical = args.get_flag("canonical");
       if (spec.delay_constraint) jopt.deadline = spec.delay_constraint->bound;
+      ssta::SolveReport sr;
+      sr.status = r.status;
+      sr.converged = r.converged;
+      sr.iterations = r.iterations;
+      sr.wall_seconds = r.wall_seconds;
+      sr.retries_used = r.retries_used;
+      sr.from_checkpoint = r.from_checkpoint;
+      sr.checkpoint_outer = r.checkpoint_outer;
+      sr.breakdown_site = r.breakdown_site;
+      jopt.solve = std::move(sr);
       const ssta::DelayCalculator calc(circuit, spec.sigma_model);
       ssta::write_json_report(out, circuit, calc, r.speed, jopt);
       std::printf("wrote %s\n", path.c_str());
