@@ -17,6 +17,10 @@
 //      one thread — a pure memory-layout comparison whose results must be
 //      bit-identical (the view copies the same doubles and keeps every fold
 //      order), so any mismatch hard-fails the benchmark.
+//   5. Granularity advisor: the pre-solve audit's static per-level
+//      serial/parallel decision table and cutoff on the k2-scale DAG, then
+//      SSTA timed with the cutoff off vs applied (bit-identical by contract,
+//      re-verified here).
 //
 // Machine-readable results go to BENCH_scaling.json via bench::JsonArtifact.
 
@@ -29,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "analyze/graph_audit.h"
 #include "bench_util.h"
 #include "core/full_space.h"
 #include "core/reduced_space.h"
@@ -390,6 +395,73 @@ int main() {
         .field("view_ms", view_ms)
         .field("identical", s.identical ? "yes" : "no");
   }
+
+  // ---- Granularity advisor: the pre-solve audit's static serial-cutoff
+  // decision on the same k2-scale DAG, then SSTA timed with the cutoff off
+  // (every level offered to the pool) versus applied. The cutoff is a pure
+  // wall-clock lever — the determinism contract makes serial and pooled level
+  // execution bit-identical, and that is re-verified here.
+  const int adv_threads = std::max(2, std::min(4, hw));
+  analyze::GranularityCostModel cost;
+  cost.threads = adv_threads;
+  const netlist::TimingViewStats k2_stats = netlist::compute_view_stats(k2.view());
+  const analyze::GranularityAdvice advice =
+      analyze::advise_granularity(k2_stats.level_widths, cost);
+  std::printf("\n--- granularity advisor (%d-gate DAG, cost model at %d threads) ---\n",
+              k2.num_gates(), adv_threads);
+  std::printf("serial cutoff: width < %zu | %d of %zu levels advised serial "
+              "(%.1f%% of gates) | modeled: naive %.0f ns, advised %.0f ns\n",
+              advice.serial_cutoff, advice.serial_levels, advice.levels.size(),
+              100.0 * advice.serial_gate_fraction, advice.est_naive_parallel_ns,
+              advice.est_advised_ns);
+  artifact.add_row()
+      .field("section", "granularity_advisor")
+      .field("gates", k2.num_gates())
+      .field("threads", adv_threads)
+      .field("chunk_dispatch_ns", cost.chunk_dispatch_ns)
+      .field("gate_cost_ns", cost.gate_cost_ns)
+      .field("serial_cutoff", static_cast<int>(advice.serial_cutoff))
+      .field("levels", static_cast<int>(advice.levels.size()))
+      .field("serial_levels", advice.serial_levels)
+      .field("serial_gate_fraction", advice.serial_gate_fraction)
+      .field("est_naive_parallel_ns", advice.est_naive_parallel_ns)
+      .field("est_advised_ns", advice.est_advised_ns);
+  for (const analyze::LevelDecision& d : advice.levels) {
+    artifact.add_row()
+        .field("section", "granularity_levels")
+        .field("level", d.level)
+        .field("width", static_cast<int>(d.width))
+        .field("advised", d.parallel ? "parallel" : "serial")
+        .field("serial_ns", d.serial_ns)
+        .field("parallel_ns", d.parallel_ns);
+  }
+
+  const std::vector<stat::NormalRV> k2_delays = k2_calc.all_delays(sp);
+  runtime::set_threads(adv_threads);
+  const std::size_t saved_cutoff = runtime::level_serial_cutoff();
+  runtime::set_level_serial_cutoff(0);
+  const ssta::TimingReport cutoff_ref = ssta::run_ssta(k2, k2_delays);
+  const double naive_ms = wall_ms([&] { ssta::run_ssta(k2, k2_delays); }, 5);
+  runtime::set_level_serial_cutoff(advice.serial_cutoff);
+  const bool cutoff_det = reports_equal(ssta::run_ssta(k2, k2_delays), cutoff_ref);
+  const double advised_ms = wall_ms([&] { ssta::run_ssta(k2, k2_delays); }, 5);
+  runtime::set_level_serial_cutoff(saved_cutoff);
+  runtime::set_threads(1);
+  if (!cutoff_det) {
+    std::printf("  [FAIL] SSTA with the advised cutoff differs from cutoff-0 results\n");
+    ++failures;
+  }
+  std::printf("ssta at %d threads: cutoff 0 %.3f ms, advised cutoff %.3f ms (%.2fx) | %s\n",
+              adv_threads, naive_ms, advised_ms, naive_ms / advised_ms,
+              cutoff_det ? "deterministic" : "NOT DETERMINISTIC");
+  artifact.add_row()
+      .field("section", "granularity_ssta")
+      .field("gates", k2.num_gates())
+      .field("threads", adv_threads)
+      .field("cutoff0_wall_ms", naive_ms)
+      .field("advised_wall_ms", advised_ms)
+      .field("serial_cutoff", static_cast<int>(advice.serial_cutoff))
+      .field("deterministic", cutoff_det ? "yes" : "no");
 
   artifact.write();
   std::printf("\nE7 SCALING: %s\n", failures == 0 ? "completed (trend recorded above)"

@@ -56,6 +56,27 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 echo "== ctest resilience label under sanitizers =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L '^resilience$'
 
+# Pre-solve static audit over every shipped example circuit: error-severity
+# findings (exit 3) or tool failures (exit 1) fail the gate; warnings/notes
+# pass. Runs under the sanitizer build, so the audit code itself is checked.
+echo "== statsize audit (examples) =="
+for f in "$REPO_ROOT"/examples/circuits/*.blif; do
+  [ -e "$f" ] || continue
+  code=0
+  "$BUILD_DIR/tools/statsize" audit --circuit "$f" || code=$?
+  if [ "$code" -ge 3 ] || [ "$code" -eq 1 ]; then
+    echo "audit gate FAILED on $f (exit $code)"
+    exit 1
+  fi
+done
+echo "audit gate passed"
+
+# Determinism lint over the library sources: any DET hazard is error-severity
+# and fails the build (suppressions require an in-source allow() comment).
+echo "== detlint (src) =="
+"$BUILD_DIR/tools/detlint" "$REPO_ROOT/src"
+echo "detlint gate passed"
+
 echo "== clang-tidy =="
 if command -v clang-tidy > /dev/null 2>&1; then
   # Headers are covered transitively; benches/examples are excluded to keep

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Self-check for the detlint determinism linter, run as a ctest:
+#   1. the known-bad corpus (tests/detlint/bad) must produce errors (exit 3)
+#      with every DET rule represented in the JSON,
+#   2. the known-good corpus (tests/detlint/good) must be clean (exit 0) —
+#      including the reviewed `detlint: allow(DET003)` suppression it carries,
+#   3. the real sources under src/ must be clean, because scripts/check.sh
+#      gates CI on exactly that invocation.
+#
+# Usage: detlint_selfcheck.sh <path-to-detlint-binary> <repo-root>
+set -u
+
+DETLINT="$1"
+REPO_ROOT="$2"
+failures=0
+
+json="$("$DETLINT" "$REPO_ROOT/tests/detlint/bad" --json - 2>/dev/null)"
+code=$?
+if [ "$code" -ne 3 ]; then
+  echo "FAIL: bad corpus exited $code (expected 3)"
+  failures=$((failures + 1))
+fi
+for rule in DET001 DET002 DET003 DET004; do
+  if ! printf '%s' "$json" | grep -q "\"id\": \"$rule\""; then
+    echo "FAIL: bad-corpus JSON is missing rule $rule"
+    failures=$((failures + 1))
+  fi
+done
+[ "$failures" -eq 0 ] && echo "ok: bad corpus fires (exit 3, DET001..DET004)"
+
+"$DETLINT" "$REPO_ROOT/tests/detlint/good" > /tmp/detlint_good.$$ 2>&1
+code=$?
+if [ "$code" -ne 0 ]; then
+  echo "FAIL: good corpus exited $code (expected 0)"
+  cat /tmp/detlint_good.$$
+  failures=$((failures + 1))
+else
+  echo "ok: good corpus clean (suppression honored)"
+fi
+
+"$DETLINT" "$REPO_ROOT/src" > /tmp/detlint_src.$$ 2>&1
+code=$?
+if [ "$code" -ne 0 ]; then
+  echo "FAIL: src/ exited $code (expected 0)"
+  cat /tmp/detlint_src.$$
+  failures=$((failures + 1))
+else
+  echo "ok: src/ clean"
+fi
+
+rm -f /tmp/detlint_good.$$ /tmp/detlint_src.$$
+if [ "$failures" -ne 0 ]; then
+  echo "$failures detlint self-check failure(s)"
+  exit 1
+fi
+echo "detlint self-check passed"

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <ostream>
+#include <set>
+#include <tuple>
 
 #include "analyze/registry.h"
 #include "util/json.h"
@@ -35,8 +37,14 @@ void Report::add(std::string_view rule_id, std::string locus, std::string messag
 }
 
 void Report::merge(Report other) {
-  diags_.insert(diags_.end(), std::make_move_iterator(other.diags_.begin()),
-                std::make_move_iterator(other.diags_.end()));
+  // Keys own their strings: push_back below reallocates diags_ (and SSO
+  // strings relocate on move), so views into the elements would dangle.
+  using Key = std::tuple<std::string, std::string, std::string>;
+  std::set<Key> seen;
+  for (const Diagnostic& d : diags_) seen.emplace(d.id, d.locus, d.message);
+  for (Diagnostic& d : other.diags_) {
+    if (seen.emplace(d.id, d.locus, d.message).second) diags_.push_back(std::move(d));
+  }
 }
 
 int Report::count(Severity severity) const {
@@ -94,6 +102,12 @@ void Report::write_json(std::ostream& out, std::string_view target) const {
   util::JsonWriter w(out);
   w.begin_object();
   w.key("target").value(target);
+  write_json_members(w);
+  w.end_object();
+  out << "\n";
+}
+
+void Report::write_json_members(util::JsonWriter& w) const {
   w.key("summary").begin_object();
   w.key("errors").value(count(Severity::kError));
   w.key("warnings").value(count(Severity::kWarning));
@@ -111,8 +125,10 @@ void Report::write_json(std::ostream& out, std::string_view target) const {
     w.end_object();
   }
   w.end_array();
-  w.end_object();
-  out << "\n";
+}
+
+void Report::prefix_loci(std::string_view prefix) {
+  for (Diagnostic& d : diags_) d.locus = std::string(prefix) + ": " + d.locus;
 }
 
 void Report::sort() {

@@ -21,6 +21,10 @@
 #include <string_view>
 #include <vector>
 
+namespace statsize::util {
+class JsonWriter;
+}
+
 namespace statsize::analyze {
 
 enum class Severity { kNote = 0, kWarning = 1, kError = 2 };
@@ -46,6 +50,10 @@ class Report {
   void add(std::string_view rule_id, std::string locus, std::string message,
            std::string hint = {});
 
+  /// Appends `other`'s diagnostics, dropping any whose (id, locus, message)
+  /// triple this report already holds. Composed drivers (lint + audit, or the
+  /// same rule reached through two analysis paths) would otherwise double-count
+  /// one defect in the summary and the CI gate.
   void merge(Report other);
 
   const std::vector<Diagnostic>& diagnostics() const { return diags_; }
@@ -72,6 +80,15 @@ class Report {
 
   /// Machine-readable {target, summary, diagnostics[]} JSON document.
   void write_json(std::ostream& out, std::string_view target) const;
+
+  /// Emits the summary + diagnostics members into an object `w` has already
+  /// opened — the shared body of write_json and the audit document (audit.h),
+  /// which appends its analytics sections alongside.
+  void write_json_members(util::JsonWriter& w) const;
+
+  /// Prepends "`prefix`: " to every diagnostic's locus — used by multi-input
+  /// lint runs so one merged report still names the file each finding is from.
+  void prefix_loci(std::string_view prefix);
 
   /// Stable sort: errors first, then by rule id, then by locus.
   void sort();

@@ -1,0 +1,173 @@
+#include "analyze/graph_audit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "runtime/runtime.h"
+
+namespace statsize::analyze {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+/// Modeled wall time of pooling one level of `width` gates: per-chunk
+/// dispatch parallelizes across the claimers, the work divides across the
+/// busy threads, and one extra dispatch quantum stands in for the barrier
+/// wake-up. Serial cost is just width * gate_cost (the inline path pays no
+/// dispatch at all).
+double modeled_parallel_ns(std::size_t width, const GranularityCostModel& m) {
+  if (width == 0) return 0.0;
+  const std::size_t grain = std::max<std::size_t>(1, m.grain);
+  const double chunks = static_cast<double>((width + grain - 1) / grain);
+  const double busy = std::min<double>(static_cast<double>(m.threads), chunks);
+  const double work_ns = static_cast<double>(width) * m.gate_cost_ns;
+  return (chunks * m.chunk_dispatch_ns + work_ns) / std::max(1.0, busy) + m.chunk_dispatch_ns;
+}
+
+double modeled_serial_ns(std::size_t width, const GranularityCostModel& m) {
+  return static_cast<double>(width) * m.gate_cost_ns;
+}
+
+}  // namespace
+
+GranularityAdvice advise_granularity(const std::vector<std::size_t>& level_widths,
+                                     const GranularityCostModel& model) {
+  GranularityAdvice advice;
+  advice.model = model;
+  if (advice.model.threads <= 0) advice.model.threads = runtime::threads();
+  if (advice.model.grain == 0) advice.model.grain = 1;
+  const GranularityCostModel& m = advice.model;
+
+  // The crossover width: the smallest width where the pool is predicted to
+  // win. Both cost curves are monotone in width up to ceil() ripples, so a
+  // forward scan is exact; the cap only matters for degenerate cost models
+  // (dispatch so expensive the pool never pays).
+  constexpr std::size_t kCutoffCap = 1u << 20;
+  advice.serial_cutoff = kCutoffCap;
+  if (m.threads > 1) {
+    for (std::size_t w = 1; w <= kCutoffCap; ++w) {
+      if (modeled_parallel_ns(w, m) < modeled_serial_ns(w, m)) {
+        advice.serial_cutoff = w;
+        break;
+      }
+    }
+  }
+
+  std::size_t total_gates = 0;
+  for (std::size_t l = 0; l < level_widths.size(); ++l) {
+    LevelDecision d;
+    d.level = static_cast<int>(l);
+    d.width = level_widths[l];
+    d.serial_ns = modeled_serial_ns(d.width, m);
+    d.parallel_ns = modeled_parallel_ns(d.width, m);
+    d.parallel = d.width >= advice.serial_cutoff;
+    total_gates += d.width;
+    advice.est_naive_parallel_ns += d.parallel_ns;
+    advice.est_advised_ns += d.parallel ? d.parallel_ns : d.serial_ns;
+    if (!d.parallel) {
+      ++advice.serial_levels;
+      advice.serial_gates += d.width;
+    }
+    advice.levels.push_back(d);
+  }
+  if (total_gates > 0) {
+    advice.serial_gate_fraction =
+        static_cast<double>(advice.serial_gates) / static_cast<double>(total_gates);
+  }
+  return advice;
+}
+
+Report audit_level_widths(const std::vector<std::size_t>& level_widths,
+                          const GranularityAdvice& advice, const GraphAuditOptions& options) {
+  Report report;
+  for (std::size_t l = 0; l < level_widths.size(); ++l) {
+    if (level_widths[l] == 0) {
+      report.add("GRF002", "level " + std::to_string(l),
+                 "level partition contains an empty level",
+                 "a sound Circuit::finalize() never emits one; the schedule feeding this "
+                 "histogram is corrupted");
+    }
+  }
+  if (advice.serial_gate_fraction >= options.narrow_fraction_threshold &&
+      !level_widths.empty()) {
+    report.add("GRF003",
+               std::to_string(advice.serial_levels) + " of " +
+                   std::to_string(level_widths.size()) + " levels",
+               fmt(100.0 * advice.serial_gate_fraction) +
+                   "% of gates sit in levels narrower than the serial cutoff (" +
+                   std::to_string(advice.serial_cutoff) +
+                   "); level-parallel sweeps cannot pay for dispatch here",
+               "apply the advisor cutoff (runtime::set_level_serial_cutoff) or batch "
+               "independent analyses instead of parallelizing within one");
+  }
+  report.sort();
+  return report;
+}
+
+Report audit_graph(const netlist::TimingView& view, const GraphAuditOptions& options,
+                   netlist::TimingViewStats* stats_out, GranularityAdvice* advice_out) {
+  Report report;
+
+  if (options.invariant_check) {
+    for (const std::string& violation : check_view_invariants(view)) {
+      report.add("GRF001", "timing view", violation,
+                 "the CSR arrays disagree with themselves; this is a compiler bug in "
+                 "Circuit::finalize()/TimingView, not a netlist defect");
+    }
+  }
+
+  const netlist::TimingViewStats stats = netlist::compute_view_stats(view, options.max_cone_samples);
+  const GranularityAdvice advice = advise_granularity(stats.level_widths, options.cost);
+
+  report.merge(audit_level_widths(stats.level_widths, advice, options));
+
+  // GRF004: fanout skew.
+  if (stats.max_fanout >= options.fanout_skew_min && stats.mean_gate_fanout > 0.0 &&
+      static_cast<double>(stats.max_fanout) >
+          options.fanout_skew_factor * stats.mean_gate_fanout) {
+    report.add("GRF004", "node #" + std::to_string(stats.max_fanout_node),
+               "fanout " + std::to_string(stats.max_fanout) + " vs mean gate fanout " +
+                   fmt(stats.mean_gate_fanout) + " (" +
+                   fmt(static_cast<double>(stats.max_fanout) / stats.mean_gate_fanout) +
+                   "x skew)",
+               "this net dominates its level's chunk and serializes every scatter fold "
+               "that touches it; consider buffering the net");
+  }
+
+  // GRF005: reconvergence.
+  if (stats.reconvergence_ratio > options.reconvergence_ratio_threshold) {
+    report.add("GRF005", "timing graph",
+               std::to_string(stats.reconvergence_count) + " reconvergent path pairs over " +
+                   std::to_string(stats.num_edges) + " edges (ratio " +
+                   fmt(stats.reconvergence_ratio) + ")",
+               "independence SSTA drops the correlation these paths share; the canonical "
+               "correlation-aware engine is the honest analysis here");
+  }
+
+  // GRF006: deep-and-narrow shape.
+  if (!stats.level_widths.empty() && stats.mean_level_width > 0.0 &&
+      static_cast<double>(stats.level_widths.size()) >
+          options.deep_narrow_factor * stats.mean_level_width) {
+    report.add("GRF006", "timing graph",
+               std::to_string(stats.level_widths.size()) + " levels at mean width " +
+                   fmt(stats.mean_level_width) +
+                   ": the barriered critical path is serial and caps parallel speedup at " +
+                   fmt(stats.mean_level_width) + "x",
+               "deep-narrow circuits gain more from batching independent jobs than from "
+               "intra-sweep parallelism");
+  }
+
+  if (stats_out != nullptr) *stats_out = stats;
+  if (advice_out != nullptr) *advice_out = advice;
+  report.sort();
+  return report;
+}
+
+}  // namespace statsize::analyze

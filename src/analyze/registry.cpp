@@ -25,6 +25,38 @@ const std::vector<RuleInfo>& rule_catalog() {
        "a primary-output gate has zero pad load (upsizing it is free, which is rarely intended)"},
       {"CIR010", "circuit", Severity::kWarning, "duplicate-name",
        "two nodes share a name, making reports and size tables ambiguous"},
+      // -- determinism lint (tools/detlint over the sources) -----------------
+      {"DET001", "determinism", Severity::kError, "unordered-container",
+       "unordered_{map,set} iteration order is hash-seed dependent; an accumulation fed from "
+       "it breaks the bit-identical parallelism contract"},
+      {"DET002", "determinism", Severity::kError, "wall-clock-or-rand",
+       "rand()/srand()/time()/clock()/random_device (or hashing a pointer) injects run-to-run "
+       "nondeterminism into a hot path"},
+      {"DET003", "determinism", Severity::kError, "non-plan-scatter",
+       "an indirect-indexed accumulation inside a parallel_for body scatters to shared slots; "
+       "route it through a runtime::ScatterPlan (disjoint slots + ordered fold)"},
+      {"DET004", "determinism", Severity::kError, "missing-poll-cancel",
+       "a solver iteration loop has no runtime::poll_cancel() checkpoint, so deadlines and "
+       "cancellation cannot stop it (DESIGN.md §9)"},
+      // -- TimingView graph analytics (statsize audit) -----------------------
+      {"GRF001", "graph", Severity::kError, "csr-invariant-violation",
+       "the compiled TimingView violates a CSR invariant (edge symmetry, topo order, level "
+       "partition) the parallel sweeps rely on"},
+      {"GRF002", "graph", Severity::kError, "zero-width-level",
+       "the level partition contains an empty level, which a sound finalize() can never emit "
+       "(every level holds at least one gate by construction)"},
+      {"GRF003", "graph", Severity::kNote, "narrow-parallelism",
+       "a dominant share of gates sits in levels below the advisor's serial cutoff, so "
+       "level-parallel sweeps cannot pay for their dispatch on this circuit"},
+      {"GRF004", "graph", Severity::kWarning, "fanout-skew",
+       "one net's fanout dwarfs the average, unbalancing level chunks and serializing the "
+       "scatter folds that touch it"},
+      {"GRF005", "graph", Severity::kNote, "high-reconvergence",
+       "the reconvergence ratio is high; independence SSTA underestimates correlation here "
+       "(consider the canonical correlation-aware engine)"},
+      {"GRF006", "graph", Severity::kNote, "deep-narrow-graph",
+       "logic depth dwarfs the mean level width: the sweep's critical path is serial and "
+       "Amdahl caps any level-parallel speedup"},
       // -- cell library / sigma model / size tables -------------------------
       {"LIB001", "library", Severity::kError, "non-positive-intrinsic-delay",
        "a cell's intrinsic delay t_int is zero or negative"},
@@ -59,6 +91,29 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"MOD005", "model", Severity::kError, "non-compilable-timing-view",
        "a cell parameter (t_int, c, c_in, area) or node load is non-finite, so the flat "
        "TimingView's precomputed delay-model constants would propagate NaN/Inf into every sweep"},
+      // -- NLP instance audits (statsize audit; no evaluation involved) ------
+      {"NLP001", "nlp", Severity::kError, "inverted-bound",
+       "an NLP variable's bound box is empty (lower > upper), so no feasible point exists"},
+      {"NLP002", "nlp", Severity::kNote, "collapsed-bound",
+       "a variable's bounds coincide (lower == upper): it is a constant wearing a variable's "
+       "cost (inflates the NLP and every multiplier/Hessian structure for nothing)"},
+      {"NLP003", "nlp", Severity::kWarning, "orphan-variable",
+       "a variable appears in no objective or constraint term, so the solver returns an "
+       "arbitrary value inside its bounds"},
+      {"NLP004", "nlp", Severity::kWarning, "element-arity-cliff",
+       "an element function sits at (or beyond) the kMaxElementArity stack-buffer cliff; one "
+       "more pin and evaluation is rejected outright"},
+      {"NLP005", "nlp", Severity::kError, "constant-constraint",
+       "an equality constraint references no variables: infeasible by construction when its "
+       "constant is nonzero, dead weight otherwise"},
+      {"NLP006", "nlp", Severity::kWarning, "scale-mismatch",
+       "the objective and constraint magnitude scales (estimated from bounds and the library-"
+       "derived coefficients) differ by orders of magnitude, degrading multiplier updates and "
+       "trust-region conditioning"},
+      {"NLP007", "nlp", Severity::kWarning, "duplicate-variable-locus",
+       "two NLP variables share a name, making solver diagnostics and size tables ambiguous"},
+      {"NLP008", "nlp", Severity::kError, "invalid-auglag-state",
+       "an AugLagModel carries a non-finite multiplier or a non-positive penalty rho"},
       // -- netlist parsers --------------------------------------------------
       {"PAR001", "parse", Severity::kError, "blif-parse-error",
        "the BLIF input is malformed (undeclared net, duplicate definition, unsupported construct)"},

@@ -6,7 +6,9 @@
 // impact can be reviewed in one place.
 //
 // Id scheme: CIRxxx = circuit structure, LIBxxx = cell library / sigma model /
-// size tables, MODxxx = NLP model audits, PARxxx = netlist parser failures.
+// size tables, MODxxx = NLP model audits, NLPxxx = no-evaluation NLP instance
+// audits, GRFxxx = TimingView graph analytics, DETxxx = determinism lint
+// (tools/detlint), PARxxx = netlist parser failures.
 
 #pragma once
 
@@ -19,7 +21,8 @@ namespace statsize::analyze {
 
 struct RuleInfo {
   std::string_view id;        ///< "CIR001"
-  std::string_view category;  ///< "circuit" | "library" | "model" | "parse"
+  std::string_view category;  ///< "circuit" | "library" | "model" | "nlp" |
+                              ///< "graph" | "determinism" | "parse"
   Severity severity;          ///< default severity of findings from this rule
   std::string_view title;     ///< short kebab-case name
   std::string_view detail;    ///< one-line description

@@ -1,6 +1,8 @@
 #include "netlist/timing_view.h"
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <stdexcept>
 #include <string>
 
@@ -98,6 +100,234 @@ TimingView::TimingView(const Circuit& circuit) {
   for (const std::vector<NodeId>& lvl : levels) {
     level_gate_.insert(level_gate_.end(), lvl.begin(), lvl.end());
   }
+}
+
+namespace {
+
+/// Union-find root with path halving, over the weak-component forest.
+std::size_t uf_find(std::vector<std::size_t>& parent, std::size_t x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];
+    x = parent[x];
+  }
+  return x;
+}
+
+}  // namespace
+
+TimingViewStats compute_view_stats(const TimingView& view, int max_cone_samples) {
+  TimingViewStats s;
+  const std::size_t n = static_cast<std::size_t>(view.num_nodes());
+  s.num_nodes = view.num_nodes();
+  s.num_gates = view.num_gates();
+  s.num_inputs = view.num_inputs();
+  s.num_outputs = static_cast<int>(view.outputs().size());
+
+  // Level-width histogram.
+  s.level_widths.reserve(static_cast<std::size_t>(view.num_levels()));
+  for (int l = 0; l < view.num_levels(); ++l) {
+    s.level_widths.push_back(view.level_gates(l).size());
+  }
+  if (!s.level_widths.empty()) {
+    s.min_level_width = *std::min_element(s.level_widths.begin(), s.level_widths.end());
+    s.max_level_width = *std::max_element(s.level_widths.begin(), s.level_widths.end());
+    const std::size_t total =
+        std::accumulate(s.level_widths.begin(), s.level_widths.end(), std::size_t{0});
+    s.mean_level_width =
+        static_cast<double>(total) / static_cast<double>(s.level_widths.size());
+  }
+
+  // Edge counts, fanout skew, and the weak-component forest in one pass.
+  std::vector<std::size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+  std::size_t gate_fanout_edges = 0;
+  for (NodeId id = 0; id < static_cast<NodeId>(n); ++id) {
+    const std::size_t i = static_cast<std::size_t>(id);
+    const NodeSpan fo = view.fanouts(id);
+    s.num_edges += view.fanins(id).size();
+    if (fo.size() > s.max_fanout) {
+      s.max_fanout = fo.size();
+      s.max_fanout_node = id;
+    }
+    if (view.is_gate(id)) gate_fanout_edges += fo.size();
+    for (const NodeId sink : fo) {
+      const std::size_t a = uf_find(parent, i);
+      const std::size_t b = uf_find(parent, static_cast<std::size_t>(sink));
+      if (a != b) parent[a] = b;
+    }
+  }
+  if (s.num_gates > 0) {
+    s.mean_gate_fanout = static_cast<double>(gate_fanout_edges) / s.num_gates;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (uf_find(parent, i) == i) ++s.num_components;
+  }
+  // First Betti number of the underlying undirected graph: each unit counts
+  // one reconvergent path pair that independence SSTA treats as uncorrelated.
+  if (s.num_edges + static_cast<std::size_t>(s.num_components) > n) {
+    s.reconvergence_count = s.num_edges + static_cast<std::size_t>(s.num_components) - n;
+  }
+  s.reconvergence_ratio =
+      static_cast<double>(s.reconvergence_count) / static_cast<double>(std::max<std::size_t>(1, s.num_edges));
+
+  // Transitive-fanin cones of (a sample of) the primary outputs, via an
+  // epoch-stamped visited array so repeated traversals cost no clearing.
+  const std::vector<NodeId>& outs = view.outputs();
+  if (max_cone_samples > 0 && !outs.empty()) {
+    const std::size_t stride =
+        std::max<std::size_t>(1, outs.size() / static_cast<std::size_t>(max_cone_samples));
+    std::vector<int> stamp(n, -1);
+    std::vector<NodeId> stack;
+    std::size_t total_cone = 0;
+    int epoch = 0;
+    for (std::size_t k = 0; k < outs.size(); k += stride) {
+      const NodeId root = outs[k];
+      std::size_t cone = 0;
+      stack.assign(1, root);
+      stamp[static_cast<std::size_t>(root)] = epoch;
+      while (!stack.empty()) {
+        const NodeId top = stack.back();
+        stack.pop_back();
+        ++cone;
+        for (const NodeId fi : view.fanins(top)) {
+          if (stamp[static_cast<std::size_t>(fi)] != epoch) {
+            stamp[static_cast<std::size_t>(fi)] = epoch;
+            stack.push_back(fi);
+          }
+        }
+      }
+      if (cone > s.max_cone_size) {
+        s.max_cone_size = cone;
+        s.max_cone_output = root;
+      }
+      total_cone += cone;
+      ++s.sampled_outputs;
+      ++epoch;
+    }
+    if (s.sampled_outputs > 0) {
+      s.mean_cone_size = static_cast<double>(total_cone) / s.sampled_outputs;
+    }
+  }
+  return s;
+}
+
+std::vector<std::string> check_view_invariants(const TimingView& view) {
+  std::vector<std::string> violations;
+  const std::size_t n = static_cast<std::size_t>(view.num_nodes());
+  auto flag = [&](std::string text) { violations.push_back(std::move(text)); };
+
+  // Edge targets in range, fanin/fanout symmetry via a paired-edge count.
+  std::size_t fanin_edges = 0;
+  std::size_t fanout_edges = 0;
+  std::size_t matched = 0;
+  for (NodeId id = 0; id < static_cast<NodeId>(n); ++id) {
+    for (const NodeId fi : view.fanins(id)) {
+      ++fanin_edges;
+      if (fi < 0 || static_cast<std::size_t>(fi) >= n) {
+        flag("fanin edge of node " + std::to_string(id) + " targets out-of-range id " +
+             std::to_string(fi));
+        continue;
+      }
+      const NodeSpan fo = view.fanouts(fi);
+      if (std::find(fo.begin(), fo.end(), id) != fo.end()) ++matched;
+    }
+    for (const NodeId fo : view.fanouts(id)) {
+      ++fanout_edges;
+      if (fo < 0 || static_cast<std::size_t>(fo) >= n) {
+        flag("fanout edge of node " + std::to_string(id) + " targets out-of-range id " +
+             std::to_string(fo));
+      }
+    }
+    if (view.kind(id) == NodeKind::kPrimaryInput && !view.fanins(id).empty()) {
+      flag("primary input node " + std::to_string(id) + " has fanin edges");
+    }
+  }
+  if (fanin_edges != fanout_edges) {
+    flag("fanin edge count " + std::to_string(fanin_edges) + " != fanout edge count " +
+         std::to_string(fanout_edges));
+  } else if (matched != fanin_edges) {
+    flag(std::to_string(fanin_edges - matched) +
+         " fanin edge(s) have no matching reverse fanout edge");
+  }
+
+  // Topological order: a permutation of all nodes, fanins before fanouts.
+  {
+    const std::vector<NodeId>& topo = view.topo_order();
+    if (topo.size() != n) {
+      flag("topo order has " + std::to_string(topo.size()) + " entries for " +
+           std::to_string(n) + " nodes");
+    }
+    std::vector<int> pos(n, -1);
+    for (std::size_t i = 0; i < topo.size(); ++i) {
+      const NodeId id = topo[i];
+      if (id < 0 || static_cast<std::size_t>(id) >= n || pos[static_cast<std::size_t>(id)] >= 0) {
+        flag("topo order entry " + std::to_string(i) + " (node " + std::to_string(id) +
+             ") is out of range or repeated");
+        continue;
+      }
+      pos[static_cast<std::size_t>(id)] = static_cast<int>(i);
+    }
+    for (NodeId id = 0; id < static_cast<NodeId>(n); ++id) {
+      for (const NodeId fi : view.fanins(id)) {
+        if (fi < 0 || static_cast<std::size_t>(fi) >= n) continue;
+        if (pos[static_cast<std::size_t>(fi)] >= 0 && pos[static_cast<std::size_t>(id)] >= 0 &&
+            pos[static_cast<std::size_t>(fi)] > pos[static_cast<std::size_t>(id)]) {
+          flag("topo order places node " + std::to_string(id) + " before its fanin " +
+               std::to_string(fi));
+        }
+      }
+    }
+  }
+
+  // Level partition: every gate exactly once, in its own level, and each
+  // gate's level is 1 + max fanin level (inputs at level 0).
+  {
+    std::vector<int> seen(n, 0);
+    std::size_t partition_gates = 0;
+    for (int l = 0; l < view.num_levels(); ++l) {
+      const NodeSpan lvl = view.level_gates(l);
+      partition_gates += lvl.size();
+      for (const NodeId id : lvl) {
+        if (id < 0 || static_cast<std::size_t>(id) >= n) {
+          flag("level " + std::to_string(l) + " contains out-of-range node id " +
+               std::to_string(id));
+          continue;
+        }
+        ++seen[static_cast<std::size_t>(id)];
+        if (!view.is_gate(id)) {
+          flag("level " + std::to_string(l) + " contains non-gate node " + std::to_string(id));
+        }
+        if (view.level(id) != l + 1) {
+          flag("node " + std::to_string(id) + " sits in level partition " + std::to_string(l) +
+               " but carries level " + std::to_string(view.level(id)));
+        }
+      }
+    }
+    if (partition_gates != static_cast<std::size_t>(view.num_gates())) {
+      flag("level partition covers " + std::to_string(partition_gates) + " gates of " +
+           std::to_string(view.num_gates()));
+    }
+    for (NodeId id = 0; id < static_cast<NodeId>(n); ++id) {
+      if (view.is_gate(id) && seen[static_cast<std::size_t>(id)] != 1) {
+        flag("gate " + std::to_string(id) + " appears " +
+             std::to_string(seen[static_cast<std::size_t>(id)]) + " times in the level partition");
+      }
+      int max_fanin_level = -1;
+      for (const NodeId fi : view.fanins(id)) {
+        if (fi < 0 || static_cast<std::size_t>(fi) >= n) continue;
+        max_fanin_level = std::max(max_fanin_level, view.level(fi));
+      }
+      if (view.is_gate(id) && max_fanin_level >= 0 && view.level(id) != max_fanin_level + 1) {
+        flag("gate " + std::to_string(id) + " has level " + std::to_string(view.level(id)) +
+             " but 1 + max fanin level is " + std::to_string(max_fanin_level + 1));
+      }
+      if (view.kind(id) == NodeKind::kPrimaryInput && view.level(id) != 0) {
+        flag("primary input node " + std::to_string(id) + " has non-zero level " +
+             std::to_string(view.level(id)));
+      }
+    }
+  }
+  return violations;
 }
 
 }  // namespace statsize::netlist

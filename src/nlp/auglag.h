@@ -107,6 +107,8 @@ class AugLagModel final : public SmoothModel {
 
   void set_rho(double rho) { rho_ = rho; }
   void set_multipliers(std::vector<double> m) { multipliers_ = std::move(m); }
+  double rho() const { return rho_; }
+  const Problem& problem() const { return *problem_; }
   const std::vector<double>& multipliers() const { return multipliers_; }
   const std::vector<double>& constraint_values() const { return c_; }
 

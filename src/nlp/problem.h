@@ -34,6 +34,12 @@ class Problem {
   const std::vector<double>& upper() const { return upper_; }
   const std::vector<double>& start() const { return start_; }
   const std::string& var_name(int i) const { return names_.at(static_cast<std::size_t>(i)); }
+  /// All variable names in index order ("" where none was given) — whole-
+  /// vector introspection for the pre-solve audit (analyze/nlp_audit.h).
+  const std::vector<std::string>& var_names() const { return names_; }
+  /// Number of element functions this problem owns (introspection only;
+  /// groups may additionally reference externally-owned elements).
+  int num_owned_elements() const { return static_cast<int>(owned_.size()); }
   void set_start(int var, double value) { start_.at(static_cast<std::size_t>(var)) = value; }
 
   /// Takes ownership of an element function; the returned pointer stays valid

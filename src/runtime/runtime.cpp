@@ -1,6 +1,8 @@
 #include "runtime/runtime.h"
 
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -77,6 +79,66 @@ ThreadPool& global_pool() {
   const std::lock_guard<std::mutex> lock(g_mutex);
   if (!g_pool) g_pool = std::make_unique<ThreadPool>(threads_locked());
   return *g_pool;
+}
+
+namespace {
+
+std::atomic<std::size_t> g_serial_cutoff{static_cast<std::size_t>(-1)};  // -1 = unresolved
+
+std::size_t default_serial_cutoff() {
+  if (const char* env = std::getenv("STATSIZE_SERIAL_CUTOFF")) {
+    errno = 0;
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && errno != ERANGE && v >= 0) {
+      return static_cast<std::size_t>(v);
+    }
+    std::fprintf(stderr,
+                 "warning: STATSIZE_SERIAL_CUTOFF='%s': expected a non-negative integer; "
+                 "keeping the default of 0 (no serial cutoff)\n",
+                 env);
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::size_t level_serial_cutoff() {
+  std::size_t v = g_serial_cutoff.load(std::memory_order_relaxed);
+  if (v == static_cast<std::size_t>(-1)) {
+    v = default_serial_cutoff();
+    g_serial_cutoff.store(v, std::memory_order_relaxed);
+  }
+  return v;
+}
+
+void set_level_serial_cutoff(std::size_t width) {
+  g_serial_cutoff.store(width, std::memory_order_relaxed);
+}
+
+double measure_chunk_dispatch_ns(int samples) {
+  if (samples < 1) samples = 1;
+  // Chunks of one trivial index each: the measured cost is almost purely the
+  // claim/wake machinery. A relaxed-atomic sink keeps the body from being
+  // optimized away without serializing the workers against each other.
+  constexpr std::size_t kChunks = 512;
+  std::atomic<std::size_t> sink{0};
+  const auto run = [&] {
+    parallel_for(kChunks, 1, [&](std::size_t b, std::size_t e) {
+      sink.fetch_add(e - b, std::memory_order_relaxed);
+    });
+  };
+  run();  // warm the pool (first call may spawn workers)
+  double best_ns = 0.0;
+  for (int s = 0; s < samples; ++s) {
+    const auto t0 = std::chrono::steady_clock::now();
+    run();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns =
+        std::chrono::duration<double, std::nano>(t1 - t0).count() / static_cast<double>(kChunks);
+    if (s == 0 || ns < best_ns) best_ns = ns;
+  }
+  return best_ns;
 }
 
 void parallel_for(std::size_t n, std::size_t grain, RangeFn body) {

@@ -54,6 +54,23 @@ int hardware_threads();
 /// The shared pool at the current thread-count setting (lazily constructed).
 ThreadPool& global_pool();
 
+/// Level-width cutoff below which LevelSchedule runs a level inline on the
+/// calling thread instead of paying pool dispatch — the cost-model lever the
+/// granularity advisor (analyze/graph_audit.h, `statsize audit`) computes.
+/// 0 (the default) always offers levels to the pool. Safe to tune freely:
+/// the determinism contract makes serial and pooled execution bit-identical,
+/// so the cutoff only moves wall-clock time. First use reads
+/// STATSIZE_SERIAL_CUTOFF (malformed values warn and keep the default).
+std::size_t level_serial_cutoff();
+void set_level_serial_cutoff(std::size_t width);
+
+/// Measures the pool's per-chunk dispatch overhead in nanoseconds: the cost
+/// of offering trivial chunks to the pool versus running them inline,
+/// amortized per chunk. Feeds the granularity advisor's cost model when
+/// calibration is requested (`statsize audit --calibrate`); callers wanting
+/// reproducible output use the advisor's default constants instead.
+double measure_chunk_dispatch_ns(int samples = 5);
+
 /// parallel_for over [0, n) on the global pool; runs inline when the setting
 /// is 1 thread or the range fits one grain. body(b, e) must only write to
 /// slots keyed by the index — the scheduler decides nothing about values.

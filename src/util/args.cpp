@@ -44,6 +44,8 @@ void ArgParser::add_flag(const std::string& name, const std::string& help) {
   order_.push_back(name);
 }
 
+void ArgParser::allow_positionals(const std::string& help) { positional_help_ = help; }
+
 bool ArgParser::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -52,6 +54,10 @@ bool ArgParser::parse(int argc, const char* const* argv) {
       return false;
     }
     if (arg.rfind("--", 0) != 0) {
+      if (positional_help_) {
+        positionals_.push_back(std::move(arg));
+        continue;
+      }
       throw std::invalid_argument("unexpected positional argument: " + arg);
     }
     arg = arg.substr(2);
@@ -150,7 +156,9 @@ bool ArgParser::get_flag(const std::string& name) const {
 
 std::string ArgParser::usage() const {
   std::ostringstream os;
-  os << description_ << "\n\nOptions:\n";
+  os << description_ << "\n";
+  if (positional_help_) os << "\nPositional arguments: " << *positional_help_ << "\n";
+  os << "\nOptions:\n";
   for (const std::string& name : order_) {
     const Spec& s = specs_.at(name);
     os << "  --" << name;

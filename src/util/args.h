@@ -27,9 +27,16 @@ class ArgParser {
                std::optional<int> default_value = std::nullopt);
   void add_flag(const std::string& name, const std::string& help);
 
+  /// Accepts bare (non `--`) arguments; without this they stay hard errors.
+  /// `help` names them in usage(), e.g. "input files".
+  void allow_positionals(const std::string& help);
+
   /// Parses argv. Returns false (after printing usage) when --help was
   /// requested; throws std::invalid_argument on errors.
   bool parse(int argc, const char* const* argv);
+
+  /// Bare arguments in command-line order (empty unless allow_positionals).
+  const std::vector<std::string>& positionals() const { return positionals_; }
 
   bool has(const std::string& name) const;
   std::string get_string(const std::string& name) const;
@@ -53,6 +60,8 @@ class ArgParser {
   std::vector<std::string> order_;  ///< registration order, for usage()
   std::map<std::string, Spec> specs_;
   std::map<std::string, std::string> values_;
+  std::optional<std::string> positional_help_;
+  std::vector<std::string> positionals_;
 };
 
 }  // namespace statsize::util

@@ -152,6 +152,23 @@ TEST(ArgParser, DuplicateRegistrationThrows) {
   EXPECT_THROW(p.add_int("a", "again", 1), std::logic_error);
 }
 
+// Multi-input tools (`statsize lint a.blif b.v`) opt into bare arguments;
+// everyone else keeps them as hard errors (see RejectsValueOnFlagAndPositional).
+TEST(ArgParser, PositionalsAreCollectedInOrderWhenAllowed) {
+  ArgParser p = make_parser();
+  p.allow_positionals("input files");
+  ASSERT_TRUE(parse(p, {"a.blif", "--count", "3", "b.v", "c.blif"}));
+  EXPECT_EQ(p.positionals(), (std::vector<std::string>{"a.blif", "b.v", "c.blif"}));
+  EXPECT_EQ(p.get_int("count"), 3);  // flags still parse in between
+  EXPECT_NE(p.usage().find("input files"), std::string::npos);
+}
+
+TEST(ArgParser, PositionalsStayEmptyAndRejectedByDefault) {
+  ArgParser p = make_parser();
+  ASSERT_TRUE(parse(p, {"--count", "3"}));
+  EXPECT_TRUE(p.positionals().empty());
+}
+
 TEST(ArgParser, LastValueWins) {
   ArgParser p = make_parser();
   ASSERT_TRUE(parse(p, {"--count", "1", "--count", "2"}));

@@ -1,0 +1,13 @@
+// detlint corpus: known-bad. Wall-clock and hidden-seed entropy on a result
+// path — three separate sources, each independently non-reproducible.
+// Expected findings: DET002 (x3).
+
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+double noisy_start() {
+  std::srand(static_cast<unsigned>(std::time(nullptr)));
+  std::random_device rd;
+  return static_cast<double>(std::rand() + rd()) / 2.0;
+}

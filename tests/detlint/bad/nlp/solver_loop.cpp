@@ -1,0 +1,14 @@
+// detlint corpus: known-bad. An unbounded solver iteration loop (this file
+// sits under an nlp/ path, detlint's solver-code scope) with no
+// runtime::poll_cancel() checkpoint — a deadline or Ctrl-C can never preempt
+// it. Expected finding: DET004.
+
+double solve(double x) {
+  double step = 1.0;
+  while (true) {
+    x -= step * x;
+    step *= 0.5;
+    if (step < 1e-12) break;
+  }
+  return x;
+}

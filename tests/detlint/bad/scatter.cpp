@@ -1,0 +1,19 @@
+// detlint corpus: known-bad. An indirect-indexed accumulation inside a
+// parallel_for body: two chunks can hit the same fanin[e] target, and even
+// with atomics the fold order would vary with the chunk schedule.
+// Expected finding: DET003.
+
+#include <cstddef>
+#include <vector>
+
+template <class Fn>
+void parallel_for(std::size_t n, std::size_t grain, Fn&& fn);
+
+void accumulate_fanin_load(const std::vector<int>& fanin, const std::vector<double>& load,
+                           std::vector<double>& out) {
+  parallel_for(fanin.size(), 64, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t e = begin; e < end; ++e) {
+      out[fanin[e]] += load[e];
+    }
+  });
+}

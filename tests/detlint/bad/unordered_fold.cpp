@@ -1,0 +1,12 @@
+// detlint corpus: known-bad. A fold over an unordered container — the
+// iteration order depends on the hash seed, so `total` differs run to run.
+// Expected finding: DET001.
+
+#include <string>
+#include <unordered_map>
+
+double sum_loads(const std::unordered_map<std::string, double>& loads) {
+  double total = 0.0;
+  for (const auto& [name, load] : loads) total += load;
+  return total;
+}

@@ -1,0 +1,45 @@
+// detlint corpus: known-good. The deterministic counterparts of every bad
+// snippet: an ordered map fold, an explicitly seeded SplitMix64, a
+// direct-indexed parallel write (each index owns its slot), and a reviewed
+// suppression — the allow() comment is itself part of the corpus, proving
+// the escape hatch works.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+template <class Fn>
+void parallel_for(std::size_t n, std::size_t grain, Fn&& fn);
+
+double sum_loads(const std::map<std::string, double>& loads) {
+  double total = 0.0;
+  for (const auto& [name, load] : loads) total += load;
+  return total;
+}
+
+double seeded_start(std::uint64_t seed) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+void scale_in_place(std::vector<double>& x, double factor) {
+  parallel_for(x.size(), 64, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      x[i] *= factor;   // disjoint index-keyed slots: no scatter
+      x[i] += factor;   // direct index: not an indirect accumulation
+    }
+  });
+}
+
+void reviewed_gather(const std::vector<int>& targets, std::vector<double>& out) {
+  parallel_for(targets.size(), 64, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      // Targets are a verified permutation here, so each slot has one writer.
+      // detlint: allow(DET003)
+      out[targets[i]] += 1.0;
+    }
+  });
+}

@@ -15,16 +15,20 @@
 //
 // `statsize lint` is a separate subcommand: it runs the static-analysis
 // subsystem (circuit structure, cell library, sigma model, NLP model audits)
-// over a circuit and reports diagnostics instead of sizing. Exit codes:
-// 0 = clean/notes, 2 = warnings, 3 = errors, 1 = tool failure.
+// over one or more circuits and reports diagnostics instead of sizing.
+// `statsize audit` is its evaluation-free sibling: NLP instance rules,
+// TimingView graph analytics and the parallel-granularity advisor. Both use
+// exit codes 0 = clean/notes, 2 = warnings, 3 = errors, 1 = tool failure.
 
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "analyze/audit.h"
 #include "analyze/library_lint.h"
 #include "analyze/lint.h"
 #include "analyze/registry.h"
@@ -129,6 +133,9 @@ analyze::Report demo_defects_report(const analyze::LintOptions& options) {
 int run_lint(int argc, char** argv) {
   util::ArgParser args(
       "statsize lint — static analysis of circuits, cell libraries and the sizing model");
+  args.allow_positionals(
+      "circuit inputs (BLIF/Verilog paths or builtin names); several are linted "
+      "into one merged report with per-file loci");
   args.add_string("circuit", "tree|apex1|apex2|k2 or a BLIF/Verilog file path", "tree");
   args.add_string("json", "write the JSON report to this file ('-' for stdout)");
   args.add_double("kappa", "gate sigma model: sigma = kappa * mu + offset", 0.25);
@@ -170,17 +177,27 @@ int run_lint(int argc, char** argv) {
     options.model_audit = !args.get_flag("no-model-audit");
     options.force_derivative_audit = args.get_flag("force-derivative-audit");
 
-    const std::string name = args.get_string("circuit");
-    std::string target = name;
+    std::vector<std::string> inputs = args.positionals();
+    if (inputs.empty()) inputs.push_back(args.get_string("circuit"));
+    std::string target = inputs.size() == 1 ? inputs[0]
+                                            : std::to_string(inputs.size()) + " inputs";
     analyze::Report report;
     if (args.get_flag("demo-defects")) {
       target = "demo-defects";
       report = demo_defects_report(options);
-    } else if (name == "tree" || name == "apex1" || name == "apex2" || name == "k2") {
-      netlist::Circuit circuit = load_circuit(name);
-      report = analyze::lint_circuit(circuit, options);
     } else {
-      report = analyze::lint_file(name, netlist::CellLibrary::standard(), options);
+      for (const std::string& name : inputs) {
+        analyze::Report one;
+        if (name == "tree" || name == "apex1" || name == "apex2" || name == "k2") {
+          netlist::Circuit circuit = load_circuit(name);
+          one = analyze::lint_circuit(circuit, options);
+        } else {
+          one = analyze::lint_file(name, netlist::CellLibrary::standard(), options);
+        }
+        if (inputs.size() > 1) one.prefix_loci(name);
+        report.merge(std::move(one));
+      }
+      report.sort();
     }
 
     // With --json - the machine-readable report owns stdout; the human
@@ -208,12 +225,131 @@ int run_lint(int argc, char** argv) {
   }
 }
 
+/// Deliberately defective audit inputs — an NLP instance with an empty bound
+/// box, an orphan variable and a constant constraint, plus a level histogram
+/// spammed with zero-width levels. Used by CI to prove the audit's error
+/// rules actually flip the exit code. The empty box enters as a NaN bound:
+/// Problem::add_variable rejects lower > upper eagerly, but NaN slips through
+/// every `>` comparison — exactly the silent corruption NLP001 exists for.
+analyze::AuditResult demo_audit_defects(const analyze::AuditOptions& options) {
+  analyze::AuditResult result;
+
+  nlp::Problem p;
+  p.add_variable(std::numeric_limits<double>::quiet_NaN(), 1.0, 1.0,
+                 "S_inverted");             // NLP001: empty box
+  p.add_variable(1.0, 3.0, 1.0, "S_orphan");    // NLP003: referenced nowhere
+  const int used = p.add_variable(1.0, 3.0, 1.0, "S_used");
+  nlp::FunctionGroup objective;
+  objective.linear.push_back({used, 1.0});
+  p.set_objective(std::move(objective));
+  nlp::FunctionGroup dead;
+  dead.constant = 4.2;  // NLP005: "4.2 = 0", infeasible by construction
+  p.add_equality(std::move(dead));
+  result.report.merge(analyze::audit_nlp_problem(p, "demo instance", options.nlp));
+
+  const std::vector<std::size_t> widths = {4, 0, 9, 0, 0, 2};  // GRF002 x3
+  result.advice = analyze::advise_granularity(widths, options.graph.cost);
+  result.report.merge(analyze::audit_level_widths(widths, result.advice, options.graph));
+
+  result.report.sort();
+  return result;
+}
+
+int run_audit(int argc, char** argv) {
+  util::ArgParser args(
+      "statsize audit — pre-solve static audit: NLP instance rules (NLP0xx), TimingView "
+      "graph analytics + parallel-granularity advisor (GRF0xx), no evaluation anywhere");
+  args.add_string("circuit", "tree|apex1|apex2|k2 or a BLIF/Verilog file path", "tree");
+  args.add_string("json", "write the JSON audit document to this file ('-' for stdout)");
+  args.add_double("kappa", "gate sigma model: sigma = kappa * mu + offset", 0.25);
+  args.add_double("sigma-offset", "additive term of the gate sigma model", 0.0);
+  args.add_double("max-speed", "upper sizing limit of the audited NLP instance", 3.0);
+  args.add_double("dispatch-ns", "advisor cost model: per-chunk dispatch cost", 1500.0);
+  args.add_double("gate-ns", "advisor cost model: per-gate sweep cost", 120.0);
+  args.add_int("grain", "advisor cost model: gates per chunk", 32);
+  args.add_int("threads", "advisor cost model: worker threads (0 = runtime pool)", 0);
+  args.add_flag("calibrate", "measure the per-chunk dispatch cost on this machine "
+                             "instead of the fixed default (non-deterministic output)");
+  args.add_flag("no-nlp", "graph analytics only; skip building the NLP instance");
+  args.add_flag("list-rules", "print the rule catalog and exit");
+  args.add_flag("demo-defects", "audit deliberately broken instances (inverted bound, "
+                                "zero-width level spam) to prove the gate fires");
+  args.add_int("jobs", "worker threads (0 = STATSIZE_JOBS or hardware)", 0);
+
+  try {
+    if (!args.parse(argc, argv)) return 0;
+    if (const int jobs = args.get_int("jobs"); jobs > 0) runtime::set_threads(jobs);
+
+    if (args.get_flag("list-rules")) {
+      for (const analyze::RuleInfo& rule : analyze::rule_catalog()) {
+        std::printf("%-8.*s %-12.*s %-8.*s %-28.*s %.*s\n",
+                    static_cast<int>(rule.id.size()), rule.id.data(),
+                    static_cast<int>(rule.category.size()), rule.category.data(),
+                    static_cast<int>(severity_name(rule.severity).size()),
+                    severity_name(rule.severity).data(),
+                    static_cast<int>(rule.title.size()), rule.title.data(),
+                    static_cast<int>(rule.detail.size()), rule.detail.data());
+      }
+      return 0;
+    }
+
+    analyze::AuditOptions options;
+    options.sigma_model = {args.get_double("kappa"), args.get_double("sigma-offset")};
+    options.max_speed = args.get_double("max-speed");
+    options.nlp_audit = !args.get_flag("no-nlp");
+    options.graph.cost.chunk_dispatch_ns = args.get_double("dispatch-ns");
+    options.graph.cost.gate_cost_ns = args.get_double("gate-ns");
+    options.graph.cost.grain = static_cast<std::size_t>(args.get_int("grain"));
+    options.graph.cost.threads = args.get_int("threads");
+    if (args.get_flag("calibrate")) {
+      options.graph.cost.chunk_dispatch_ns = runtime::measure_chunk_dispatch_ns();
+    }
+
+    const std::string name = args.get_string("circuit");
+    std::string target = name;
+    analyze::AuditResult result;
+    if (args.get_flag("demo-defects")) {
+      target = "demo-defects";
+      result = demo_audit_defects(options);
+    } else if (name == "tree" || name == "apex1" || name == "apex2" || name == "k2") {
+      netlist::Circuit circuit = load_circuit(name);
+      result = analyze::audit_circuit(circuit, options);
+    } else {
+      result = analyze::audit_file(name, netlist::CellLibrary::standard(), options);
+    }
+
+    const bool json_on_stdout = args.has("json") && args.get_string("json") == "-";
+    std::ostream& human = json_on_stdout ? std::cerr : std::cout;
+    human << "audit: " << target << "\n";
+    analyze::print_audit(human, result);
+
+    if (args.has("json")) {
+      const std::string path = args.get_string("json");
+      if (path == "-") {
+        analyze::write_audit_json(std::cout, result, target);
+      } else {
+        std::ofstream out(path);
+        if (!out) throw std::runtime_error("cannot write " + path);
+        analyze::write_audit_json(out, result, target);
+        std::printf("wrote %s\n", path.c_str());
+      }
+    }
+    return result.report.exit_code();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n(use statsize audit --help for usage)\n", e.what());
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc >= 2 && std::string(argv[1]) == "lint") {
     // Shift argv so the subcommand's parser sees its own flags at index 1.
     return run_lint(argc - 1, argv + 1);
+  }
+  if (argc >= 2 && std::string(argv[1]) == "audit") {
+    return run_audit(argc - 1, argv + 1);
   }
   util::ArgParser args(
       "statsize — gate sizing under a statistical delay model (Jacobs & Berkelaar, DATE 2000)");
