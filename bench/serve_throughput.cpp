@@ -1,0 +1,224 @@
+// Serve throughput bench: closed-loop clients hammering an in-process
+// statsize serve daemon over real loopback sockets. For each {workload mix x
+// client count} cell it reports jobs/sec, client-observed latency
+// p50/p95/p99, and the circuit-cache hit rate (every iteration re-uploads
+// the circuit text, so steady state is all hits). A hard bit-identity check
+// compares one served SSTA answer against the in-process engine before any
+// timing starts — a daemon that is fast but wrong fails the bench.
+//
+// Note on scaling: compute runs on the scheduler's single executor (see
+// src/serve/scheduler.h), so jobs/sec saturates once one client keeps the
+// executor busy; more clients measure admission/IO overlap and queue wait,
+// not compute parallelism.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "netlist/blif.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "ssta/delay_model.h"
+#include "ssta/ssta.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace statsize;
+using Clock = std::chrono::steady_clock;
+
+// ISCAS-85 c17 — small enough that one job is dominated by pipeline overhead,
+// which is what a serve throughput bench should measure.
+constexpr const char* kC17 = R"(.model c17
+.inputs 1GAT 2GAT 3GAT 6GAT 7GAT
+.outputs 22GAT 23GAT
+.names 1GAT 3GAT 10GAT
+0- 1
+-0 1
+.names 3GAT 6GAT 11GAT
+0- 1
+-0 1
+.names 2GAT 11GAT 16GAT
+0- 1
+-0 1
+.names 11GAT 7GAT 19GAT
+0- 1
+-0 1
+.names 10GAT 16GAT 22GAT
+0- 1
+-0 1
+.names 16GAT 19GAT 23GAT
+0- 1
+-0 1
+.end
+)";
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+double quantile_of(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  std::sort(sorted.begin(), sorted.end());
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+/// One job submission per iteration; the mix decides the type per index.
+std::string job_body(const std::string& key, const std::string& mix, int i) {
+  std::string type = "ssta";
+  std::string extra;
+  if (mix == "mixed") {
+    switch (i % 4) {
+      case 0: type = "ssta"; break;
+      case 1: type = "sta"; break;
+      case 2:
+        type = "monte_carlo";
+        extra = ", \"samples\": 2000";
+        break;
+      case 3:
+        type = "size";
+        extra = ", \"method\": \"reduced\"";
+        break;
+    }
+  }
+  return "{\"circuit\": \"" + key + "\", \"type\": \"" + type + "\"" + extra + "}";
+}
+
+struct CellResult {
+  int jobs = 0;
+  double wall_s = 0.0;
+  std::vector<double> latencies_ms;
+  double cache_hit_rate = 0.0;
+};
+
+CellResult run_cell(serve::Server& server, const std::string& mix, int clients,
+                    int jobs_per_client) {
+  const std::int64_t hits0 = server.metrics().cache_hits.value();
+  const std::int64_t misses0 = server.metrics().cache_misses.value();
+
+  std::vector<std::vector<double>> per_client(static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  const Clock::time_point t0 = Clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      serve::Client client("127.0.0.1", server.port());
+      std::vector<double>& lat = per_client[static_cast<std::size_t>(c)];
+      lat.reserve(static_cast<std::size_t>(jobs_per_client));
+      for (int i = 0; i < jobs_per_client; ++i) {
+        const Clock::time_point start = Clock::now();
+        // Re-upload every iteration: after the first round this is a pure
+        // cache hit, which is the serving pattern the cache exists for.
+        const std::string key = client.upload(kC17, "blif", "c17");
+        const std::string id = client.submit(job_body(key, mix, i));
+        util::JsonValue doc = client.wait(id, 0.001);
+        if (doc.string_or("state", "") != "done") {
+          std::fprintf(stderr, "FATAL: job %s ended %s: %s\n", id.c_str(),
+                       doc.string_or("state", "?").c_str(),
+                       doc.string_or("error", "").c_str());
+          std::exit(1);
+        }
+        lat.push_back(ms_between(start, Clock::now()));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  CellResult r;
+  r.wall_s = ms_between(t0, Clock::now()) / 1000.0;
+  for (const auto& lat : per_client) {
+    r.jobs += static_cast<int>(lat.size());
+    r.latencies_ms.insert(r.latencies_ms.end(), lat.begin(), lat.end());
+  }
+  const double hits = static_cast<double>(server.metrics().cache_hits.value() - hits0);
+  const double misses =
+      static_cast<double>(server.metrics().cache_misses.value() - misses0);
+  r.cache_hit_rate = hits + misses > 0.0 ? hits / (hits + misses) : 0.0;
+  return r;
+}
+
+/// Hard gate: the served SSTA answer must be bit-identical to the in-process
+/// engine on the same BLIF text.
+void check_bit_identity(serve::Server& server) {
+  serve::Client client("127.0.0.1", server.port());
+  const std::string key = client.upload(kC17, "blif", "c17");
+  const std::string id =
+      client.submit("{\"circuit\": \"" + key + "\", \"type\": \"ssta\"}");
+  util::JsonValue doc = client.wait(id, 0.001);
+  const util::JsonValue* result = doc.find("result");
+  if (doc.string_or("state", "") != "done" || result == nullptr) {
+    std::fprintf(stderr, "FATAL: identity job did not finish: %s\n",
+                 doc.string_or("error", "").c_str());
+    std::exit(1);
+  }
+  std::istringstream in(kC17);
+  const netlist::Circuit circuit = netlist::read_blif(in);
+  const ssta::DelayCalculator calc(circuit, {});
+  const std::vector<double> speed(static_cast<std::size_t>(circuit.num_nodes()), 1.0);
+  const ssta::TimingReport ref = ssta::run_ssta(calc, speed);
+  if (result->number_or("mu", -1.0) != ref.circuit_delay.mu ||
+      result->number_or("sigma", -1.0) != ref.circuit_delay.sigma()) {
+    std::fprintf(stderr, "FATAL: served SSTA is not bit-identical to in-process\n");
+    std::fprintf(stderr, "  served: mu=%.17g  in-process: mu=%.17g\n",
+                 result->number_or("mu", -1.0), ref.circuit_delay.mu);
+    std::exit(1);
+  }
+  std::printf("identity check: served SSTA == in-process (mu=%.17g)\n",
+              ref.circuit_delay.mu);
+}
+
+}  // namespace
+
+int main() {
+  using namespace statsize;
+
+  serve::ServerOptions options;
+  options.port = 0;
+  options.io_threads = 16;  // never the bottleneck at <= 8 clients
+  serve::Server server(options);
+  server.start();
+  std::printf("serve_throughput: daemon on 127.0.0.1:%d\n", server.port());
+
+  check_bit_identity(server);
+
+  const std::vector<std::string> mixes = {"ssta", "mixed"};
+  const std::vector<int> client_counts = {2, 8};
+  const int jobs_per_client = 40;
+
+  bench::JsonArtifact artifact("serve");
+  std::printf("\n%-6s %8s %6s %10s %9s %9s %9s %10s\n", "mix", "clients", "jobs",
+              "jobs/sec", "p50 ms", "p95 ms", "p99 ms", "hit rate");
+  for (const std::string& mix : mixes) {
+    for (const int clients : client_counts) {
+      const CellResult r = run_cell(server, mix, clients, jobs_per_client);
+      const double jps = r.wall_s > 0.0 ? static_cast<double>(r.jobs) / r.wall_s : 0.0;
+      const double p50 = quantile_of(r.latencies_ms, 0.50);
+      const double p95 = quantile_of(r.latencies_ms, 0.95);
+      const double p99 = quantile_of(r.latencies_ms, 0.99);
+      std::printf("%-6s %8d %6d %10.1f %9.2f %9.2f %9.2f %9.1f%%\n", mix.c_str(),
+                  clients, r.jobs, jps, p50, p95, p99, 100.0 * r.cache_hit_rate);
+      artifact.add_row()
+          .field("mix", mix)
+          .field("clients", clients)
+          .field("jobs", r.jobs)
+          .field("jobs_per_sec", jps)
+          .field("p50_ms", p50)
+          .field("p95_ms", p95)
+          .field("p99_ms", p99)
+          .field("cache_hit_rate", r.cache_hit_rate);
+    }
+  }
+  artifact.write();
+  server.stop();
+  std::printf("serve_throughput: done\n");
+  return 0;
+}

@@ -40,10 +40,12 @@ if [ "$SANITIZE" = "thread" ]; then
   # ScatterPlan folds, and the TimingView suite every parallel sweep now
   # traverses. The resilience suite rides along: cancellation polls and fault
   # hit-counting run on pool worker threads, so their synchronization is part
-  # of the concurrency surface.
-  echo "== ctest under ThreadSanitizer (runtime + parallel engines) =="
+  # of the concurrency surface. The serve suite joins them: its live-loopback
+  # tests cross socket threads, the scheduler's executor, and the circuit
+  # cache's shared-lock readers in one process.
+  echo "== ctest under ThreadSanitizer (runtime + parallel engines + serve) =="
   STATSIZE_JOBS=4 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-    -L '^(runtime_test|ssta_test|nlp_test|core_test|timing_view_test|resilience_test)$'
+    -L '^(runtime_test|ssta_test|nlp_test|core_test|timing_view_test|resilience_test|serve_test)$'
   echo "thread-sanitizer checks passed"
   exit 0
 fi
@@ -70,6 +72,12 @@ for f in "$REPO_ROOT"/examples/circuits/*.blif; do
   fi
 done
 echo "audit gate passed"
+
+# Serve smoke: daemon on an ephemeral port, upload c17, one SSTA job over
+# HTTP asserted bit-identical to the CLI answer, clean SIGINT shutdown. Runs
+# under the sanitizer build, so the socket/scheduler paths are checked too.
+echo "== serve smoke =="
+"$REPO_ROOT/scripts/serve_smoke.sh" "$BUILD_DIR/tools/statsize" "$REPO_ROOT"
 
 # Determinism lint over the library sources: any DET hazard is error-severity
 # and fails the build (suppressions require an in-source allow() comment).

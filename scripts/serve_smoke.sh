@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the serve daemon, run as a ctest and as the serve
+# gate in scripts/check.sh:
+#   1. start `statsize serve` on an ephemeral port,
+#   2. upload examples/circuits/c17.blif and run one SSTA job through the
+#      HTTP API (`statsize submit --wait`),
+#   3. assert the served answer is byte-identical to the CLI's
+#      `statsize ssta` on the same file (%.17g round-trips doubles, so a
+#      string compare is a bit-identity check),
+#   4. SIGINT the daemon and assert it drains and exits cleanly.
+#
+# Usage: serve_smoke.sh <path-to-statsize-binary> <repo-root>
+set -u
+
+STATSIZE="$1"
+REPO_ROOT="$2"
+CIRCUIT="$REPO_ROOT/examples/circuits/c17.blif"
+WORK="$(mktemp -d /tmp/serve_smoke.XXXXXX)"
+SERVE_LOG="$WORK/serve.log"
+failures=0
+SERVE_PID=""
+
+cleanup() {
+  if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
+    kill -KILL "$SERVE_PID" 2>/dev/null
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# NOTE: background the binary directly — `cd X && cmd &` would background the
+# subshell and $! would be bash's pid, not the daemon's.
+"$STATSIZE" serve --port 0 > "$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' "$SERVE_LOG" | head -1)"
+  [ -n "$PORT" ] && break
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "FAIL: daemon died during startup"
+    cat "$SERVE_LOG"
+    exit 1
+  fi
+  sleep 0.05
+done
+if [ -z "$PORT" ]; then
+  echo "FAIL: daemon never reported its port"
+  cat "$SERVE_LOG"
+  exit 1
+fi
+echo "ok: daemon up on port $PORT (pid $SERVE_PID)"
+
+cli_line="$("$STATSIZE" ssta --circuit "$CIRCUIT" | grep '^circuit delay:')"
+served_line="$("$STATSIZE" submit --port "$PORT" --circuit "$CIRCUIT" --type ssta --wait \
+  2>/dev/null | grep '^circuit delay:')"
+
+if [ -z "$cli_line" ] || [ -z "$served_line" ]; then
+  echo "FAIL: missing 'circuit delay:' line (cli='$cli_line' served='$served_line')"
+  failures=$((failures + 1))
+elif [ "$cli_line" != "$served_line" ]; then
+  echo "FAIL: served SSTA differs from CLI"
+  echo "  cli:    $cli_line"
+  echo "  served: $served_line"
+  failures=$((failures + 1))
+else
+  echo "ok: served SSTA bit-identical to CLI ($served_line)"
+fi
+
+kill -INT "$SERVE_PID"
+code=0
+for _ in $(seq 1 100); do
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then break; fi
+  sleep 0.05
+done
+if kill -0 "$SERVE_PID" 2>/dev/null; then
+  echo "FAIL: daemon still alive 5s after SIGINT"
+  kill -KILL "$SERVE_PID"
+  failures=$((failures + 1))
+else
+  wait "$SERVE_PID"
+  code=$?
+  SERVE_PID=""
+  if [ "$code" -ne 0 ]; then
+    echo "FAIL: daemon exited $code after SIGINT (expected 0)"
+    cat "$SERVE_LOG"
+    failures=$((failures + 1))
+  elif ! grep -q 'statsize serve: stopped' "$SERVE_LOG"; then
+    echo "FAIL: daemon log is missing the clean-shutdown line"
+    cat "$SERVE_LOG"
+    failures=$((failures + 1))
+  else
+    echo "ok: SIGINT drained cleanly"
+  fi
+fi
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures serve smoke failure(s)"
+  exit 1
+fi
+echo "serve smoke passed"

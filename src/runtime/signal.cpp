@@ -1,0 +1,57 @@
+#include "runtime/signal.h"
+
+#include <atomic>
+#include <csignal>
+
+namespace statsize::runtime {
+
+namespace {
+
+std::atomic<int> g_signal{0};
+bool g_installed = false;
+
+// std::atomic<bool>::store on a lock-free atomic and a lock-free atomic<int>
+// store are both async-signal-safe in practice (they compile to plain atomic
+// stores); nothing else happens in the handler.
+extern "C" void statsize_interrupt_handler(int signum) {
+  g_signal.store(signum, std::memory_order_relaxed);
+  interrupt_token().request_cancel();
+}
+
+void install_one(int signum) {
+  struct sigaction action {};
+  action.sa_handler = statsize_interrupt_handler;
+  sigemptyset(&action.sa_mask);
+  // SA_RESETHAND: the first delivery runs our handler and restores the
+  // default disposition, so a second Ctrl-C force-terminates a process whose
+  // cooperative shutdown is stuck. SA_RESTART keeps blocking socket reads
+  // (the serve daemon's accept/recv) from failing spuriously mid-request —
+  // their SO_RCVTIMEO timeouts re-check the token anyway.
+  action.sa_flags = SA_RESETHAND | SA_RESTART;
+  sigaction(signum, &action, nullptr);
+}
+
+}  // namespace
+
+CancellationToken& interrupt_token() {
+  static CancellationToken token;
+  return token;
+}
+
+void install_interrupt_handlers() {
+  install_one(SIGINT);
+  install_one(SIGTERM);
+  g_installed = true;
+}
+
+bool interrupt_requested() { return interrupt_token().cancel_requested(); }
+
+int interrupt_signal() { return g_signal.load(std::memory_order_relaxed); }
+
+void reset_interrupt_state() {
+  g_signal.store(0, std::memory_order_relaxed);
+  interrupt_token().reset();
+  if (g_installed) install_interrupt_handlers();
+}
+
+}  // namespace statsize::runtime

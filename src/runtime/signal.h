@@ -1,0 +1,40 @@
+// Graceful SIGINT/SIGTERM shutdown for long-running processes.
+//
+// Both the CLI (a multi-hour k2 solve) and the serve daemon want the same
+// behaviour on Ctrl-C / kill: trip a process-global CancellationToken so
+// every cooperative loop unwinds to its best checkpoint (DESIGN.md §9), then
+// exit cleanly — never die mid-iterate with work lost. The handler itself
+// only performs async-signal-safe work: one lock-free atomic store into the
+// token plus recording which signal fired.
+//
+// A second SIGINT/SIGTERM falls back to the default disposition (the handler
+// is installed with SA_RESETHAND), so a wedged process can still be killed
+// with a second Ctrl-C.
+
+#pragma once
+
+#include "runtime/cancel.h"
+
+namespace statsize::runtime {
+
+/// The process-global interrupt token. Pass it as SizerOptions::cancel (the
+/// CLI does) or poll it from a service loop; install_interrupt_handlers()
+/// makes SIGINT/SIGTERM trip it.
+CancellationToken& interrupt_token();
+
+/// Installs SIGINT and SIGTERM handlers (idempotent) that request_cancel()
+/// the interrupt token. One-shot per signal: the disposition resets to
+/// default after the first delivery, so a repeat signal terminates.
+void install_interrupt_handlers();
+
+/// True once a handled signal has fired.
+bool interrupt_requested();
+
+/// The signal number that tripped the token (0 if none yet).
+int interrupt_signal();
+
+/// Test hook: clears the token and the recorded signal, and re-arms the
+/// handlers if they were installed before.
+void reset_interrupt_state();
+
+}  // namespace statsize::runtime

@@ -1,0 +1,94 @@
+#include "serve/circuit_cache.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <mutex>
+
+namespace statsize::serve {
+
+std::uint64_t fnv1a64(std::string_view text) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (unsigned char c : text) {
+    h ^= static_cast<std::uint64_t>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+std::string circuit_key(std::string_view format, std::string_view text) {
+  std::string blob;
+  blob.reserve(format.size() + 1 + text.size());
+  blob.append(format);
+  blob.push_back('\n');
+  blob.append(text);
+  char out[2 + 16 + 1];
+  std::snprintf(out, sizeof(out), "c-%016llx",
+                static_cast<unsigned long long>(fnv1a64(blob)));
+  return std::string(out);
+}
+
+CircuitCache::CircuitCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::shared_ptr<const CachedCircuit> CircuitCache::find(const std::string& key) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  it->second->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                              std::memory_order_relaxed);
+  return it->second;
+}
+
+CircuitCache::InsertResult CircuitCache::insert(std::shared_ptr<const CachedCircuit> entry) {
+  InsertResult result;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(entry->key);
+  if (it != entries_.end()) {
+    it->second->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                                std::memory_order_relaxed);
+    result.entry = it->second;
+    result.existed = true;
+    return result;
+  }
+  while (entries_.size() >= capacity_) {
+    auto victim = entries_.end();
+    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+    for (auto cand = entries_.begin(); cand != entries_.end(); ++cand) {
+      const std::uint64_t stamp = cand->second->last_used.load(std::memory_order_relaxed);
+      if (stamp < oldest) {
+        oldest = stamp;
+        victim = cand;
+      }
+    }
+    entries_.erase(victim);
+    ++result.evicted;
+  }
+  entry->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                         std::memory_order_relaxed);
+  result.entry = entry;
+  entries_.emplace(entry->key, std::move(entry));
+  return result;
+}
+
+std::size_t CircuitCache::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::vector<std::shared_ptr<const CachedCircuit>> CircuitCache::snapshot() const {
+  std::vector<std::shared_ptr<const CachedCircuit>> out;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    out.reserve(entries_.size());
+    for (const auto& [key, entry] : entries_) out.push_back(entry);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) {
+              return a->last_used.load(std::memory_order_relaxed) >
+                     b->last_used.load(std::memory_order_relaxed);
+            });
+  return out;
+}
+
+}  // namespace statsize::serve

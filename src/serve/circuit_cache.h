@@ -1,0 +1,92 @@
+// Keyed cache of finalized circuits — the artifact `statsize serve` amortizes
+// across requests. An upload parses + finalizes once (BLIF/Verilog text →
+// Circuit + compiled TimingView + granularity advice); every subsequent job
+// against the same content hash reuses the entry with a shared-lock lookup.
+//
+// Concurrency contract:
+//  * find() takes a shared lock and bumps an atomic recency stamp — readers
+//    never serialize on each other.
+//  * insert() takes the exclusive lock, evicts the least-recently-used entry
+//    when at capacity, and is idempotent on key collision (the existing
+//    entry wins, so two concurrent uploads of the same text agree).
+//  * Entries are handed out as shared_ptr<const CachedCircuit>: eviction
+//    only drops the cache's reference, so a queued/running job keeps its
+//    circuit alive regardless of cache churn.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlist/circuit.h"
+
+namespace statsize::serve {
+
+/// One finalized upload. Immutable after construction apart from the
+/// recency stamp.
+struct CachedCircuit {
+  std::string key;     ///< "c-<fnv1a64 hex>" content hash
+  std::string name;    ///< client-supplied label (may be empty)
+  std::string format;  ///< "blif" | "verilog"
+  std::shared_ptr<const netlist::Circuit> circuit;
+
+  // Metadata captured at upload so GET responses never re-walk the netlist.
+  int num_gates = 0;
+  int num_inputs = 0;
+  int num_outputs = 0;
+  int depth = 0;
+  std::size_t num_levels = 0;
+
+  /// Level-width cutoff advised by analyze::advise_granularity at upload;
+  /// the scheduler installs it (runtime::set_level_serial_cutoff) before
+  /// running jobs on this circuit so small cached circuits stop paying pool
+  /// dispatch per request.
+  std::size_t serial_cutoff = 0;
+
+  mutable std::atomic<std::uint64_t> last_used{0};
+};
+
+/// FNV-1a 64-bit over `text` — the content-hash half of a cache key.
+std::uint64_t fnv1a64(std::string_view text);
+
+/// "c-" + 16 lowercase hex digits of fnv1a64(format + '\n' + text).
+std::string circuit_key(std::string_view format, std::string_view text);
+
+class CircuitCache {
+ public:
+  /// `capacity` >= 1 entries.
+  explicit CircuitCache(std::size_t capacity);
+
+  /// Shared-lock lookup; bumps recency. nullptr on miss.
+  std::shared_ptr<const CachedCircuit> find(const std::string& key);
+
+  struct InsertResult {
+    std::shared_ptr<const CachedCircuit> entry;  ///< the cached entry (existing on collision)
+    bool existed = false;                        ///< key was already cached
+    std::size_t evicted = 0;                     ///< entries dropped to make room
+  };
+
+  /// Exclusive-lock insert-or-get.
+  InsertResult insert(std::shared_ptr<const CachedCircuit> entry);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+  /// Snapshot of the cached entries (for /v1/circuits listing), most
+  /// recently used first.
+  std::vector<std::shared_ptr<const CachedCircuit>> snapshot() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::shared_ptr<const CachedCircuit>> entries_;
+  std::atomic<std::uint64_t> clock_{0};  ///< recency stamps (monotonic, not wall time)
+};
+
+}  // namespace statsize::serve

@@ -1,0 +1,90 @@
+#include "serve/client.h"
+
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+namespace statsize::serve {
+
+void Client::ensure_connected() {
+  if (conn_ && conn_->valid()) return;
+  conn_.emplace(connect_tcp(host_, port_));
+}
+
+ApiResult Client::request(const std::string& method, const std::string& target,
+                          const std::string& body) {
+  const std::string host_header = host_ + ":" + std::to_string(port_);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    ensure_connected();
+    if (!conn_->write_request(method, target, body, host_header)) {
+      conn_.reset();  // stale keep-alive; reconnect once
+      continue;
+    }
+    HttpResponse response;
+    std::string error;
+    const ReadOutcome outcome = conn_->read_response(&response, &error);
+    if (outcome == ReadOutcome::kOk) {
+      auto it = response.headers.find("connection");
+      if (it != response.headers.end() && it->second == "close") conn_.reset();
+      return ApiResult{response.status, std::move(response.body)};
+    }
+    conn_.reset();
+    if (outcome != ReadOutcome::kClosed || attempt == 1) {
+      throw std::runtime_error(method + " " + target + " failed: " +
+                               (error.empty() ? outcome_name(outcome) : error));
+    }
+  }
+  throw std::runtime_error(method + " " + target + " failed: connection dropped");
+}
+
+std::string Client::upload(const std::string& text, const std::string& format,
+                           const std::string& name) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("format").value(format);
+  if (!name.empty()) w.key("name").value(name);
+  w.key("text").value(text);
+  w.end_object();
+  ApiResult result = request("POST", "/v1/circuits", os.str());
+  if (!result.ok()) {
+    throw std::runtime_error("upload rejected (" + std::to_string(result.status) +
+                             "): " + result.body);
+  }
+  return result.json().string_or("key", "");
+}
+
+std::string Client::submit(const std::string& body_json) {
+  ApiResult result = request("POST", "/v1/jobs", body_json);
+  if (!result.ok()) {
+    throw std::runtime_error("submit rejected (" + std::to_string(result.status) +
+                             "): " + result.body);
+  }
+  return result.json().string_or("id", "");
+}
+
+util::JsonValue Client::wait(const std::string& id, double poll_seconds,
+                             double timeout_seconds) {
+  const auto start = std::chrono::steady_clock::now();
+  for (;;) {
+    ApiResult result = job(id);
+    if (!result.ok()) {
+      throw std::runtime_error("poll " + id + " failed (" +
+                               std::to_string(result.status) + "): " + result.body);
+    }
+    util::JsonValue doc = result.json();
+    const std::string state = doc.string_or("state", "");
+    if (state != "queued" && state != "running") return doc;
+    if (timeout_seconds > 0.0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+      if (elapsed > timeout_seconds) {
+        throw std::runtime_error("timed out waiting for " + id + " (state " + state + ")");
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(poll_seconds));
+  }
+}
+
+}  // namespace statsize::serve

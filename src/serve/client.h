@@ -1,0 +1,65 @@
+// Minimal keep-alive HTTP client for the serve API — the plumbing behind
+// `statsize submit/poll/cancel` and bench/serve_throughput. One Client owns
+// one connection and reconnects transparently when the daemon closed it
+// (idle timeout, error response with Connection: close).
+
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "serve/http.h"
+#include "util/json.h"
+
+namespace statsize::serve {
+
+/// Response body + status from one API exchange.
+struct ApiResult {
+  int status = 0;
+  std::string body;
+
+  bool ok() const { return status >= 200 && status < 300; }
+
+  /// Parses the body (daemon responses are always JSON).
+  util::JsonValue json() const { return util::parse_json(body); }
+};
+
+class Client {
+ public:
+  /// Lazy: connects on the first request.
+  Client(std::string host, int port) : host_(std::move(host)), port_(port) {}
+
+  /// One round trip; throws std::runtime_error on transport failure (after
+  /// one reconnect attempt — the daemon may have dropped an idle keep-alive).
+  ApiResult request(const std::string& method, const std::string& target,
+                    const std::string& body = "");
+
+  // -- Typed wrappers over the v1 API --
+
+  /// Upload circuit text; returns the cache key.
+  std::string upload(const std::string& text, const std::string& format,
+                     const std::string& name = "");
+
+  /// Submit a job; `body_json` is the full POST /v1/jobs body. Returns the
+  /// job id. Throws on non-2xx (message includes the server's error body).
+  std::string submit(const std::string& body_json);
+
+  ApiResult job(const std::string& id) { return request("GET", "/v1/jobs/" + id); }
+  ApiResult cancel(const std::string& id) { return request("DELETE", "/v1/jobs/" + id); }
+  ApiResult stats() { return request("GET", "/v1/stats"); }
+
+  /// Polls GET /v1/jobs/<id> every `poll_seconds` until the job leaves
+  /// queued/running (or `timeout_seconds` elapses, 0 = forever). Returns the
+  /// final job document.
+  util::JsonValue wait(const std::string& id, double poll_seconds = 0.05,
+                       double timeout_seconds = 0.0);
+
+ private:
+  void ensure_connected();
+
+  std::string host_;
+  int port_;
+  std::optional<HttpConnection> conn_;
+};
+
+}  // namespace statsize::serve

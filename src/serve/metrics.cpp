@@ -1,0 +1,159 @@
+#include "serve/metrics.h"
+
+#include <chrono>
+#include <cmath>
+#include <ctime>
+
+namespace statsize::serve {
+
+std::int64_t now() {
+  // The sanctioned serve::now wall-clock wrapper (telemetry only; DET002 is
+  // allow-listed for `serve::now` sites under src/serve/ and nowhere else).
+  return static_cast<std::int64_t>(std::time(nullptr));  // serve::now
+}
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Histogram::Histogram() {
+  // Log-spaced bounds, 4 per decade from 0.1 ms to 100 s: 0.1, 0.178, 0.316,
+  // 0.562, 1, ... Upper bucket is open-ended.
+  for (int decade = -1; decade <= 4; ++decade) {
+    for (int step = 0; step < 4; ++step) {
+      bounds_.push_back(std::pow(10.0, decade + step / 4.0));
+    }
+  }
+  bounds_.push_back(std::pow(10.0, 5.0));
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::record(double value) {
+  if (!(value >= 0.0)) value = 0.0;  // NaN/negative clamp: latency is never negative
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t b = 0;
+  while (b < bounds_.size() && value > bounds_[b]) ++b;
+  ++buckets_[b];
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  ++count_;
+  sum_ += value;
+}
+
+std::int64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double Histogram::quantile(double p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  const double rank = p * static_cast<double>(count_ - 1);
+  std::int64_t seen = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b] == 0) continue;
+    const double first = static_cast<double>(seen);
+    seen += buckets_[b];
+    if (rank >= static_cast<double>(seen)) continue;
+    // Interpolate inside bucket b between its bounds (clamped to observed
+    // min/max so a single-bucket distribution reports sane numbers).
+    const double lo_bound = b == 0 ? 0.0 : bounds_[b - 1];
+    const double hi_bound = b < bounds_.size() ? bounds_[b] : max_;
+    const double lo = lo_bound < min_ ? min_ : lo_bound;
+    double hi = hi_bound > max_ ? max_ : hi_bound;
+    if (hi < lo) hi = lo;
+    const double width = static_cast<double>(buckets_[b]);
+    const double frac = width <= 1.0 ? 0.5 : (rank - first) / (width - 1.0);
+    return lo + frac * (hi - lo);
+  }
+  return max_;
+}
+
+void Histogram::write_json(util::JsonWriter& w) const {
+  // Snapshot under the lock, then serialize without it.
+  std::int64_t count;
+  double sum;
+  double mn;
+  double mx;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    count = count_;
+    sum = sum_;
+    mn = min_;
+    mx = max_;
+  }
+  w.begin_object();
+  w.key("count").value(static_cast<long>(count));
+  w.key("sum_ms").value(sum);
+  w.key("min_ms").value(mn);
+  w.key("max_ms").value(mx);
+  w.key("p50_ms").value(quantile(0.50));
+  w.key("p95_ms").value(quantile(0.95));
+  w.key("p99_ms").value(quantile(0.99));
+  w.end_object();
+}
+
+void Metrics::write_json(std::ostream& out) const {
+  util::JsonWriter w(out);
+  w.begin_object();
+  w.key("started_at_unix").value(static_cast<long>(started_at_unix));
+  w.key("uptime_seconds").value(static_cast<long>(now() - started_at_unix));
+
+  w.key("http").begin_object();
+  w.key("requests").value(static_cast<long>(http_requests.value()));
+  w.key("bad_requests").value(static_cast<long>(http_bad_requests.value()));
+  w.key("server_errors").value(static_cast<long>(http_server_errors.value()));
+  w.end_object();
+
+  w.key("jobs").begin_object();
+  w.key("submitted").value(static_cast<long>(jobs_submitted.value()));
+  w.key("rejected").value(static_cast<long>(jobs_rejected.value()));
+  w.key("completed").value(static_cast<long>(jobs_completed.value()));
+  w.key("cancelled").value(static_cast<long>(jobs_cancelled.value()));
+  w.key("failed").value(static_cast<long>(jobs_failed.value()));
+  w.key("deadline_checkpoints").value(static_cast<long>(jobs_deadline_checkpoints.value()));
+  w.key("queue_depth").value(static_cast<long>(queue_depth.value()));
+  w.key("running").value(static_cast<long>(jobs_running.value()));
+  w.end_object();
+
+  w.key("cache").begin_object();
+  w.key("hits").value(static_cast<long>(cache_hits.value()));
+  w.key("misses").value(static_cast<long>(cache_misses.value()));
+  w.key("evictions").value(static_cast<long>(cache_evictions.value()));
+  w.key("circuits").value(static_cast<long>(circuits_cached.value()));
+  w.end_object();
+
+  w.key("latency").begin_object();
+  w.key("queue_wait_ms");
+  queue_wait_ms.write_json(w);
+  w.key("service_ms");
+  service_ms.write_json(w);
+  w.key("service_analysis_ms");
+  service_analysis_ms.write_json(w);
+  w.key("service_sizing_ms");
+  service_sizing_ms.write_json(w);
+  w.end_object();
+
+  w.end_object();
+}
+
+}  // namespace statsize::serve

@@ -1,0 +1,412 @@
+#include "serve/scheduler.h"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/sizer.h"
+#include "runtime/runtime.h"
+#include "ssta/delay_model.h"
+#include "ssta/monte_carlo.h"
+#include "ssta/ssta.h"
+#include "util/json.h"
+
+namespace statsize::serve {
+
+const char* job_type_name(JobType type) {
+  switch (type) {
+    case JobType::kSsta: return "ssta";
+    case JobType::kSta: return "sta";
+    case JobType::kMonteCarlo: return "monte_carlo";
+    case JobType::kSize: return "size";
+  }
+  return "?";
+}
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string fmt_double(double d) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  return std::string(buf);
+}
+
+/// Re-indents a pretty-printed JSON blob by `pad` spaces (first line is
+/// spliced after a key, so it keeps no pad).
+std::string indent_blob(const std::string& blob, int pad) {
+  std::string out;
+  out.reserve(blob.size() + 64);
+  const std::string padding(static_cast<std::size_t>(pad), ' ');
+  bool at_line_start = false;
+  for (char c : blob) {
+    if (at_line_start) {
+      out += padding;
+      at_line_start = false;
+    }
+    out += c;
+    if (c == '\n') at_line_start = true;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Job::describe() const {
+  JobState st = state.load(std::memory_order_acquire);
+  std::string result;
+  std::string err;
+  double sub_ms;
+  double start_ms;
+  double fin_ms;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    result = result_json;
+    err = error;
+    sub_ms = submitted_ms;
+    start_ms = started_ms;
+    fin_ms = finished_ms;
+  }
+
+  std::string out = "{\n";
+  out += "  \"id\": \"" + util::JsonWriter::escape(id) + "\",\n";
+  out += "  \"type\": \"" + std::string(job_type_name(type)) + "\",\n";
+  out += "  \"state\": \"" + std::string(job_state_name(st)) + "\",\n";
+  out += "  \"circuit\": \"" + util::JsonWriter::escape(circuit ? circuit->key : "") + "\",\n";
+  out += "  \"circuit_name\": \"" +
+         util::JsonWriter::escape(circuit ? circuit->name : "") + "\",\n";
+  out += "  \"deadline_ms\": " + fmt_double(params.deadline_ms) + ",\n";
+  if (start_ms > 0.0) {
+    out += "  \"queue_wait_ms\": " + fmt_double(start_ms - sub_ms) + ",\n";
+  }
+  if (fin_ms > 0.0) {
+    out += "  \"run_ms\": " + fmt_double(fin_ms - start_ms) + ",\n";
+  }
+  if (st == JobState::kDone && !result.empty()) {
+    out += "  \"result\": " + indent_blob(result, 2) + "\n";
+  } else if (!err.empty()) {
+    out += "  \"error\": \"" + util::JsonWriter::escape(err) + "\"\n";
+  } else {
+    out += "  \"error\": null\n";
+  }
+  out += "}";
+  return out;
+}
+
+JobScheduler::JobScheduler(SchedulerOptions options, Metrics* metrics)
+    : options_(options), metrics_(metrics) {}
+
+JobScheduler::~JobScheduler() { stop(); }
+
+void JobScheduler::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  stopping_ = false;
+  executor_ = std::thread([this] { executor_loop(); });
+}
+
+void JobScheduler::stop() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    started_ = false;
+    stopping_ = true;
+    // Flip every still-queued job to cancelled and trip the running one; the
+    // executor drains cooperatively.
+    for (auto& job : queue_) {
+      JobState expected = JobState::kQueued;
+      if (job->state.compare_exchange_strong(expected, JobState::kCancelled,
+                                             std::memory_order_acq_rel)) {
+        std::lock_guard<std::mutex> jlock(job->mu);
+        job->error = "server shutting down";
+        if (metrics_) metrics_->jobs_cancelled.inc();
+      }
+    }
+    queue_.clear();
+    if (metrics_) metrics_->queue_depth.set(0);
+    for (auto& [id, job] : jobs_) {
+      if (job->state.load(std::memory_order_acquire) == JobState::kRunning) {
+        job->cancel.request_cancel();
+      }
+    }
+    to_join = std::move(executor_);
+  }
+  cv_.notify_all();
+  if (to_join.joinable()) to_join.join();
+}
+
+std::shared_ptr<Job> JobScheduler::submit(JobType type,
+                                          std::shared_ptr<const CachedCircuit> circuit,
+                                          JobParams params) {
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || !started_) return nullptr;
+    if (queue_.size() >= options_.queue_depth) {
+      if (metrics_) metrics_->jobs_rejected.inc();
+      return nullptr;
+    }
+    job = std::make_shared<Job>();
+    char idbuf[16];
+    std::snprintf(idbuf, sizeof(idbuf), "job-%06d", next_id_++);
+    job->id = idbuf;
+    job->type = type;
+    job->params = std::move(params);
+    job->circuit = std::move(circuit);
+    job->submitted_ms = now_ms();
+    jobs_.emplace(job->id, job);
+    queue_.push_back(job);
+    if (metrics_) {
+      metrics_->jobs_submitted.inc();
+      metrics_->queue_depth.set(static_cast<std::int64_t>(queue_.size()));
+    }
+  }
+  cv_.notify_one();
+  return job;
+}
+
+std::shared_ptr<Job> JobScheduler::get(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : it->second;
+}
+
+bool JobScheduler::cancel(const std::string& id) {
+  std::shared_ptr<Job> job = get(id);
+  if (!job) return false;
+  JobState expected = JobState::kQueued;
+  if (job->state.compare_exchange_strong(expected, JobState::kCancelled,
+                                         std::memory_order_acq_rel)) {
+    {
+      std::lock_guard<std::mutex> lock(job->mu);
+      job->error = "cancelled before start";
+      job->finished_ms = now_ms();
+    }
+    if (metrics_) metrics_->jobs_cancelled.inc();
+    return true;
+  }
+  if (expected == JobState::kRunning) {
+    job->cancel.request_cancel();
+    return true;
+  }
+  return false;  // already finished
+}
+
+std::size_t JobScheduler::queue_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void JobScheduler::executor_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      job = queue_.front();
+      queue_.pop_front();
+      if (metrics_) metrics_->queue_depth.set(static_cast<std::int64_t>(queue_.size()));
+    }
+    // Claim: a DELETE may have flipped it to cancelled while queued.
+    JobState expected = JobState::kQueued;
+    if (!job->state.compare_exchange_strong(expected, JobState::kRunning,
+                                            std::memory_order_acq_rel)) {
+      continue;
+    }
+    run_job(*job);
+  }
+}
+
+void JobScheduler::run_job(Job& job) {
+  const double t_start = now_ms();
+  {
+    std::lock_guard<std::mutex> lock(job.mu);
+    job.started_ms = t_start;
+  }
+  if (metrics_) {
+    metrics_->jobs_running.inc();
+    metrics_->queue_wait_ms.record(t_start - job.submitted_ms);
+  }
+
+  if (job.params.jobs > 0) runtime::set_threads(job.params.jobs);
+  if (options_.apply_serial_cutoff) {
+    runtime::set_level_serial_cutoff(job.circuit->serial_cutoff);
+  }
+
+  const netlist::Circuit& circuit = *job.circuit->circuit;
+  const ssta::SigmaModel sigma_model{job.params.sigma_kappa, job.params.sigma_offset};
+  const double deadline_seconds = job.params.deadline_ms / 1000.0;
+
+  JobState final_state = JobState::kDone;
+  std::string result;
+  std::string error;
+  try {
+    std::ostringstream os;
+    util::JsonWriter w(os);
+    switch (job.type) {
+      case JobType::kSsta: {
+        // Analysis jobs run under an outer CancelScope: a tripped token or
+        // expired deadline unwinds the sweep (no partial results).
+        runtime::CancelScope scope(&job.cancel,
+                                   deadline_seconds > 0.0
+                                       ? runtime::Deadline::after_seconds(deadline_seconds)
+                                       : runtime::Deadline::never());
+        ssta::DelayCalculator calc(circuit, sigma_model);
+        std::vector<double> speed(static_cast<std::size_t>(circuit.num_nodes()),
+                                  job.params.speed);
+        ssta::TimingReport report = ssta::run_ssta(calc, speed);
+        w.begin_object();
+        w.key("mu").value(report.circuit_delay.mu);
+        w.key("sigma").value(report.circuit_delay.sigma());
+        w.key("var").value(report.circuit_delay.var);
+        w.key("mu_plus_3sigma").value(report.circuit_delay.quantile_offset(3.0));
+        w.end_object();
+        break;
+      }
+      case JobType::kSta: {
+        runtime::CancelScope scope(&job.cancel,
+                                   deadline_seconds > 0.0
+                                       ? runtime::Deadline::after_seconds(deadline_seconds)
+                                       : runtime::Deadline::never());
+        ssta::Corner corner = ssta::Corner::kWorst;
+        if (job.params.corner == "best") corner = ssta::Corner::kBest;
+        else if (job.params.corner == "typical") corner = ssta::Corner::kTypical;
+        else if (job.params.corner != "worst") {
+          throw std::runtime_error("unknown corner: " + job.params.corner);
+        }
+        ssta::DelayCalculator calc(circuit, sigma_model);
+        std::vector<double> speed(static_cast<std::size_t>(circuit.num_nodes()),
+                                  job.params.speed);
+        ssta::StaReport report = ssta::run_sta(circuit, calc.all_delays(speed), corner);
+        w.begin_object();
+        w.key("corner").value(job.params.corner);
+        w.key("circuit_delay").value(report.circuit_delay);
+        w.end_object();
+        break;
+      }
+      case JobType::kMonteCarlo: {
+        runtime::CancelScope scope(&job.cancel,
+                                   deadline_seconds > 0.0
+                                       ? runtime::Deadline::after_seconds(deadline_seconds)
+                                       : runtime::Deadline::never());
+        ssta::DelayCalculator calc(circuit, sigma_model);
+        std::vector<double> speed(static_cast<std::size_t>(circuit.num_nodes()),
+                                  job.params.speed);
+        ssta::MonteCarloOptions mc;
+        mc.num_samples = job.params.mc_samples;
+        mc.seed = job.params.mc_seed;
+        ssta::MonteCarloResult mc_result =
+            ssta::run_monte_carlo(circuit, calc.all_delays(speed), mc);
+        w.begin_object();
+        w.key("samples").value(job.params.mc_samples);
+        w.key("seed").value(static_cast<long>(job.params.mc_seed));
+        w.key("mean").value(mc_result.mean);
+        w.key("stddev").value(mc_result.stddev);
+        w.key("min").value(mc_result.min);
+        w.key("max").value(mc_result.max);
+        w.key("q50").value(mc_result.quantile(0.50));
+        w.key("q95").value(mc_result.quantile(0.95));
+        w.key("q99").value(mc_result.quantile(0.99));
+        w.end_object();
+        break;
+      }
+      case JobType::kSize: {
+        // Sizing routes the deadline through SizerOptions instead of an
+        // outer scope: the sizer owns its CancelScope and degrades to an
+        // honest best-iterate checkpoint (status ".../time-limit") rather
+        // than aborting — a deadline'd size job is kDone, not kCancelled.
+        core::SizingSpec spec;
+        if (job.params.objective == "delay") {
+          spec.objective = core::Objective::min_delay(job.params.sigma_weight);
+        } else if (job.params.objective == "area") {
+          spec.objective = core::Objective::min_area();
+        } else {
+          throw std::runtime_error("unknown objective: " + job.params.objective);
+        }
+        if (job.params.max_delay > 0.0) {
+          spec.delay_constraint = core::DelayConstraint::at_most(
+              job.params.max_delay, job.params.constraint_sigma_weight);
+        }
+        spec.max_speed = job.params.max_speed;
+        spec.sigma_model = sigma_model;
+
+        core::SizerOptions opt;
+        if (job.params.method == "full") opt.method = core::Method::kFullSpace;
+        else if (job.params.method == "reduced") opt.method = core::Method::kReducedSpace;
+        else throw std::runtime_error("unknown method: " + job.params.method);
+        opt.time_limit_seconds = deadline_seconds;
+        opt.cancel = &job.cancel;
+        opt.max_retries = job.params.max_retries;
+
+        core::Sizer sizer(circuit, spec);
+        core::SizingResult r = sizer.run(opt);
+        if (metrics_ && r.from_checkpoint) metrics_->jobs_deadline_checkpoints.inc();
+        w.begin_object();
+        w.key("converged").value(r.converged);
+        w.key("status").value(r.status);
+        w.key("method").value(job.params.method);
+        w.key("mu").value(r.circuit_delay.mu);
+        w.key("sigma").value(r.circuit_delay.sigma());
+        w.key("mu_plus_3sigma").value(r.circuit_delay.quantile_offset(3.0));
+        w.key("sum_speed").value(r.sum_speed);
+        w.key("area").value(r.area);
+        w.key("objective_value").value(r.objective_value);
+        w.key("constraint_violation").value(r.constraint_violation);
+        w.key("iterations").value(r.iterations);
+        w.key("retries_used").value(r.retries_used);
+        w.key("from_checkpoint").value(r.from_checkpoint);
+        w.key("checkpoint_outer").value(r.checkpoint_outer);
+        w.end_object();
+        break;
+      }
+    }
+    result = os.str();
+  } catch (const runtime::OperationCancelled& e) {
+    final_state = JobState::kCancelled;
+    error = e.reason() == runtime::CancelReason::kDeadline
+                ? std::string("deadline exceeded: ") + e.what()
+                : std::string("cancelled: ") + e.what();
+  } catch (const std::exception& e) {
+    final_state = JobState::kFailed;
+    error = e.what();
+  }
+
+  const double t_end = now_ms();
+  {
+    std::lock_guard<std::mutex> lock(job.mu);
+    job.result_json = std::move(result);
+    job.error = std::move(error);
+    job.finished_ms = t_end;
+  }
+  job.state.store(final_state, std::memory_order_release);
+  if (metrics_) {
+    metrics_->jobs_running.dec();
+    metrics_->service_ms.record(t_end - t_start);
+    if (job.type == JobType::kSize) {
+      metrics_->service_sizing_ms.record(t_end - t_start);
+    } else {
+      metrics_->service_analysis_ms.record(t_end - t_start);
+    }
+    switch (final_state) {
+      case JobState::kDone: metrics_->jobs_completed.inc(); break;
+      case JobState::kCancelled: metrics_->jobs_cancelled.inc(); break;
+      case JobState::kFailed: metrics_->jobs_failed.inc(); break;
+      default: break;
+    }
+  }
+}
+
+}  // namespace statsize::serve

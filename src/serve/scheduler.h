@@ -1,0 +1,147 @@
+// JobScheduler — bounded admission queue + the single job executor behind
+// `statsize serve`.
+//
+// Why ONE executor thread: runtime::CancelScope is a process-global chain
+// (install/uninstall must happen with no unrelated parallel work in flight),
+// and the compute engines already parallelize *inside* a job through the
+// global runtime::ThreadPool. Running jobs one at a time keeps the per-job
+// CancelScope/SizerOptions deadline sound, keeps results bit-identical to
+// the CLI (same pool, same determinism contract), and still loads every
+// core — the concurrency the daemon offers is at admission/IO level, not
+// compute level. DESIGN.md §11 expands on this trade.
+//
+// Lifecycle: submit() either enqueues (bounded; nullptr on overflow → the
+// server answers 429) or rejects; the executor pops in FIFO order, installs
+// the circuit's advised serial cutoff, runs the job under its cancel
+// token/deadline, and publishes a result JSON blob. cancel() flips a queued
+// job straight to kCancelled or trips a running job's CancellationToken so
+// the cooperative polls unwind it.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/cancel.h"
+#include "serve/circuit_cache.h"
+#include "serve/metrics.h"
+
+namespace statsize::serve {
+
+enum class JobType { kSsta, kSta, kMonteCarlo, kSize };
+enum class JobState { kQueued, kRunning, kDone, kCancelled, kFailed };
+
+const char* job_type_name(JobType type);
+const char* job_state_name(JobState state);
+
+/// Everything a job request can carry. Parsed from the POST /v1/jobs body by
+/// the server; defaults mirror the CLI's.
+struct JobParams {
+  double deadline_ms = 0.0;  ///< 0 = unlimited. Analysis: hard cancel; size:
+                             ///< SizerOptions::time_limit_seconds (honest
+                             ///< kTimeLimit checkpoint comes back as kDone).
+  int jobs = 0;              ///< runtime::set_threads for this job; 0 = leave
+
+  // Delay model.
+  double sigma_kappa = 0.25;
+  double sigma_offset = 0.0;
+  double speed = 1.0;  ///< uniform speed factor for analysis jobs
+
+  // sta
+  std::string corner = "worst";  ///< best | typical | worst
+
+  // monte_carlo
+  int mc_samples = 10000;
+  std::uint64_t mc_seed = 1;
+
+  // size
+  std::string objective = "delay";  ///< delay | area
+  double sigma_weight = 3.0;        ///< k in mu + k sigma (delay objective)
+  double max_delay = 0.0;           ///< >0 adds DelayConstraint::at_most
+  double constraint_sigma_weight = 0.0;
+  std::string method = "reduced";  ///< full | reduced
+  double max_speed = 3.0;
+  int max_retries = 0;
+};
+
+struct Job {
+  std::string id;  ///< "job-NNNNNN"
+  JobType type = JobType::kSsta;
+  JobParams params;
+  std::shared_ptr<const CachedCircuit> circuit;
+
+  std::atomic<JobState> state{JobState::kQueued};
+  runtime::CancellationToken cancel;
+
+  /// Guards result/error/timing below; state is the fast poll path.
+  mutable std::mutex mu;
+  std::string result_json;  ///< set once, on kDone
+  std::string error;        ///< set on kFailed / kCancelled (reason)
+  double submitted_ms = 0.0;
+  double started_ms = 0.0;
+  double finished_ms = 0.0;
+
+  /// Serializes the full job document (state, params echo, timings, and the
+  /// result object when done) as one JSON object.
+  std::string describe() const;
+};
+
+struct SchedulerOptions {
+  std::size_t queue_depth = 64;  ///< queued (not running) jobs before 429
+  /// Install each circuit's upload-time granularity advice
+  /// (runtime::set_level_serial_cutoff) before running its jobs.
+  bool apply_serial_cutoff = true;
+};
+
+class JobScheduler {
+ public:
+  explicit JobScheduler(SchedulerOptions options = {}, Metrics* metrics = nullptr);
+  ~JobScheduler();
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  void start();
+  /// Cancels queued and running jobs, wakes the executor, joins it. Safe to
+  /// call twice.
+  void stop();
+
+  /// Admission. Returns the queued job, or nullptr when the queue is full.
+  std::shared_ptr<Job> submit(JobType type, std::shared_ptr<const CachedCircuit> circuit,
+                              JobParams params);
+
+  std::shared_ptr<Job> get(const std::string& id) const;
+
+  /// Cooperative cancel: queued jobs flip to kCancelled immediately, running
+  /// jobs get their token tripped (state changes when the solve unwinds).
+  /// False when the id is unknown or the job already finished.
+  bool cancel(const std::string& id);
+
+  std::size_t queue_size() const;
+
+ private:
+  void executor_loop();
+  void run_job(Job& job);
+
+  const SchedulerOptions options_;
+  Metrics* metrics_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  std::map<std::string, std::shared_ptr<Job>> jobs_;
+  int next_id_ = 1;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::thread executor_;
+};
+
+}  // namespace statsize::serve

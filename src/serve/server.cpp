@@ -1,0 +1,442 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "analyze/graph_audit.h"
+#include "netlist/blif.h"
+#include "netlist/timing_view.h"
+#include "netlist/verilog.h"
+#include "util/json.h"
+
+namespace statsize::serve {
+
+namespace {
+
+std::string error_body(const std::string& message) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("error").value(message);
+  w.end_object();
+  return os.str();
+}
+
+std::string parse_error_body(const util::JsonParseError& e) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("error").value(std::string("invalid JSON body: ") + e.what());
+  w.key("line").value(static_cast<int>(e.line()));
+  w.key("column").value(static_cast<int>(e.column()));
+  w.end_object();
+  return os.str();
+}
+
+void set_recv_timeout(int fd, double seconds) {
+  if (seconds <= 0.0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+/// Path without the query string.
+std::string_view path_of(const std::string& target) {
+  const std::size_t q = target.find('?');
+  return std::string_view(target).substr(0, q == std::string::npos ? target.size() : q);
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(options),
+      cache_(options.cache_capacity),
+      scheduler_(options.scheduler, &metrics_) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  stopping_.store(false, std::memory_order_release);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(std::string("bind(127.0.0.1:") +
+                             std::to_string(options_.port) + ") failed: " +
+                             std::strerror(err));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("listen() failed");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+
+  // Pace accept() so the accept loop can notice stop() without a wakeup fd.
+  set_recv_timeout(listen_fd_, 0.2);
+
+  metrics_.started_at_unix = now();
+  scheduler_.start();
+  running_.store(true, std::memory_order_release);
+
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  const int workers = options_.io_threads < 1 ? 1 : options_.io_threads;
+  io_threads_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    io_threads_.emplace_back([this] { io_loop(); });
+  }
+}
+
+void Server::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+  conn_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (auto& t : io_threads_) {
+    conn_cv_.notify_all();
+    if (t.joinable()) t.join();
+  }
+  io_threads_.clear();
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    while (!conn_queue_.empty()) {
+      ::close(conn_queue_.front());
+      conn_queue_.pop_front();
+    }
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  scheduler_.stop();
+  running_.store(false, std::memory_order_release);
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    sockaddr_in peer{};
+    socklen_t len = sizeof(peer);
+    const int fd = ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &len);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      if (stopping_.load(std::memory_order_acquire)) break;
+      continue;  // transient (EMFILE etc.): keep the daemon alive
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    set_recv_timeout(fd, options_.io_recv_timeout_seconds);
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      conn_queue_.push_back(fd);
+    }
+    conn_cv_.notify_one();
+  }
+}
+
+void Server::io_loop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(conn_mu_);
+      conn_cv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_acquire) || !conn_queue_.empty();
+      });
+      if (stopping_.load(std::memory_order_acquire) && conn_queue_.empty()) return;
+      if (conn_queue_.empty()) continue;
+      fd = conn_queue_.front();
+      conn_queue_.pop_front();
+    }
+    serve_connection(fd);
+  }
+}
+
+void Server::serve_connection(int fd) {
+  HttpConnection conn(fd);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    HttpRequest request;
+    std::string parse_error;
+    const ReadOutcome outcome =
+        conn.read_request(&request, &parse_error, options_.limits);
+    if (outcome == ReadOutcome::kTimeout) continue;  // idle keep-alive; recheck stop
+    if (outcome == ReadOutcome::kClosed || outcome == ReadOutcome::kError) return;
+    if (outcome == ReadOutcome::kTooLarge) {
+      metrics_.http_requests.inc();
+      metrics_.http_bad_requests.inc();
+      conn.write_response(
+          HttpResponse::json(413, error_body("request exceeds size limits")), false);
+      return;
+    }
+    if (outcome == ReadOutcome::kMalformed) {
+      metrics_.http_requests.inc();
+      metrics_.http_bad_requests.inc();
+      conn.write_response(
+          HttpResponse::json(400, error_body("malformed HTTP request: " + parse_error)),
+          false);
+      return;
+    }
+
+    metrics_.http_requests.inc();
+    HttpResponse response;
+    try {
+      response = handle(request);
+    } catch (const std::exception& e) {
+      response = HttpResponse::json(500, error_body(std::string("internal error: ") + e.what()));
+    }
+    if (response.status >= 500) metrics_.http_server_errors.inc();
+    else if (response.status >= 400) metrics_.http_bad_requests.inc();
+
+    const bool keep_alive = !request.wants_close() && !stopping_.load(std::memory_order_acquire);
+    if (!conn.write_response(response, keep_alive)) return;
+    if (!keep_alive) return;
+  }
+}
+
+HttpResponse Server::handle(const HttpRequest& request) {
+  const std::string_view path = path_of(request.target);
+
+  if (path == "/v1/healthz" && request.method == "GET") {
+    return HttpResponse::json(200, "{\n  \"ok\": true\n}");
+  }
+  if (path == "/v1/stats" && request.method == "GET") return handle_stats();
+  if (path == "/v1/circuits") {
+    if (request.method == "POST") return handle_upload(request);
+    if (request.method == "GET") return handle_list_circuits();
+    return HttpResponse::json(405, error_body("method not allowed"));
+  }
+  if (path == "/v1/jobs" && request.method == "POST") return handle_submit(request);
+  if (path.rfind("/v1/jobs/", 0) == 0) {
+    const std::string id(path.substr(std::string_view("/v1/jobs/").size()));
+    if (id.empty()) return HttpResponse::json(404, error_body("missing job id"));
+    if (request.method == "GET") return handle_job_get(id);
+    if (request.method == "DELETE") return handle_job_delete(id);
+    return HttpResponse::json(405, error_body("method not allowed"));
+  }
+  return HttpResponse::json(404, error_body("no such endpoint: " + std::string(path)));
+}
+
+HttpResponse Server::handle_upload(const HttpRequest& request) {
+  util::JsonValue body;
+  try {
+    body = util::parse_json(request.body);
+  } catch (const util::JsonParseError& e) {
+    return HttpResponse::json(400, parse_error_body(e));
+  }
+  if (!body.is_object()) {
+    return HttpResponse::json(400, error_body("body must be a JSON object"));
+  }
+  const util::JsonValue* text = body.find("text");
+  if (text == nullptr || !text->is_string()) {
+    return HttpResponse::json(400, error_body("missing string field: text"));
+  }
+  const std::string format = body.string_or("format", "blif");
+  if (format != "blif" && format != "verilog") {
+    return HttpResponse::json(400, error_body("unknown format: " + format +
+                                              " (expected blif | verilog)"));
+  }
+  const std::string name = body.string_or("name", "");
+
+  const std::string key = circuit_key(format, text->as_string());
+  std::shared_ptr<const CachedCircuit> entry = cache_.find(key);
+  bool cached = entry != nullptr;
+  std::size_t evicted = 0;
+  if (cached) {
+    metrics_.cache_hits.inc();
+  } else {
+    metrics_.cache_misses.inc();
+    auto fresh = std::make_shared<CachedCircuit>();
+    try {
+      std::istringstream in(text->as_string());
+      netlist::Circuit circuit =
+          format == "blif" ? netlist::read_blif(in) : netlist::read_verilog(in);
+      const netlist::TimingViewStats stats =
+          netlist::compute_view_stats(circuit.view());
+      fresh->serial_cutoff = analyze::advise_granularity(stats.level_widths).serial_cutoff;
+      fresh->num_gates = circuit.num_gates();
+      fresh->num_inputs = circuit.num_inputs();
+      fresh->num_outputs = static_cast<int>(circuit.outputs().size());
+      fresh->depth = circuit.depth();
+      fresh->num_levels = stats.level_widths.size();
+      fresh->circuit = std::make_shared<netlist::Circuit>(std::move(circuit));
+    } catch (const std::exception& e) {
+      return HttpResponse::json(
+          400, error_body(std::string("circuit parse failed: ") + e.what()));
+    }
+    fresh->key = key;
+    fresh->name = name;
+    fresh->format = format;
+    CircuitCache::InsertResult inserted = cache_.insert(std::move(fresh));
+    entry = inserted.entry;
+    cached = inserted.existed;  // concurrent identical upload won the race
+    evicted = inserted.evicted;
+    if (evicted > 0) metrics_.cache_evictions.inc(static_cast<std::int64_t>(evicted));
+  }
+  metrics_.circuits_cached.set(static_cast<std::int64_t>(cache_.size()));
+
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("key").value(entry->key);
+  w.key("cached").value(cached);
+  w.key("name").value(entry->name);
+  w.key("format").value(entry->format);
+  w.key("gates").value(entry->num_gates);
+  w.key("inputs").value(entry->num_inputs);
+  w.key("outputs").value(entry->num_outputs);
+  w.key("depth").value(entry->depth);
+  w.key("levels").value(static_cast<long>(entry->num_levels));
+  w.key("serial_cutoff").value(static_cast<long>(entry->serial_cutoff));
+  w.key("evicted").value(static_cast<long>(evicted));
+  w.end_object();
+  return HttpResponse::json(cached ? 200 : 201, os.str());
+}
+
+HttpResponse Server::handle_list_circuits() {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("capacity").value(static_cast<long>(cache_.capacity()));
+  w.key("circuits").begin_array();
+  for (const auto& entry : cache_.snapshot()) {
+    w.begin_object();
+    w.key("key").value(entry->key);
+    w.key("name").value(entry->name);
+    w.key("format").value(entry->format);
+    w.key("gates").value(entry->num_gates);
+    w.key("depth").value(entry->depth);
+    w.key("serial_cutoff").value(static_cast<long>(entry->serial_cutoff));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return HttpResponse::json(200, os.str());
+}
+
+HttpResponse Server::handle_submit(const HttpRequest& request) {
+  util::JsonValue body;
+  try {
+    body = util::parse_json(request.body);
+  } catch (const util::JsonParseError& e) {
+    return HttpResponse::json(400, parse_error_body(e));
+  }
+  if (!body.is_object()) {
+    return HttpResponse::json(400, error_body("body must be a JSON object"));
+  }
+  const std::string key = body.string_or("circuit", "");
+  if (key.empty()) {
+    return HttpResponse::json(400, error_body("missing field: circuit (cache key)"));
+  }
+  const std::string type_name = body.string_or("type", "ssta");
+  JobType type;
+  if (type_name == "ssta") type = JobType::kSsta;
+  else if (type_name == "sta") type = JobType::kSta;
+  else if (type_name == "monte_carlo") type = JobType::kMonteCarlo;
+  else if (type_name == "size") type = JobType::kSize;
+  else {
+    return HttpResponse::json(
+        400, error_body("unknown job type: " + type_name +
+                        " (expected ssta | sta | monte_carlo | size)"));
+  }
+
+  std::shared_ptr<const CachedCircuit> circuit = cache_.find(key);
+  if (!circuit) {
+    metrics_.cache_misses.inc();
+    return HttpResponse::json(
+        404, error_body("unknown circuit key: " + key + " (upload it first)"));
+  }
+  metrics_.cache_hits.inc();
+
+  JobParams params;
+  try {
+    params.deadline_ms = body.number_or("deadline_ms", params.deadline_ms);
+    params.jobs = body.int_or("jobs", params.jobs);
+    params.sigma_kappa = body.number_or("sigma_kappa", params.sigma_kappa);
+    params.sigma_offset = body.number_or("sigma_offset", params.sigma_offset);
+    params.speed = body.number_or("speed", params.speed);
+    params.corner = body.string_or("corner", params.corner);
+    params.mc_samples = body.int_or("samples", params.mc_samples);
+    params.mc_seed = static_cast<std::uint64_t>(
+        body.int_or("seed", static_cast<int>(params.mc_seed)));
+    params.objective = body.string_or("objective", params.objective);
+    params.sigma_weight = body.number_or("sigma_weight", params.sigma_weight);
+    params.max_delay = body.number_or("max_delay", params.max_delay);
+    params.constraint_sigma_weight =
+        body.number_or("constraint_sigma_weight", params.constraint_sigma_weight);
+    params.method = body.string_or("method", params.method);
+    params.max_speed = body.number_or("max_speed", params.max_speed);
+    params.max_retries = body.int_or("max_retries", params.max_retries);
+  } catch (const std::exception& e) {
+    return HttpResponse::json(400, error_body(std::string("bad job params: ") + e.what()));
+  }
+  if (params.deadline_ms < 0.0 || params.mc_samples < 1 ||
+      params.jobs < 0 || params.jobs > 1024) {
+    return HttpResponse::json(400, error_body("job params out of range"));
+  }
+
+  std::shared_ptr<Job> job = scheduler_.submit(type, std::move(circuit), std::move(params));
+  if (!job) {
+    HttpResponse response = HttpResponse::json(
+        429, error_body("job queue full (retry later)"));
+    response.headers["Retry-After"] = "1";
+    return response;
+  }
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("id").value(job->id);
+  w.key("state").value(job_state_name(job->state.load(std::memory_order_acquire)));
+  w.key("type").value(type_name);
+  w.key("circuit").value(key);
+  w.end_object();
+  return HttpResponse::json(202, os.str());
+}
+
+HttpResponse Server::handle_job_get(const std::string& id) {
+  std::shared_ptr<Job> job = scheduler_.get(id);
+  if (!job) return HttpResponse::json(404, error_body("no such job: " + id));
+  return HttpResponse::json(200, job->describe());
+}
+
+HttpResponse Server::handle_job_delete(const std::string& id) {
+  std::shared_ptr<Job> job = scheduler_.get(id);
+  if (!job) return HttpResponse::json(404, error_body("no such job: " + id));
+  const bool accepted = scheduler_.cancel(id);
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("id").value(id);
+  w.key("cancel_requested").value(accepted);
+  w.key("state").value(job_state_name(job->state.load(std::memory_order_acquire)));
+  w.end_object();
+  return HttpResponse::json(accepted ? 200 : 409, os.str());
+}
+
+HttpResponse Server::handle_stats() {
+  std::ostringstream os;
+  metrics_.write_json(os);
+  return HttpResponse::json(200, os.str());
+}
+
+}  // namespace statsize::serve

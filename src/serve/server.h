@@ -1,0 +1,106 @@
+// The `statsize serve` daemon: a blocking-socket HTTP/1.1 front end over the
+// CircuitCache and JobScheduler.
+//
+//   POST   /v1/circuits      upload BLIF/Verilog text -> content-hash key
+//   GET    /v1/circuits      list cached circuits (most recently used first)
+//   POST   /v1/jobs          submit ssta | sta | monte_carlo | size
+//   GET    /v1/jobs/<id>     poll state + result
+//   DELETE /v1/jobs/<id>     cooperative cancel
+//   GET    /v1/stats         serve::Metrics as JSON
+//   GET    /v1/healthz       liveness
+//
+// Threading: one accept thread (SO_RCVTIMEO-paced so stop() is prompt) feeds
+// a bounded fd queue; `io_threads` workers each own one connection at a time
+// for its keep-alive lifetime. Compute stays on the JobScheduler's single
+// executor (see scheduler.h for why), so socket concurrency never races the
+// process-global CancelScope chain.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/circuit_cache.h"
+#include "serve/http.h"
+#include "serve/metrics.h"
+#include "serve/scheduler.h"
+
+namespace statsize::serve {
+
+struct ServerOptions {
+  int port = 0;          ///< 0 = ephemeral (read the bound port via port())
+  int io_threads = 8;    ///< concurrent keep-alive connections served
+  std::size_t cache_capacity = 16;
+  SchedulerOptions scheduler;
+  HttpLimits limits;
+  /// Per-recv timeout on accepted sockets; bounds how long stop() waits for
+  /// an idle keep-alive connection to notice shutdown.
+  double io_recv_timeout_seconds = 0.2;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds 127.0.0.1:<port>, starts the scheduler, accept thread, and IO
+  /// workers. Throws std::runtime_error when the port cannot be bound.
+  void start();
+
+  /// Bound port (valid after start(); the interesting case is port 0).
+  int port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Stops accepting, drains IO workers, cancels queued + running jobs,
+  /// joins everything. Idempotent.
+  void stop();
+
+  Metrics& metrics() { return metrics_; }
+  CircuitCache& cache() { return cache_; }
+  JobScheduler& scheduler() { return scheduler_; }
+
+  /// Pure request dispatch (no sockets) — what the IO workers call, exposed
+  /// so tests can exercise routing without a live connection.
+  HttpResponse handle(const HttpRequest& request);
+
+ private:
+  void accept_loop();
+  void io_loop();
+  void serve_connection(int fd);
+
+  HttpResponse handle_upload(const HttpRequest& request);
+  HttpResponse handle_list_circuits();
+  HttpResponse handle_submit(const HttpRequest& request);
+  HttpResponse handle_job_get(const std::string& id);
+  HttpResponse handle_job_delete(const std::string& id);
+  HttpResponse handle_stats();
+
+  ServerOptions options_;
+  Metrics metrics_;
+  CircuitCache cache_;
+  JobScheduler scheduler_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::thread accept_thread_;
+  std::vector<std::thread> io_threads_;
+
+  std::mutex conn_mu_;
+  std::condition_variable conn_cv_;
+  std::deque<int> conn_queue_;
+};
+
+}  // namespace statsize::serve

@@ -1,0 +1,12 @@
+// Corpus: a wall-clock read under serve/ WITHOUT the serve::now marker. The
+// DET002 carve-out is for the sanctioned wrapper only — a bare clock call in
+// daemon code must still fire, or the exemption would swallow real leaks.
+#include <ctime>
+
+namespace statsize::serve {
+
+double job_seed() {
+  return static_cast<double>(std::time(nullptr));  // DET002: result-path clock
+}
+
+}  // namespace statsize::serve

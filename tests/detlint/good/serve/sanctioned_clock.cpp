@@ -1,0 +1,16 @@
+// Corpus: the serve daemon's sanctioned wall-clock wrapper. This file lives
+// under a serve/ directory and names `serve::now` at the clock sites, so
+// DET002's carve-out applies and the file must scan clean.
+#include <ctime>
+#include <cstdint>
+
+namespace statsize::serve {
+
+std::int64_t now() {
+  return static_cast<std::int64_t>(std::time(nullptr));  // serve::now
+}
+
+// A marker on the preceding line sanctions the call below it: serve::now
+std::int64_t started_at = static_cast<std::int64_t>(std::time(nullptr));
+
+}  // namespace statsize::serve

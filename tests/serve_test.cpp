@@ -1,0 +1,395 @@
+// Live-loopback tests of the statsize serve daemon: upload/submit/poll over
+// real sockets, bit-identity against in-process SSTA, queue overflow -> 429,
+// deadline'd jobs (checkpoint for sizing, cancel for analysis), DELETE on a
+// running job, LRU eviction under concurrent readers, stats, and the SIGINT
+// interrupt token. The suite runs in the ThreadSanitizer configuration of
+// scripts/check.sh, so the scheduler/cache/IO synchronization is part of the
+// repo's concurrency surface.
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "netlist/blif.h"
+#include "netlist/generators.h"
+#include "runtime/signal.h"
+#include "serve/circuit_cache.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "ssta/delay_model.h"
+#include "ssta/ssta.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace statsize;
+
+// ISCAS-85 c17 (6 NAND2) — same text as examples/circuits/c17.blif, embedded
+// so the test binary is location-independent.
+constexpr const char* kC17 = R"(.model c17
+.inputs 1GAT 2GAT 3GAT 6GAT 7GAT
+.outputs 22GAT 23GAT
+.names 1GAT 3GAT 10GAT
+0- 1
+-0 1
+.names 3GAT 6GAT 11GAT
+0- 1
+-0 1
+.names 2GAT 11GAT 16GAT
+0- 1
+-0 1
+.names 11GAT 7GAT 19GAT
+0- 1
+-0 1
+.names 10GAT 16GAT 22GAT
+0- 1
+-0 1
+.names 16GAT 19GAT 23GAT
+0- 1
+-0 1
+.end
+)";
+
+std::string apex1_blif() {
+  netlist::Circuit circuit = netlist::make_mcnc_like("apex1");
+  std::ostringstream os;
+  netlist::write_blif(os, circuit, "apex1");
+  return os.str();
+}
+
+std::string job_body(const std::string& key, const std::string& type,
+                     const std::string& extra = "") {
+  std::string body = "{\"circuit\": \"" + key + "\", \"type\": \"" + type + "\"";
+  if (!extra.empty()) body += ", " + extra;
+  return body + "}";
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void StartServer(serve::ServerOptions options = {}) {
+    options.port = 0;
+    server_ = std::make_unique<serve::Server>(options);
+    server_->start();
+    client_ = std::make_unique<serve::Client>("127.0.0.1", server_->port());
+  }
+
+  void TearDown() override {
+    if (server_) server_->stop();
+  }
+
+  std::unique_ptr<serve::Server> server_;
+  std::unique_ptr<serve::Client> client_;
+};
+
+TEST_F(ServeTest, UploadReportsMetadataAndDeduplicates) {
+  StartServer();
+  serve::ApiResult first = client_->request(
+      "POST", "/v1/circuits", "{\"format\": \"blif\", \"name\": \"c17\", \"text\": \"" +
+                                  util::JsonWriter::escape(kC17) + "\"}");
+  ASSERT_EQ(first.status, 201) << first.body;
+  util::JsonValue doc = first.json();
+  EXPECT_EQ(doc.string_or("key", "").substr(0, 2), "c-");
+  EXPECT_EQ(doc.int_or("gates", 0), 6);
+  EXPECT_EQ(doc.int_or("inputs", 0), 5);
+  EXPECT_EQ(doc.int_or("outputs", 0), 2);
+  EXPECT_FALSE(doc.bool_or("cached", true));
+
+  serve::ApiResult second = client_->request(
+      "POST", "/v1/circuits",
+      "{\"format\": \"blif\", \"text\": \"" + util::JsonWriter::escape(kC17) + "\"}");
+  ASSERT_EQ(second.status, 200) << second.body;
+  EXPECT_TRUE(second.json().bool_or("cached", false));
+  EXPECT_EQ(second.json().string_or("key", "x"), doc.string_or("key", "y"));
+  EXPECT_EQ(server_->metrics().cache_hits.value(), 1);
+  EXPECT_EQ(server_->metrics().cache_misses.value(), 1);
+}
+
+TEST_F(ServeTest, ServedSstaIsBitIdenticalToInProcess) {
+  StartServer();
+  const std::string key = client_->upload(kC17, "blif", "c17");
+  const std::string id = client_->submit(job_body(key, "ssta"));
+  util::JsonValue doc = client_->wait(id);
+  ASSERT_EQ(doc.string_or("state", ""), "done") << doc.string_or("error", "");
+  const util::JsonValue* result = doc.find("result");
+  ASSERT_NE(result, nullptr);
+
+  std::istringstream in(kC17);
+  const netlist::Circuit circuit = netlist::read_blif(in);
+  const ssta::DelayCalculator calc(circuit, {});
+  const std::vector<double> speed(static_cast<std::size_t>(circuit.num_nodes()), 1.0);
+  const ssta::TimingReport reference = ssta::run_ssta(calc, speed);
+
+  // %.17g round-trips doubles exactly, so equality here is bit-identity.
+  EXPECT_EQ(result->number_or("mu", -1.0), reference.circuit_delay.mu);
+  EXPECT_EQ(result->number_or("sigma", -1.0), reference.circuit_delay.sigma());
+  EXPECT_EQ(result->number_or("mu_plus_3sigma", -1.0),
+            reference.circuit_delay.quantile_offset(3.0));
+}
+
+TEST_F(ServeTest, MalformedJsonBodyGets400WithParseLocus) {
+  StartServer();
+  serve::ApiResult bad =
+      client_->request("POST", "/v1/jobs", "{\n  \"circuit\": }");
+  EXPECT_EQ(bad.status, 400);
+  util::JsonValue doc = bad.json();
+  EXPECT_EQ(doc.int_or("line", 0), 2);
+  EXPECT_GT(doc.int_or("column", 0), 0);
+
+  serve::ApiResult trailing = client_->request("POST", "/v1/jobs", "{}{}");
+  EXPECT_EQ(trailing.status, 400);
+  EXPECT_NE(trailing.body.find("trailing"), std::string::npos) << trailing.body;
+  EXPECT_GE(server_->metrics().http_bad_requests.value(), 2);
+}
+
+TEST_F(ServeTest, UnknownTargetsAndParamsAreRejected) {
+  StartServer();
+  EXPECT_EQ(client_->request("GET", "/v1/nope").status, 404);
+  EXPECT_EQ(client_->request("GET", "/v1/jobs/job-999999").status, 404);
+  EXPECT_EQ(client_->request("DELETE", "/v1/jobs/job-999999").status, 404);
+  EXPECT_EQ(
+      client_->request("POST", "/v1/jobs", job_body("c-0000000000000000", "ssta")).status,
+      404);
+  const std::string key = client_->upload(kC17, "blif");
+  EXPECT_EQ(client_->request("POST", "/v1/jobs", job_body(key, "warp")).status, 400);
+  EXPECT_EQ(client_->request("POST", "/v1/circuits",
+                             "{\"format\": \"blif\", \"text\": \"not blif at all\"}")
+                .status,
+            400);
+  EXPECT_EQ(client_->request("PUT", "/v1/circuits").status, 405);
+}
+
+TEST_F(ServeTest, DeadlinedSizeJobReturnsTimeLimitCheckpoint) {
+  StartServer();
+  const std::string key = client_->upload(apex1_blif(), "blif", "apex1");
+  // A 1 ms budget expires before the reduced-space solve can finish on
+  // ~1000 gates; the sizer must come back kDone with its best checkpoint and
+  // an honest ".../time-limit" status — never kFailed, never a hang.
+  const std::string id = client_->submit(
+      job_body(key, "size", "\"method\": \"reduced\", \"deadline_ms\": 1"));
+  util::JsonValue doc = client_->wait(id, 0.02, 60.0);
+  ASSERT_EQ(doc.string_or("state", ""), "done") << doc.string_or("error", "");
+  const util::JsonValue* result = doc.find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_NE(result->string_or("status", "").find("time-limit"), std::string::npos)
+      << result->string_or("status", "?");
+  EXPECT_FALSE(result->bool_or("converged", true));
+  // The checkpoint is still a fully scored sizing.
+  EXPECT_GT(result->number_or("mu", 0.0), 0.0);
+  EXPECT_TRUE(result->bool_or("from_checkpoint", false));
+  EXPECT_GE(server_->metrics().jobs_deadline_checkpoints.value(), 1);
+}
+
+TEST_F(ServeTest, DeadlinedAnalysisJobIsCancelled) {
+  StartServer();
+  const std::string key = client_->upload(kC17, "blif");
+  const std::string id = client_->submit(job_body(
+      key, "monte_carlo", "\"samples\": 200000000, \"deadline_ms\": 30"));
+  util::JsonValue doc = client_->wait(id, 0.02, 60.0);
+  EXPECT_EQ(doc.string_or("state", ""), "cancelled");
+  EXPECT_NE(doc.string_or("error", "").find("deadline"), std::string::npos)
+      << doc.string_or("error", "");
+}
+
+TEST_F(ServeTest, DeleteCancelsRunningJobWithoutWedgingTheDaemon) {
+  StartServer();
+  const std::string key = client_->upload(kC17, "blif");
+  const std::string id =
+      client_->submit(job_body(key, "monte_carlo", "\"samples\": 200000000"));
+  // Wait for the executor to pick it up so DELETE exercises the running path.
+  for (int i = 0; i < 500; ++i) {
+    if (client_->job(id).json().string_or("state", "") == "running") break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  serve::ApiResult del = client_->cancel(id);
+  EXPECT_EQ(del.status, 200) << del.body;
+  util::JsonValue doc = client_->wait(id, 0.02, 60.0);
+  EXPECT_EQ(doc.string_or("state", ""), "cancelled");
+
+  // The daemon must still serve: health plus a fresh job end to end.
+  EXPECT_EQ(client_->request("GET", "/v1/healthz").status, 200);
+  const std::string id2 = client_->submit(job_body(key, "ssta"));
+  EXPECT_EQ(client_->wait(id2, 0.02, 60.0).string_or("state", ""), "done");
+}
+
+TEST_F(ServeTest, QueueOverflowAnswers429) {
+  serve::ServerOptions options;
+  options.scheduler.queue_depth = 1;
+  StartServer(options);
+  const std::string key = client_->upload(kC17, "blif");
+  // Occupy the executor with a long Monte Carlo run...
+  const std::string running =
+      client_->submit(job_body(key, "monte_carlo", "\"samples\": 200000000"));
+  for (int i = 0; i < 500; ++i) {
+    if (client_->job(running).json().string_or("state", "") == "running") break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // ...fill the one queue slot...
+  const std::string queued = client_->submit(job_body(key, "ssta"));
+  // ...and the next submission must bounce with 429 + Retry-After.
+  serve::ApiResult overflow = client_->request("POST", "/v1/jobs", job_body(key, "ssta"));
+  EXPECT_EQ(overflow.status, 429) << overflow.body;
+  EXPECT_GE(server_->metrics().jobs_rejected.value(), 1);
+
+  EXPECT_EQ(client_->cancel(running).status, 200);
+  EXPECT_EQ(client_->wait(running, 0.02, 60.0).string_or("state", ""), "cancelled");
+  EXPECT_EQ(client_->wait(queued, 0.02, 60.0).string_or("state", ""), "done");
+}
+
+TEST_F(ServeTest, ConcurrentSubmitPollReturnsIdenticalResults) {
+  StartServer();
+  const std::string key = client_->upload(kC17, "blif");
+  constexpr int kClients = 4;
+  std::vector<double> mus(kClients, -1.0);
+  std::vector<std::string> states(kClients);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      serve::Client c("127.0.0.1", server_->port());
+      const std::string id = c.submit(job_body(key, "ssta"));
+      util::JsonValue doc = c.wait(id, 0.01, 60.0);
+      states[static_cast<std::size_t>(i)] = doc.string_or("state", "");
+      if (const util::JsonValue* r = doc.find("result")) {
+        mus[static_cast<std::size_t>(i)] = r->number_or("mu", -1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_EQ(states[static_cast<std::size_t>(i)], "done");
+    EXPECT_EQ(mus[static_cast<std::size_t>(i)], mus[0]);
+  }
+  EXPECT_GT(mus[0], 0.0);
+}
+
+TEST_F(ServeTest, StatsEndpointReportsCountersAndLatencies) {
+  StartServer();
+  const std::string key = client_->upload(kC17, "blif");
+  const std::string id = client_->submit(job_body(key, "ssta"));
+  client_->wait(id, 0.01, 60.0);
+  util::JsonValue stats = client_->stats().json();
+  const util::JsonValue* http = stats.find("http");
+  ASSERT_NE(http, nullptr);
+  EXPECT_GE(http->int_or("requests", 0), 3);
+  const util::JsonValue* jobs = stats.find("jobs");
+  ASSERT_NE(jobs, nullptr);
+  EXPECT_GE(jobs->int_or("submitted", 0), 1);
+  EXPECT_GE(jobs->int_or("completed", 0), 1);
+  const util::JsonValue* latency = stats.find("latency");
+  ASSERT_NE(latency, nullptr);
+  const util::JsonValue* service = latency->find("service_ms");
+  ASSERT_NE(service, nullptr);
+  EXPECT_GE(service->int_or("count", 0), 1);
+  EXPECT_GE(service->number_or("p99_ms", -1.0), service->number_or("p50_ms", 0.0));
+}
+
+TEST_F(ServeTest, StopCancelsQueuedAndRunningJobs) {
+  StartServer();
+  const std::string key = client_->upload(kC17, "blif");
+  const std::string running =
+      client_->submit(job_body(key, "monte_carlo", "\"samples\": 200000000"));
+  const std::string queued = client_->submit(job_body(key, "ssta"));
+  for (int i = 0; i < 500; ++i) {
+    if (client_->job(running).json().string_or("state", "") == "running") break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  server_->stop();
+  const auto r = server_->scheduler().get(running);
+  const auto q = server_->scheduler().get(queued);
+  ASSERT_NE(r, nullptr);
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(r->state.load(), serve::JobState::kCancelled);
+  EXPECT_EQ(q->state.load(), serve::JobState::kCancelled);
+}
+
+// ---------------------------------------------------------------------------
+// CircuitCache: LRU + shared-lock reads
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const serve::CachedCircuit> make_entry(const std::string& key) {
+  auto entry = std::make_shared<serve::CachedCircuit>();
+  entry->key = key;
+  return entry;
+}
+
+TEST(CircuitCacheTest, EvictsLeastRecentlyUsedAndKeepsHandlesAlive) {
+  serve::CircuitCache cache(2);
+  auto a = cache.insert(make_entry("c-a")).entry;
+  cache.insert(make_entry("c-b"));
+  ASSERT_NE(cache.find("c-a"), nullptr);  // bump a; b is now LRU
+  auto result = cache.insert(make_entry("c-c"));
+  EXPECT_EQ(result.evicted, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.find("c-b"), nullptr);   // evicted
+  EXPECT_NE(cache.find("c-a"), nullptr);   // survived (recently used)
+  EXPECT_NE(cache.find("c-c"), nullptr);
+  EXPECT_EQ(a->key, "c-a");  // in-flight handle is unaffected by cache churn
+}
+
+TEST(CircuitCacheTest, InsertIsIdempotentOnKeyCollision) {
+  serve::CircuitCache cache(4);
+  auto first = cache.insert(make_entry("c-x"));
+  auto second = cache.insert(make_entry("c-x"));
+  EXPECT_FALSE(first.existed);
+  EXPECT_TRUE(second.existed);
+  EXPECT_EQ(first.entry.get(), second.entry.get());
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(CircuitCacheTest, ConcurrentReadersSurviveEviction) {
+  serve::CircuitCache cache(2);
+  cache.insert(make_entry("c-0"));
+  std::atomic<bool> stop{false};
+  std::atomic<int> hits{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (int k = 0; k < 8; ++k) {
+          auto entry = cache.find("c-" + std::to_string(k));
+          if (entry) hits.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (int k = 1; k < 8; ++k) {
+    cache.insert(make_entry("c-" + std::to_string(k)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+  EXPECT_LE(cache.size(), 2u);
+  EXPECT_GT(hits.load(), 0);
+}
+
+TEST(CircuitCacheTest, ContentHashKeysAreStableAndFormatScoped) {
+  EXPECT_EQ(serve::circuit_key("blif", "abc"), serve::circuit_key("blif", "abc"));
+  EXPECT_NE(serve::circuit_key("blif", "abc"), serve::circuit_key("verilog", "abc"));
+  EXPECT_NE(serve::circuit_key("blif", "abc"), serve::circuit_key("blif", "abd"));
+  EXPECT_EQ(serve::circuit_key("blif", "abc").substr(0, 2), "c-");
+  EXPECT_EQ(serve::circuit_key("blif", "abc").size(), 18u);
+}
+
+// ---------------------------------------------------------------------------
+// Signal handling
+// ---------------------------------------------------------------------------
+
+TEST(SignalTest, SigintTripsTheInterruptToken) {
+  runtime::reset_interrupt_state();
+  runtime::install_interrupt_handlers();
+  ASSERT_FALSE(runtime::interrupt_requested());
+  // One raise only: SA_RESETHAND restores the default disposition after the
+  // first delivery (a second SIGINT would terminate the test binary).
+  std::raise(SIGINT);
+  EXPECT_TRUE(runtime::interrupt_requested());
+  EXPECT_EQ(runtime::interrupt_signal(), SIGINT);
+  runtime::reset_interrupt_state();
+  EXPECT_FALSE(runtime::interrupt_requested());
+}
+
+}  // namespace

@@ -1,0 +1,23 @@
+// Serve-family subcommands of the statsize CLI:
+//
+//   statsize serve   — run the HTTP daemon (see src/serve/)
+//   statsize ssta    — one-shot SSTA with a machine-comparable result line
+//   statsize submit  — upload a circuit + submit a job (optionally wait)
+//   statsize poll    — print one job document
+//   statsize cancel  — cooperative cancel of a queued/running job
+//
+// Implemented in statsize_serve_cli.cpp; dispatched from statsize_cli.cpp's
+// main. Each takes (argc, argv) already shifted so its own flags start at
+// index 1, and returns a process exit code.
+
+#pragma once
+
+#include <string>
+
+namespace statsize::tools {
+
+/// Returns -1 when `cmd` is not a serve-family subcommand; otherwise runs it
+/// and returns its exit code.
+int run_serve_family(const std::string& cmd, int argc, char** argv);
+
+}  // namespace statsize::tools

@@ -43,6 +43,8 @@
 #include "ssta/slack.h"
 #include "runtime/fault.h"
 #include "runtime/runtime.h"
+#include "runtime/signal.h"
+#include "serve_cli.h"
 #include "ssta/ssta.h"
 #include "util/args.h"
 
@@ -351,6 +353,11 @@ int main(int argc, char** argv) {
   if (argc >= 2 && std::string(argv[1]) == "audit") {
     return run_audit(argc - 1, argv + 1);
   }
+  if (argc >= 2) {
+    // serve | ssta | submit | poll | cancel (tools/statsize_serve_cli.cpp).
+    const int code = tools::run_serve_family(argv[1], argc - 1, argv + 1);
+    if (code >= 0) return code;
+  }
   util::ArgParser args(
       "statsize — gate sizing under a statistical delay model (Jacobs & Berkelaar, DATE 2000)");
   args.add_string("circuit", "tree|apex1|apex2|k2 or a BLIF/Verilog file path", "tree");
@@ -426,6 +433,10 @@ int main(int argc, char** argv) {
     opt.verbose = args.get_flag("verbose");
     opt.time_limit_seconds = args.get_double("time-limit");
     opt.max_retries = args.get_int("retries");
+    // Ctrl-C degrades gracefully: the solver polls this token and returns its
+    // best checkpoint instead of dying mid-iterate (second Ctrl-C force-kills).
+    runtime::install_interrupt_handlers();
+    opt.cancel = &runtime::interrupt_token();
     if (opt.time_limit_seconds < 0.0) {
       throw std::invalid_argument("--time-limit: expected a value >= 0");
     }
