@@ -23,6 +23,8 @@
 //      re-verified here).
 //
 // Machine-readable results go to BENCH_scaling.json via bench::JsonArtifact.
+// STATSIZE_SCALING_SECTIONS=sizing,threads,serial_islands,timing_view,granularity
+// (comma-separated) restricts the run to the named sections; unset runs all.
 
 #include <algorithm>
 #include <chrono>
@@ -78,6 +80,24 @@ bool reports_equal(const ssta::TimingReport& a, const ssta::TimingReport& b) {
   return a.circuit_delay.mu == b.circuit_delay.mu && a.circuit_delay.var == b.circuit_delay.var;
 }
 
+/// Section filter: STATSIZE_SCALING_SECTIONS=threads,serial_islands runs only
+/// those sections (comma-separated; unset/empty = all). Lets the check.sh
+/// scaling smoke gate exercise the bit-identity cross-checks without paying
+/// for the sizing solves.
+bool section_enabled(const char* name) {
+  const char* env = std::getenv("STATSIZE_SCALING_SECTIONS");
+  if (env == nullptr || env[0] == '\0') return true;
+  const std::string list(env);
+  const std::string needle(name);
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t comma = std::min(list.find(',', pos), list.size());
+    if (list.compare(pos, comma - pos, needle) == 0) return true;
+    pos = comma + 1;
+  }
+  return false;
+}
+
 }  // namespace
 
 int main() {
@@ -90,6 +110,7 @@ int main() {
 
   bench::JsonArtifact artifact("scaling");
   int failures = 0;
+  if (section_enabled("sizing")) {
   for (int gates : {50, 100, 200, 400, 800, 1600}) {
     const netlist::Circuit c = scaling_dag(gates);
 
@@ -133,9 +154,16 @@ int main() {
                 bench::format_cpu(rr.wall_seconds).c_str(), rr.circuit_delay.mu,
                 fs_time.c_str(), fs_mu.c_str());
   }
+  }  // section "sizing"
 
   // ---- Thread scaling: analysis kernels on the largest DAG.
   const int hw = runtime::hardware_threads();
+  std::vector<int> thread_counts = {1, 2, 4, hw};
+  std::sort(thread_counts.begin(), thread_counts.end());
+  thread_counts.erase(std::unique(thread_counts.begin(), thread_counts.end()),
+                      thread_counts.end());
+
+  if (section_enabled("threads")) {
   std::printf("\n--- thread scaling (1600-gate DAG, %d hardware threads) ---\n", hw);
   std::printf("%8s | %12s %8s | %12s %8s | %s\n", "threads", "ssta ms", "speedup", "mc ms",
               "speedup", "deterministic");
@@ -148,16 +176,13 @@ int main() {
   mco.num_samples = 20000;
   mco.seed = 7;
 
-  std::vector<int> thread_counts = {1, 2, 4, hw};
-  std::sort(thread_counts.begin(), thread_counts.end());
-  thread_counts.erase(std::unique(thread_counts.begin(), thread_counts.end()),
-                      thread_counts.end());
-
   runtime::set_threads(1);
   const ssta::TimingReport ssta_ref = ssta::run_ssta(big, delays);
   const ssta::MonteCarloResult mc_ref = ssta::run_monte_carlo(big, delays, mco);
   double ssta_ms1 = 0.0;
   double mc_ms1 = 0.0;
+  double mc_ms4 = 0.0;
+  bool any_slower = false;
   for (const int t : thread_counts) {
     runtime::set_threads(t);
     const bool det = reports_equal(ssta::run_ssta(big, delays), ssta_ref) &&
@@ -172,6 +197,8 @@ int main() {
       ssta_ms1 = ssta_ms;
       mc_ms1 = mc_ms;
     }
+    if (t == 4) mc_ms4 = mc_ms;
+    if (t > 1 && (ssta_ms > ssta_ms1 * 1.05 || mc_ms > mc_ms1 * 1.05)) any_slower = true;
     std::printf("%8d | %12.3f %7.2fx | %12.3f %7.2fx | %s\n", t, ssta_ms, ssta_ms1 / ssta_ms,
                 mc_ms, mc_ms1 / mc_ms, det ? "yes" : "NO");
     artifact.add_row()
@@ -179,7 +206,9 @@ int main() {
         .field("gates", big.num_gates())
         .field("threads", t)
         .field("ssta_wall_ms", ssta_ms)
+        .field("ssta_speedup", ssta_ms > 0.0 ? ssta_ms1 / ssta_ms : 0.0)
         .field("mc_wall_ms", mc_ms)
+        .field("mc_speedup", mc_ms > 0.0 ? mc_ms1 / mc_ms : 0.0)
         .field("mc_samples", mco.num_samples)
         .field("deterministic", det ? "yes" : "no");
   }
@@ -187,22 +216,24 @@ int main() {
 
   // Speedup is advisory: a warning on capable hardware, never a failure on
   // boxes (CI containers) that expose too few cores to show scaling.
-  if (hw >= 4 && mc_ms1 > 0.0) {
-    const double mc_best = wall_ms([&] {
-      runtime::set_threads(std::min(4, hw));
-      ssta::run_monte_carlo(big, delays, mco);
-      runtime::set_threads(1);
-    }, 1);
-    if (mc_best > 0.5 * mc_ms1) {
+  if (hw >= 4) {
+    if (mc_ms4 > 0.0 && mc_ms4 > 0.5 * mc_ms1) {
       std::printf("  [WARN] Monte Carlo speedup below 2x at 4 threads on this machine\n");
     }
-  } else if (hw < 4) {
+    if (any_slower) {
+      std::printf("  [WARN] a parallel run was slower than its 1-thread fallback\n");
+    }
+  } else {
     std::printf("  [note] only %d hardware thread(s): speedup cannot be demonstrated here\n", hw);
   }
+  }  // section "threads"
 
   // ---- Serial-island scaling: hess_vec and the adjoint gradient sweep on a
-  // k2-scale circuit (the larger Table 1 benchmarks run ~1700 gates).
+  // k2-scale circuit (the larger Table 1 benchmarks run ~1700 gates). The
+  // circuit itself is shared with the timing_view and granularity sections.
   const netlist::Circuit k2 = scaling_dag(1692);
+
+  if (section_enabled("serial_islands")) {
   std::printf("\n--- hess_vec / adjoint scaling (%d-gate DAG) ---\n", k2.num_gates());
   std::printf("%8s | %12s %8s | %12s %8s | %s\n", "threads", "hessvec ms", "speedup",
               "adjoint ms", "speedup", "deterministic");
@@ -265,7 +296,9 @@ int main() {
         .field("gates", k2.num_gates())
         .field("threads", t)
         .field("hess_vec_wall_ms", hv_ms)
+        .field("hess_vec_speedup", hv_ms > 0.0 ? hv_ms1 / hv_ms : 0.0)
         .field("adjoint_wall_ms", adj_ms)
+        .field("adjoint_speedup", adj_ms > 0.0 ? adj_ms1 / adj_ms : 0.0)
         .field("deterministic", det ? "yes" : "no");
   }
   runtime::set_threads(1);
@@ -282,7 +315,17 @@ int main() {
   } else {
     std::printf("  [note] only %d hardware thread(s): speedup cannot be demonstrated here\n", hw);
   }
+  }  // section "serial_islands"
 
+  // Shared by the timing_view and granularity sections below.
+  const ssta::SigmaModel sm{};
+  const ssta::DelayCalculator k2_calc(k2, sm);
+  std::vector<double> sp(static_cast<std::size_t>(k2.num_nodes()));
+  for (std::size_t i = 0; i < sp.size(); ++i) {
+    sp[i] = 1.0 + 0.21 * static_cast<double>(i % 9);  // uneven, deterministic
+  }
+
+  if (section_enabled("timing_view")) {
   // ---- TimingView retarget: Node walk vs flat CSR view, single-threaded so
   // the comparison is purely about memory layout. The references below are
   // the pre-view traversals kept alive here as a yardstick; results must be
@@ -293,12 +336,6 @@ int main() {
   std::printf("%10s | %12s %12s %8s | %s\n", "sweep", "node ms", "view ms", "speedup",
               "identical");
   runtime::set_threads(1);
-  const ssta::SigmaModel sm{};
-  const ssta::DelayCalculator k2_calc(k2, sm);
-  std::vector<double> sp(static_cast<std::size_t>(k2.num_nodes()));
-  for (std::size_t i = 0; i < sp.size(); ++i) {
-    sp[i] = 1.0 + 0.21 * static_cast<double>(i % 9);  // uneven, deterministic
-  }
 
   auto node_all_delays = [&](std::vector<stat::NormalRV>& out) {
     out.assign(static_cast<std::size_t>(k2.num_nodes()), stat::NormalRV{});
@@ -395,7 +432,9 @@ int main() {
         .field("view_ms", view_ms)
         .field("identical", s.identical ? "yes" : "no");
   }
+  }  // section "timing_view"
 
+  if (section_enabled("granularity")) {
   // ---- Granularity advisor: the pre-solve audit's static serial-cutoff
   // decision on the same k2-scale DAG, then SSTA timed with the cutoff off
   // (every level offered to the pool) versus applied. The cutoff is a pure
@@ -462,6 +501,7 @@ int main() {
       .field("advised_wall_ms", advised_ms)
       .field("serial_cutoff", static_cast<int>(advice.serial_cutoff))
       .field("deterministic", cutoff_det ? "yes" : "no");
+  }  // section "granularity"
 
   artifact.write();
   std::printf("\nE7 SCALING: %s\n", failures == 0 ? "completed (trend recorded above)"

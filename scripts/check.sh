@@ -79,6 +79,20 @@ echo "audit gate passed"
 echo "== serve smoke =="
 "$REPO_ROOT/scripts/serve_smoke.sh" "$BUILD_DIR/tools/statsize" "$REPO_ROOT"
 
+# Scaling smoke: the bench's thread-scaling section hard-fails (nonzero exit)
+# on any bit-identity mismatch between 1-thread and multi-thread results, and
+# emits the speedup table into BENCH_scaling.json. The speedup itself is
+# advisory (a WARN inside the bench); only determinism is a gate. Restricted
+# to hosts with >=4 cores — on smaller boxes the multi-thread timings are
+# oversubscription noise and the same cross-checks already run in ctest.
+echo "== scaling smoke (thread determinism) =="
+if [ "$(nproc)" -ge 4 ]; then
+  (cd "$BUILD_DIR" && STATSIZE_SCALING_SECTIONS=threads "$BUILD_DIR/bench/scaling_cpu")
+  echo "scaling smoke passed (table in $BUILD_DIR/BENCH_scaling.json)"
+else
+  echo "scaling smoke skipped: only $(nproc) core(s) on this host"
+fi
+
 # Determinism lint over the library sources: any DET hazard is error-severity
 # and fails the build (suppressions require an in-source allow() comment).
 echo "== detlint (src) =="

@@ -17,24 +17,6 @@ std::string fmt(double v) {
   return buf;
 }
 
-/// Modeled wall time of pooling one level of `width` gates: per-chunk
-/// dispatch parallelizes across the claimers, the work divides across the
-/// busy threads, and one extra dispatch quantum stands in for the barrier
-/// wake-up. Serial cost is just width * gate_cost (the inline path pays no
-/// dispatch at all).
-double modeled_parallel_ns(std::size_t width, const GranularityCostModel& m) {
-  if (width == 0) return 0.0;
-  const std::size_t grain = std::max<std::size_t>(1, m.grain);
-  const double chunks = static_cast<double>((width + grain - 1) / grain);
-  const double busy = std::min<double>(static_cast<double>(m.threads), chunks);
-  const double work_ns = static_cast<double>(width) * m.gate_cost_ns;
-  return (chunks * m.chunk_dispatch_ns + work_ns) / std::max(1.0, busy) + m.chunk_dispatch_ns;
-}
-
-double modeled_serial_ns(std::size_t width, const GranularityCostModel& m) {
-  return static_cast<double>(width) * m.gate_cost_ns;
-}
-
 }  // namespace
 
 GranularityAdvice advise_granularity(const std::vector<std::size_t>& level_widths,
@@ -45,28 +27,19 @@ GranularityAdvice advise_granularity(const std::vector<std::size_t>& level_width
   if (advice.model.grain == 0) advice.model.grain = 1;
   const GranularityCostModel& m = advice.model;
 
-  // The crossover width: the smallest width where the pool is predicted to
-  // win. Both cost curves are monotone in width up to ceil() ripples, so a
-  // forward scan is exact; the cap only matters for degenerate cost models
-  // (dispatch so expensive the pool never pays).
-  constexpr std::size_t kCutoffCap = 1u << 20;
-  advice.serial_cutoff = kCutoffCap;
-  if (m.threads > 1) {
-    for (std::size_t w = 1; w <= kCutoffCap; ++w) {
-      if (modeled_parallel_ns(w, m) < modeled_serial_ns(w, m)) {
-        advice.serial_cutoff = w;
-        break;
-      }
-    }
-  }
+  // The crossover math lives in the runtime (it auto-resolves
+  // level_serial_cutoff() from the same curves), so the static audit and the
+  // live scheduler can never disagree about where the pool pays.
+  const runtime::DispatchCostModel dm = m.dispatch_model();
+  advice.serial_cutoff = runtime::compute_serial_cutoff(dm);
 
   std::size_t total_gates = 0;
   for (std::size_t l = 0; l < level_widths.size(); ++l) {
     LevelDecision d;
     d.level = static_cast<int>(l);
     d.width = level_widths[l];
-    d.serial_ns = modeled_serial_ns(d.width, m);
-    d.parallel_ns = modeled_parallel_ns(d.width, m);
+    d.serial_ns = runtime::modeled_serial_ns(d.width, dm);
+    d.parallel_ns = runtime::modeled_parallel_ns(d.width, dm);
     d.parallel = d.width >= advice.serial_cutoff;
     total_gates += d.width;
     advice.est_naive_parallel_ns += d.parallel_ns;

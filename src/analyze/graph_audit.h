@@ -23,18 +23,30 @@
 
 #include "analyze/diagnostic.h"
 #include "netlist/timing_view.h"
+#include "runtime/runtime.h"
 
 namespace statsize::analyze {
 
 /// Cost model for one barriered level dispatch. Units are nanoseconds; the
-/// defaults are order-of-magnitude figures for the work-stealing pool on
-/// commodity hardware — calibrate with runtime::measure_chunk_dispatch_ns()
-/// when the real machine matters (BENCH_scaling.json records both).
+/// defaults are the runtime's own DispatchCostModel constants — the same
+/// model the runtime uses to auto-resolve level_serial_cutoff(), so the
+/// static audit and the live scheduler agree by construction. Calibrate with
+/// runtime::measure_chunk_dispatch_ns() when the real machine matters
+/// (BENCH_scaling.json records both).
 struct GranularityCostModel {
-  double chunk_dispatch_ns = 1500.0;  ///< claim/wake cost per offered chunk
-  double gate_cost_ns = 120.0;        ///< per-gate sweep work (Clark max + delay eval)
-  std::size_t grain = 32;             ///< gates per chunk (the sweeps' kGateGrain)
-  int threads = 0;                    ///< 0 = runtime::threads() at advise time
+  /// claim/wake cost per offered chunk
+  double chunk_dispatch_ns = runtime::kDefaultChunkDispatchNs;
+  /// per-gate sweep work (Clark max + delay eval)
+  double gate_cost_ns = runtime::kDefaultItemCostNs;
+  /// gates per chunk (the sweeps' kGateGrain)
+  std::size_t grain = runtime::kDefaultDispatchGrain;
+  /// 0 = runtime::threads() at advise time
+  int threads = 0;
+
+  /// The runtime-layer equivalent (shared crossover math lives there).
+  runtime::DispatchCostModel dispatch_model() const {
+    return runtime::DispatchCostModel{chunk_dispatch_ns, gate_cost_ns, grain, threads};
+  }
 };
 
 struct LevelDecision {

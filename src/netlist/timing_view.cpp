@@ -102,6 +102,27 @@ TimingView::TimingView(const Circuit& circuit) {
   }
 }
 
+void TimingView::batch_load_capacitance(const double* speed, double* cap) const {
+  const std::size_t num = kind_.size();
+  const std::size_t num_edges = fanout_.size();
+  // Flat vectorizable pass: every fanout edge's C_in * S_sink product. The
+  // gather through fanout_ is the only indirection; cin/prod are contiguous.
+  std::vector<double> prod(num_edges);
+  const NodeId* sinks = fanout_.data();
+  const double* cin = fanout_cin_.data();
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    prod[e] = cin[e] * speed[static_cast<std::size_t>(sinks[e])];
+  }
+  // Per-node fold in edge order, seeded with the static load — the exact
+  // accumulation order of load_capacitance(id, speed).
+  for (std::size_t i = 0; i < num; ++i) {
+    double acc = static_load_[i];
+    const std::size_t end = fanout_offset_[i + 1];
+    for (std::size_t e = fanout_offset_[i]; e < end; ++e) acc += prod[e];
+    cap[i] = acc;
+  }
+}
+
 namespace {
 
 /// Union-find root with path halving, over the weak-component forest.

@@ -115,6 +115,16 @@ class TimingView {
     return cap;
   }
 
+  /// Batched eq. 14 over every node at once: `cap[id]` receives the same
+  /// value load_capacitance(id, speed) returns, for all num_nodes() ids.
+  /// Restructured for SIMD — one flat pass computes every fanout edge's
+  /// C_in,e * S_sink product (a long contiguous multiply the compiler
+  /// auto-vectorizes, instead of num_nodes short gather loops), then each
+  /// node left-folds its own edge products in edge order seeded with its
+  /// static load. Same multiplications, same per-node addition order as the
+  /// per-node loop, hence bit-identical results.
+  void batch_load_capacitance(const double* speed, double* cap) const;
+
   /// Every node, fanins before fanouts (Circuit::topo_order's order).
   const std::vector<NodeId>& topo_order() const { return topo_; }
 

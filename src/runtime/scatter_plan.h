@@ -55,10 +55,12 @@ class ScatterPlan {
   std::size_t num_targets() const { return num_targets_; }
 
   /// out[t] += sum of vals[s] over target t's slots in ascending slot order,
-  /// fanned out across the global pool with `grain` targets per chunk. `vals`
-  /// must hold num_slots() entries and `out` at least num_targets() entries.
-  /// Deterministic at any thread count; equal to the serial item-order
-  /// scatter wherever that scatter adds the same values.
+  /// fanned out across the global pool with `grain` targets per chunk (inline
+  /// when the fold is narrower than runtime::level_serial_cutoff() — a
+  /// sub-cutoff fold never pays dispatch). `vals` must hold num_slots()
+  /// entries and `out` at least num_targets() entries. Deterministic at any
+  /// thread count; equal to the serial item-order scatter wherever that
+  /// scatter adds the same values.
   void fold_add(const double* vals, double* out, std::size_t grain = 32) const;
 
  private:

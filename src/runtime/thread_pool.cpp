@@ -1,7 +1,6 @@
 #include "runtime/thread_pool.h"
 
 #include <algorithm>
-#include <exception>
 #include <stdexcept>
 #include <utility>
 
@@ -12,90 +11,32 @@ namespace statsize::runtime {
 
 namespace {
 
-/// Shared state of one parallel_for invocation. Heap-allocated and held via
-/// shared_ptr by every helper task so a helper scheduled after the loop
-/// already finished can still touch it safely (it just sees no work left).
-struct ForJob {
-  std::size_t n = 0;
-  std::size_t grain = 1;
-  std::size_t total_chunks = 0;
-  const RangeFn* body = nullptr;
+/// Pool this thread is currently executing for (as a persistent worker, or
+/// as the owner while it drains its own region's chunks). A parallel_for on
+/// the same pool from such a thread runs inline: the owner cannot host a
+/// second region (it is inside one), and a worker blocking on for_mutex_
+/// while its own team waits for it at the barrier would deadlock. Inline
+/// execution is value-identical — chunk outputs are index-keyed.
+thread_local ThreadPool* t_active_pool = nullptr;
 
-  std::atomic<std::size_t> next{0};  // next unclaimed chunk
-  std::atomic<std::size_t> done{0};  // completed chunks
-
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::exception_ptr error;  // first failure, guarded by mutex
-
-  /// Marks `count` chunks as retired and wakes the waiter when every chunk
-  /// is accounted for (executed, or skipped by cancellation).
-  void retire(std::size_t count) {
-    if (done.fetch_add(count, std::memory_order_acq_rel) + count == total_chunks) {
-      const std::lock_guard<std::mutex> lock(mutex);
-      cv.notify_all();
-    }
-  }
-
-  /// Claims and runs chunks until none are left. Returns once this
-  /// participant cannot obtain more work (others may still be mid-chunk).
-  void drain() {
-    for (;;) {
-      const std::size_t chunk = next.fetch_add(1, std::memory_order_relaxed);
-      if (chunk >= total_chunks) return;
-      const std::size_t begin = chunk * grain;
-      const std::size_t end = std::min(begin + grain, n);
-      try {
-        // Cooperative cancellation checkpoint: a deadline/cancel stops the
-        // loop within one chunk's overshoot, reusing the exception machinery
-        // below (first thrower cancels the remaining claims). Unarmed, both
-        // checks are one relaxed atomic load each.
-        poll_cancel();
-        if (fault::hit(fault::kPoolChunk)) {
-          throw std::runtime_error("injected fault: pool.chunk");
-        }
-        (*body)(begin, end);
-        retire(1);
-      } catch (...) {
-        {
-          const std::lock_guard<std::mutex> lock(mutex);
-          if (!error) error = std::current_exception();
-        }
-        // Cancel further claims. The exchange is an atomic RMW, so claims
-        // serialize against it: every value below `old` was (or will be)
-        // claimed by exactly one participant and retires itself; values in
-        // [old, total_chunks) can never be claimed, so this thread retires
-        // them on their behalf — otherwise wait() would block forever on a
-        // done count that can no longer reach total_chunks. A concurrent
-        // second canceller sees old >= total_chunks and retires only its own
-        // chunk, so nothing is double-counted.
-        const std::size_t old =
-            std::min(next.exchange(total_chunks, std::memory_order_relaxed), total_chunks);
-        retire(1 + (total_chunks - old));
-      }
-    }
-  }
-
-  void wait() {
-    std::unique_lock<std::mutex> lock(mutex);
-    cv.wait(lock, [this] { return done.load(std::memory_order_acquire) == total_chunks; });
-  }
-};
+/// Bounded spin before blocking. Yield-based so an oversubscribed host
+/// (including the 1-core case) hands the core to whoever has work; on a
+/// multicore box back-to-back regions are caught mid-spin and never pay the
+/// sleep/wake round trip.
+constexpr int kSpinIterations = 256;
 
 }  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   const int workers = std::max(1, num_threads) - 1;
-  deques_.reserve(static_cast<std::size_t>(workers));
-  for (int i = 0; i < workers; ++i) deques_.push_back(std::make_unique<Deque>());
   workers_.reserve(static_cast<std::size_t>(workers));
   for (int i = 0; i < workers; ++i) {
-    workers_.emplace_back([this, i] { worker_main(static_cast<std::size_t>(i)); });
+    workers_.emplace_back([this] { worker_main(); });
   }
 }
 
 ThreadPool::~ThreadPool() {
-  stop_.store(true, std::memory_order_release);
+  stop_.store(true, std::memory_order_seq_cst);
   {
     const std::lock_guard<std::mutex> lock(sleep_mutex_);
     sleep_cv_.notify_all();
@@ -103,86 +44,177 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
-  if (deques_.empty()) {  // single-threaded pool: run inline
-    task();
-    return;
-  }
-  const std::size_t slot = next_deque_.fetch_add(1, std::memory_order_relaxed) % deques_.size();
-  {
-    const std::lock_guard<std::mutex> lock(deques_[slot]->mutex);
-    deques_[slot]->tasks.push_back(std::move(task));
-  }
-  pending_.fetch_add(1, std::memory_order_release);
-  {
+void ThreadPool::wake_sleepers() {
+  // Dekker handshake, publisher side: the work signal (epoch_, task_pending_
+  // or stop_) was stored seq_cst before this seq_cst load. A worker raises
+  // sleepers_ (seq_cst) before re-checking those signals under sleep_mutex_,
+  // so either it sees the new signal and never sleeps, or this load sees its
+  // raised count and the notify below — serialized against the worker's
+  // predicate check by sleep_mutex_ — lands. No lost wakeup either way.
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) {
     const std::lock_guard<std::mutex> lock(sleep_mutex_);
-    sleep_cv_.notify_one();
+    sleep_cv_.notify_all();
   }
 }
 
-bool ThreadPool::try_run_one(std::size_t self) {
-  std::function<void()> task;
-  // Own deque first (back = most recently pushed, cache-warm) ...
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {  // single-threaded pool: run inline
+    task();
+    return;
+  }
   {
-    Deque& own = *deques_[self];
-    const std::lock_guard<std::mutex> lock(own.mutex);
-    if (!own.tasks.empty()) {
-      task = std::move(own.tasks.back());
-      own.tasks.pop_back();
-    }
+    const std::lock_guard<std::mutex> lock(task_mutex_);
+    tasks_.push_back(std::move(task));
   }
-  // ... then steal the oldest task from a sibling.
-  if (!task) {
-    for (std::size_t k = 1; k < deques_.size() && !task; ++k) {
-      Deque& victim = *deques_[(self + k) % deques_.size()];
-      const std::lock_guard<std::mutex> lock(victim.mutex);
-      if (!victim.tasks.empty()) {
-        task = std::move(victim.tasks.front());
-        victim.tasks.pop_front();
-      }
-    }
+  task_pending_.fetch_add(1, std::memory_order_seq_cst);
+  wake_sleepers();
+}
+
+bool ThreadPool::run_one_task() {
+  std::function<void()> task;
+  {
+    const std::lock_guard<std::mutex> lock(task_mutex_);
+    if (tasks_.empty()) return false;
+    task = std::move(tasks_.front());
+    tasks_.pop_front();
+    task_pending_.fetch_sub(1, std::memory_order_relaxed);
   }
-  if (!task) return false;
-  pending_.fetch_sub(1, std::memory_order_release);
   task();
   return true;
 }
 
-void ThreadPool::worker_main(std::size_t self) {
-  while (!stop_.load(std::memory_order_acquire)) {
-    if (try_run_one(self)) continue;
-    std::unique_lock<std::mutex> lock(sleep_mutex_);
-    sleep_cv_.wait(lock, [this] {
-      return stop_.load(std::memory_order_acquire) ||
-             pending_.load(std::memory_order_acquire) > 0;
-    });
+void ThreadPool::drain_region() {
+  const std::size_t total = region_.total_chunks;
+  for (;;) {
+    const std::size_t chunk = region_.next.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= total) return;
+    const std::size_t begin = chunk * region_.grain;
+    const std::size_t end = std::min(begin + region_.grain, region_.n);
+    try {
+      // Cooperative cancellation checkpoint: a deadline/cancel stops the
+      // loop within one chunk's overshoot, reusing the exception machinery
+      // below (first thrower cancels the remaining claims). Unarmed, both
+      // checks are one relaxed atomic load each.
+      poll_cancel();
+      if (fault::hit(fault::kPoolChunk)) {
+        throw std::runtime_error("injected fault: pool.chunk");
+      }
+      (*region_.body)(begin, end);
+    } catch (...) {
+      {
+        const std::lock_guard<std::mutex> lock(error_mutex_);
+        if (!error_) error_ = std::current_exception();
+      }
+      // Exhaust the cursor so further claims stop. A chunk claimed between
+      // the throw and this store still executes (same best-effort window the
+      // previous exchange-based design had); completion needs no chunk
+      // accounting — the end-of-region barrier already proves every
+      // participant is done claiming.
+      region_.next.store(total, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void ThreadPool::worker_main() {
+  t_active_pool = this;
+  std::uint64_t seen = 0;
+  for (;;) {
+    // Work signals, checked hottest-first.
+    const std::uint64_t e = epoch_.load(std::memory_order_seq_cst);
+    if (e != seen) {
+      seen = e;
+      drain_region();
+      // End-of-region barrier: the last arriver wakes the owner. Always
+      // lock+notify — the owner may have just started its blocking wait,
+      // and locking owner_mutex_ orders this notify after its predicate
+      // check. Once per region per team, so the cost is noise.
+      if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == workers_.size()) {
+        const std::lock_guard<std::mutex> lock(owner_mutex_);
+        owner_cv_.notify_one();
+      }
+      continue;
+    }
+    if (task_pending_.load(std::memory_order_acquire) > 0 && run_one_task()) continue;
+    if (stop_.load(std::memory_order_acquire)) return;
+
+    // Idle: spin briefly (catches back-to-back regions), then block.
+    bool signaled = false;
+    for (int spin = 0; spin < kSpinIterations; ++spin) {
+      if (epoch_.load(std::memory_order_relaxed) != seen ||
+          task_pending_.load(std::memory_order_relaxed) > 0 ||
+          stop_.load(std::memory_order_relaxed)) {
+        signaled = true;
+        break;
+      }
+      std::this_thread::yield();
+    }
+    if (signaled) continue;
+
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    {
+      std::unique_lock<std::mutex> lock(sleep_mutex_);
+      sleep_cv_.wait(lock, [&] {
+        return epoch_.load(std::memory_order_seq_cst) != seen ||
+               task_pending_.load(std::memory_order_acquire) > 0 ||
+               stop_.load(std::memory_order_acquire);
+      });
+    }
+    sleepers_.fetch_sub(1, std::memory_order_seq_cst);
   }
 }
 
 void ThreadPool::parallel_for(std::size_t n, std::size_t grain, RangeFn body) {
   if (n == 0) return;
   if (grain == 0) grain = 1;
-  if (deques_.empty() || n <= grain) {
+  if (workers_.empty() || n <= grain || t_active_pool == this) {
     poll_cancel();  // the single-chunk equivalent of the per-chunk checkpoint
     body(0, n);
     return;
   }
-  auto job = std::make_shared<ForJob>();
-  job->n = n;
-  job->grain = grain;
-  job->total_chunks = (n + grain - 1) / grain;
-  job->body = &body;
+  const std::lock_guard<std::mutex> owner(for_mutex_);
+  // Fill the descriptor. Safe without atomics: the previous region's end
+  // barrier proved every worker is out of drain_region, and the epoch bump
+  // below releases these writes to the team.
+  region_.n = n;
+  region_.grain = grain;
+  region_.total_chunks = (n + grain - 1) / grain;
+  region_.body = &body;
+  region_.next.store(0, std::memory_order_relaxed);
+  error_ = nullptr;
 
-  // One helper per worker, capped by the chunk count (the caller is the
-  // remaining participant). Helpers that wake up late find no work and exit.
-  const std::size_t helpers =
-      std::min(workers_.size(), job->total_chunks > 1 ? job->total_chunks - 1 : 0);
-  for (std::size_t i = 0; i < helpers; ++i) {
-    submit([job] { job->drain(); });
+  epoch_.fetch_add(1, std::memory_order_seq_cst);
+  wake_sleepers();
+
+  // The owner is a full participant; its chunks run with the active-pool
+  // marker set so a nested parallel_for from the body runs inline instead of
+  // self-deadlocking on for_mutex_.
+  ThreadPool* const prev_active = t_active_pool;
+  t_active_pool = this;
+  drain_region();  // never throws — failures land in error_
+  t_active_pool = prev_active;
+
+  // Full-team end barrier: every worker checks in exactly once per epoch,
+  // even if it claimed no chunks. Spin first (workers finish while the owner
+  // drains its last chunk in the common case), then block.
+  const std::size_t team = workers_.size();
+  bool done = arrived_.load(std::memory_order_acquire) == team;
+  for (int spin = 0; !done && spin < kSpinIterations; ++spin) {
+    std::this_thread::yield();
+    done = arrived_.load(std::memory_order_acquire) == team;
   }
-  job->drain();
-  job->wait();
-  if (job->error) std::rethrow_exception(job->error);
+  if (!done) {
+    std::unique_lock<std::mutex> lock(owner_mutex_);
+    owner_cv_.wait(lock,
+                   [&] { return arrived_.load(std::memory_order_acquire) == team; });
+  }
+  arrived_.store(0, std::memory_order_relaxed);
+  region_.body = nullptr;
+
+  if (error_) {
+    const std::exception_ptr err = std::exchange(error_, nullptr);
+    std::rethrow_exception(err);
+  }
 }
 
 }  // namespace statsize::runtime

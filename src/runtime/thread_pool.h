@@ -1,4 +1,4 @@
-// Work-stealing thread pool with a blocking parallel_for.
+// Persistent-executor thread pool with a blocking parallel_for.
 //
 // Design targets (see DESIGN.md §7):
 //   * Determinism. parallel_for hands each index range to exactly one
@@ -7,28 +7,44 @@
 //     NOT performed here — callers combine per-block partials in block order
 //     (runtime.h provides the helpers), which is what makes parallel results
 //     bit-identical at any thread count.
-//   * Nested safety. The calling thread always participates in its own
-//     parallel_for (self-scheduling chunk claiming), so a parallel_for issued
-//     from inside a worker completes even when every other worker is busy —
-//     nesting can starve parallelism but never deadlock.
-//   * Exceptions. The first exception thrown by any chunk is captured,
-//     further chunk claims are cancelled, and the exception is rethrown on
-//     the calling thread once in-flight chunks have drained.
+//   * Cheap dispatch. Workers are persistent and park on an epoch counter
+//     (a sense-reversing barrier generalized to a 64-bit epoch). Publishing
+//     a parallel region is: write the region descriptor, bump the epoch,
+//     wake any sleepers. No heap allocation, no std::function, no per-helper
+//     queue traffic — workers claim chunks straight off the region's atomic
+//     cursor.
+//   * Nested safety. A parallel_for issued from inside a region (from a
+//     worker, or from the calling thread while it executes its own chunks)
+//     runs inline — value-identical because chunk outputs are index-keyed —
+//     so nesting can starve parallelism but never deadlock.
+//   * Exceptions. The first exception thrown by any chunk is captured, the
+//     chunk cursor is exhausted so further claims stop, and the exception is
+//     rethrown on the calling thread after the end-of-region barrier.
 //
-// Task submission uses per-worker deques: a worker pops its own deque from
-// the back (LIFO, cache-warm) and steals from other deques from the front
-// (FIFO, oldest first). parallel_for layers self-scheduling on top: helpers
-// and the caller claim fixed-size chunks off a shared atomic cursor, so load
-// balance does not depend on the initial task placement.
+// Region protocol (full-team epoch barrier):
+//   1. The owner serializes on for_mutex_, fills the single reusable region
+//      descriptor, and bumps epoch_ (seq_cst release of the descriptor).
+//   2. Every worker observes the epoch change (spinning briefly, then
+//      sleeping on sleep_cv_), drains chunks off the cursor, and arrives at
+//      the end barrier (arrived_). The owner drains chunks too.
+//   3. The owner waits until arrived_ == workers, then resets the barrier.
+//      Because the whole team checks in every epoch, no stale worker can
+//      ever touch a reused descriptor — which is what makes the single
+//      descriptor safe without per-call allocation or generation tags.
+// The idle pool costs nothing: workers spin a short bounded budget and then
+// block on a condition variable; a seq_cst Dekker handshake between the
+// owner's (bump epoch, read sleepers_) and the workers' (raise sleepers_,
+// re-check epoch under the sleep mutex) makes lost wakeups impossible.
 
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
-#include <memory>
 #include <mutex>
 #include <thread>
 #include <type_traits>
@@ -68,8 +84,9 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
 
-  /// Fire-and-forget task, queued on a worker deque (round-robin) and
-  /// stealable by any other worker. Tasks must not throw.
+  /// Fire-and-forget task on the shared queue. Every submit wakes all
+  /// sleepers (a burst of N tasks reliably engages N workers; spinning
+  /// workers pick tasks up without any wake at all). Tasks must not throw.
   void submit(std::function<void()> task);
 
   /// Runs body(b, e) over subranges that exactly tile [0, n), blocking until
@@ -79,18 +96,47 @@ class ThreadPool {
   void parallel_for(std::size_t n, std::size_t grain, RangeFn body);
 
  private:
-  struct Deque {
-    std::mutex mutex;
-    std::deque<std::function<void()>> tasks;
+  /// The single reusable parallel_for descriptor. Plain fields are published
+  /// by the epoch bump and quiesced by the end barrier; only the cursor is
+  /// contended while a region runs.
+  struct Region {
+    std::size_t n = 0;
+    std::size_t grain = 1;
+    std::size_t total_chunks = 0;
+    const RangeFn* body = nullptr;
+    alignas(64) std::atomic<std::size_t> next{0};  // chunk cursor, own line
   };
 
-  void worker_main(std::size_t self);
-  bool try_run_one(std::size_t self);
+  void worker_main();
+  void drain_region();
+  bool run_one_task();
+  void wake_sleepers();
 
-  std::vector<std::unique_ptr<Deque>> deques_;  // one per worker
   std::vector<std::thread> workers_;
-  std::atomic<std::size_t> next_deque_{0};
-  std::atomic<std::size_t> pending_{0};  // queued-but-unstarted task count
+
+  // Region state (owner-written between barriers, worker-read during one).
+  std::mutex for_mutex_;  // serializes external parallel_for callers
+  Region region_;
+  std::mutex error_mutex_;
+  std::exception_ptr error_;  // first failure of the current region
+
+  // Epoch barrier. epoch_ publishes regions; arrived_ collects the team at
+  // the end of one. Separate cache lines: epoch_ is read in every spin
+  // iteration while arrived_ is written once per worker per region.
+  alignas(64) std::atomic<std::uint64_t> epoch_{0};
+  alignas(64) std::atomic<std::size_t> arrived_{0};
+  std::mutex owner_mutex_;
+  std::condition_variable owner_cv_;
+
+  // Fire-and-forget task queue (shared; submit bursts are rare and cold
+  // compared to parallel_for regions, so one mutex is fine).
+  std::mutex task_mutex_;
+  std::deque<std::function<void()>> tasks_;
+  alignas(64) std::atomic<std::size_t> task_pending_{0};
+
+  // Sleep machinery: workers raise sleepers_ before blocking; publishers
+  // (epoch bump, submit, stop) read it to decide whether a wake is needed.
+  alignas(64) std::atomic<std::size_t> sleepers_{0};
   std::mutex sleep_mutex_;
   std::condition_variable sleep_cv_;
   std::atomic<bool> stop_{false};

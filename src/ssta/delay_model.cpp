@@ -20,8 +20,15 @@ stat::NormalRV DelayCalculator::delay(NodeId id, const std::vector<double>& spee
 std::vector<stat::NormalRV> DelayCalculator::all_delays(const std::vector<double>& speed) const {
   const netlist::TimingView& view = circuit_->view();
   std::vector<stat::NormalRV> delays(static_cast<std::size_t>(view.num_nodes()));
+  // Batched load caps: one SIMD-friendly pass over the fanout edge array
+  // replaces a short gather loop per gate. Same arithmetic per node as
+  // delay(id, speed), hence bit-identical delays.
+  std::vector<double> cap(static_cast<std::size_t>(view.num_nodes()));
+  view.batch_load_capacitance(speed.data(), cap.data());
   for (NodeId id : view.gates_in_topo_order()) {
-    delays[static_cast<std::size_t>(id)] = delay(id, speed);
+    const std::size_t i = static_cast<std::size_t>(id);
+    const double mu = view.t_int(id) + view.drive_c(id) * cap[i] / speed[i];
+    delays[i] = stat::NormalRV::from_sigma(mu, sigma_model_.sigma(mu));
   }
   return delays;
 }

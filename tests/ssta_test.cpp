@@ -236,6 +236,43 @@ TEST(MonteCarlo, QuantileRejectsProbabilityOutsideUnitInterval) {
   EXPECT_EQ(mc.quantile(1.0), mc.max);
 }
 
+TEST(MonteCarlo, RejectsNonPositiveSampleCounts) {
+  // Regression: num_samples = 0 reached samples.front()/.back() on an empty
+  // vector (UB) and a divide-by-zero in criticality, and a negative count
+  // wrapped through the size_t cast in the chunk partition into an absurd
+  // allocation. Both entry points must reject with a named invalid_argument
+  // before any trial math runs.
+  const Circuit c = make_tree_circuit();
+  DelayCalculator calc(c);
+  const auto delays = calc.all_delays(unit_speed(c));
+  MonteCarloOptions opt;
+  for (const int bad : {0, -1, -20000}) {
+    opt.num_samples = bad;
+    EXPECT_THROW(run_monte_carlo(c, delays, opt), std::invalid_argument) << bad;
+    EXPECT_THROW(monte_carlo_criticality(c, delays, opt), std::invalid_argument) << bad;
+  }
+  opt.num_samples = -20000;
+  try {
+    run_monte_carlo(c, delays, opt);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("run_monte_carlo"), std::string::npos) << what;
+    EXPECT_NE(what.find("-20000"), std::string::npos) << what;
+  }
+  try {
+    monte_carlo_criticality(c, delays, opt);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("monte_carlo_criticality"), std::string::npos);
+  }
+  // The smallest legal count still works end to end.
+  opt.num_samples = 1;
+  const MonteCarloResult one = run_monte_carlo(c, delays, opt);
+  EXPECT_EQ(one.samples.size(), 1u);
+  EXPECT_EQ(one.min, one.max);
+}
+
 TEST(MonteCarlo, SeedReproducibility) {
   const Circuit c = make_tree_circuit();
   DelayCalculator calc(c);

@@ -266,9 +266,12 @@ int run_audit(int argc, char** argv) {
   args.add_double("kappa", "gate sigma model: sigma = kappa * mu + offset", 0.25);
   args.add_double("sigma-offset", "additive term of the gate sigma model", 0.0);
   args.add_double("max-speed", "upper sizing limit of the audited NLP instance", 3.0);
-  args.add_double("dispatch-ns", "advisor cost model: per-chunk dispatch cost", 1500.0);
-  args.add_double("gate-ns", "advisor cost model: per-gate sweep cost", 120.0);
-  args.add_int("grain", "advisor cost model: gates per chunk", 32);
+  args.add_double("dispatch-ns", "advisor cost model: per-chunk dispatch cost",
+                  runtime::kDefaultChunkDispatchNs);
+  args.add_double("gate-ns", "advisor cost model: per-gate sweep cost",
+                  runtime::kDefaultItemCostNs);
+  args.add_int("grain", "advisor cost model: gates per chunk",
+               static_cast<int>(runtime::kDefaultDispatchGrain));
   args.add_int("threads", "advisor cost model: worker threads (0 = runtime pool)", 0);
   args.add_flag("calibrate", "measure the per-chunk dispatch cost on this machine "
                              "instead of the fixed default (non-deterministic output)");
