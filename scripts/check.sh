@@ -45,7 +45,11 @@ if [ "$SANITIZE" = "thread" ]; then
   # cache's shared-lock readers in one process.
   echo "== ctest under ThreadSanitizer (runtime + parallel engines + serve) =="
   STATSIZE_JOBS=4 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-    -L '^(runtime_test|ssta_test|nlp_test|core_test|timing_view_test|resilience_test|serve_test)$'
+    -L '^(runtime_test|ssta_test|nlp_test|core_test|timing_view_test|resilience_test|serve_test|incremental_test)$'
+  # The ECO label again on its own: the incremental engine's level worklist
+  # commits scratch arrivals from pool workers, a prime TSan surface.
+  echo "== ctest eco label under ThreadSanitizer =="
+  STATSIZE_JOBS=4 ctest --test-dir "$BUILD_DIR" --output-on-failure -L '^eco$'
   echo "thread-sanitizer checks passed"
   exit 0
 fi
@@ -57,6 +61,24 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 # deadline must degrade to a checkpoint, never to a sanitizer-visible crash.
 echo "== ctest resilience label under sanitizers =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L '^resilience$'
+
+# Same for the ECO contract: incremental re-timing must stay bit-identical to
+# full recompute under the sanitizers too.
+echo "== ctest eco label under sanitizers =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L '^eco$'
+
+# ECO bench gate: the bit-identity cross-check (every single-gate edit vs a
+# from-scratch run_ssta / cold gradient) plus the >=10x rebuild-per-query
+# speedup and the wall-time-tracks-cone-size correlation all hard-fail via
+# the exit code. Timing gates need real cores; the bit-identity half also
+# runs in ctest (incremental_test) on any host.
+echo "== eco incremental gate (bit-identity + speedup) =="
+if [ "$(nproc)" -ge 4 ]; then
+  (cd "$BUILD_DIR" && "$BUILD_DIR/bench/eco_incremental")
+  echo "eco gate passed (table in $BUILD_DIR/BENCH_eco.json)"
+else
+  echo "eco bench skipped: only $(nproc) core(s) on this host"
+fi
 
 # Pre-solve static audit over every shipped example circuit: error-severity
 # findings (exit 3) or tool failures (exit 1) fail the gate; warnings/notes

@@ -14,9 +14,20 @@
 // overlapping amu/avar/grad scatters go through per-level ScatterPlans
 // (parallel evaluate into disjoint slots, conflict-free target-major fold),
 // so results are equal at any thread count, including the serial fallback.
+//
+// ECO path (DESIGN.md §12): the evaluator keeps its forward tape (arrivals,
+// delays, recorded Clark steps) across gradient calls. When the next call's
+// speed vector differs from the cached one on a few gates only — or the
+// view's delay-model constants were edited and note_edits() named the nodes
+// — the forward sweep repropagates just the affected cone, worklist-style,
+// and the adjoint runs over the patched tape. A gate not recomputed has
+// bitwise-identical fanin arrivals, hence bitwise-identical cached steps, so
+// the incremental gradient is bit-identical to a cold evaluation (pinned by
+// tests and bench/eco_incremental).
 
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -30,11 +41,19 @@ namespace statsize::core {
 class ReducedEvaluator {
  public:
   ReducedEvaluator(const netlist::Circuit& circuit, ssta::SigmaModel sigma_model);
+
+  /// Evaluates against a standalone view — e.g. an ECO-edited copy owned by
+  /// an IncrementalEngine or a derived serve cache entry. The caller keeps
+  /// `view` alive (and does not move it) for this evaluator's lifetime.
+  /// circuit() throws on an evaluator built this way.
+  ReducedEvaluator(const netlist::TimingView& view, ssta::SigmaModel sigma_model);
+
   ~ReducedEvaluator();
 
-  const netlist::Circuit& circuit() const { return *circuit_; }
+  const netlist::Circuit& circuit() const;
 
   /// Forward sweep only: the circuit-delay distribution at `speed`.
+  /// Stateless (does not consult or update the gradient tape).
   stat::NormalRV eval(const std::vector<double>& speed) const;
 
   /// Forward + adjoint: returns Tmax and fills `grad` (indexed by NodeId;
@@ -49,8 +68,8 @@ class ReducedEvaluator {
   /// arrival to fold) instead of underflowing the step-slice arithmetic.
   ///
   /// Not safe for concurrent calls on one instance: the adjoint's scatter
-  /// plans are cached lazily on first use (the sweeps themselves fan out
-  /// across the global pool internally).
+  /// plans and the forward tape are cached across calls (the sweeps
+  /// themselves fan out across the global pool internally).
   stat::NormalRV eval_with_grad(const std::vector<double>& speed, double seed_mu,
                                 double seed_var, std::vector<double>& grad) const;
 
@@ -60,16 +79,42 @@ class ReducedEvaluator {
   double eval_metric(const std::vector<double>& speed, double sigma_weight,
                      std::vector<double>* grad) const;
 
+  /// Marks view nodes whose delay-model constants were edited (via
+  /// TimingView::update_node_params on this evaluator's view) since the last
+  /// gradient call. Call *after* the edits: the evaluator records the view's
+  /// current epoch, and the next forward sweep repropagates only the cone of
+  /// the noted nodes (plus any speed-diff dirt). Edits made without a note
+  /// are still safe — the epoch mismatch forces a full resweep.
+  void note_edits(const std::vector<netlist::NodeId>& nodes);
+
+  /// Drops the forward tape; the next gradient call runs a full sweep.
+  void invalidate();
+
+  /// Gates whose arrival fold actually ran in the last gradient call's
+  /// forward sweep (== num_gates for a full sweep) — the observable
+  /// "gradient re-eval scales with cone size" contract.
+  std::size_t last_forward_recomputes() const;
+
  private:
   struct AdjointPlans;
+  struct ForwardCache;
+
+  const netlist::TimingView& resolve_view() const;
+
+  /// Full-or-incremental forward sweep recording the Clark-step tape into
+  /// the cache; returns Tmax.
+  stat::NormalRV forward_sweep(const netlist::TimingView& view,
+                               const std::vector<double>& speed) const;
 
   template <class SeedFn>
   stat::NormalRV eval_with_grad_impl(const std::vector<double>& speed, const SeedFn& seed_fn,
                                      std::vector<double>& grad) const;
 
-  const netlist::Circuit* circuit_;
+  const netlist::Circuit* circuit_ = nullptr;  ///< null when view-constructed
+  const netlist::TimingView* view_ = nullptr;  ///< null when circuit-constructed
   ssta::SigmaModel sigma_model_;
   mutable std::unique_ptr<AdjointPlans> plans_;  ///< lazy; structure-only cache
+  mutable std::unique_ptr<ForwardCache> fwd_;    ///< lazy; forward tape
 };
 
 }  // namespace statsize::core

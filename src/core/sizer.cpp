@@ -10,6 +10,7 @@
 
 #include "core/full_space.h"
 #include "core/reduced_space.h"
+#include "netlist/timing_view.h"
 #include "nlp/auglag.h"
 #include "nlp/breakdown.h"
 #include "nlp/projected_lbfgs.h"
@@ -20,21 +21,34 @@
 namespace statsize::core {
 
 using netlist::NodeId;
-using netlist::NodeKind;
 
-Sizer::Sizer(const netlist::Circuit& circuit, SizingSpec spec)
-    : circuit_(&circuit), spec_(std::move(spec)) {
-  if (!circuit.finalized()) throw std::invalid_argument("circuit must be finalized");
-  if (spec_.max_speed < 1.0) throw std::invalid_argument("max_speed must be >= 1");
-  if (spec_.objective.kind == ObjectiveKind::kSigma && !spec_.delay_constraint) {
+namespace {
+
+void validate_spec(const SizingSpec& spec, int num_nodes) {
+  if (spec.max_speed < 1.0) throw std::invalid_argument("max_speed must be >= 1");
+  if (spec.objective.kind == ObjectiveKind::kSigma && !spec.delay_constraint) {
     throw std::invalid_argument(
         "sigma objectives need a delay constraint (otherwise sigma->min is the "
         "trivial all-max or all-min sizing)");
   }
-  if (spec_.objective.kind == ObjectiveKind::kWeighted &&
-      static_cast<int>(spec_.objective.weights.size()) != circuit.num_nodes()) {
+  if (spec.objective.kind == ObjectiveKind::kWeighted &&
+      static_cast<int>(spec.objective.weights.size()) != num_nodes) {
     throw std::invalid_argument("weighted objective needs one weight per NodeId");
   }
+}
+
+}  // namespace
+
+Sizer::Sizer(const netlist::Circuit& circuit, SizingSpec spec)
+    : circuit_(&circuit), view_(nullptr), spec_(std::move(spec)) {
+  if (!circuit.finalized()) throw std::invalid_argument("circuit must be finalized");
+  view_ = &circuit.view();
+  validate_spec(spec_, circuit.num_nodes());
+}
+
+Sizer::Sizer(const netlist::TimingView& view, SizingSpec spec)
+    : circuit_(nullptr), view_(&view), spec_(std::move(spec)) {
+  validate_spec(spec_, view.num_nodes());
 }
 
 std::vector<double> Sizer::default_start() const {
@@ -45,14 +59,14 @@ std::vector<double> Sizer::default_start() const {
     // the middle of the sizing range so both directions are reachable.
     s0 = spec_.delay_constraint->equality ? 0.5 * (1.0 + spec_.max_speed) : spec_.max_speed;
   }
-  return std::vector<double>(static_cast<std::size_t>(circuit_->num_nodes()), s0);
+  return std::vector<double>(static_cast<std::size_t>(view_->num_nodes()), s0);
 }
 
 void Sizer::finish(SizingResult& result) const {
-  const ssta::DelayCalculator calc(*circuit_, spec_.sigma_model);
+  const ssta::DelayCalculator calc(*view_, spec_.sigma_model);
   result.circuit_delay = ssta::run_ssta(calc, result.speed).circuit_delay;
-  result.sum_speed = ssta::DelayCalculator::total_speed(*circuit_, result.speed);
-  result.area = ssta::DelayCalculator::total_area(*circuit_, result.speed);
+  result.sum_speed = ssta::DelayCalculator::total_speed(*view_, result.speed);
+  result.area = ssta::DelayCalculator::total_area(*view_, result.speed);
   if (spec_.delay_constraint) {
     const DelayConstraint& dc = *spec_.delay_constraint;
     const double metric = result.delay_metric(dc.sigma_weight);
@@ -81,19 +95,19 @@ struct Score {
 };
 
 /// The spec objective evaluated at a sizing whose circuit delay is `t`.
-double objective_metric(const netlist::Circuit& c, const SizingSpec& spec,
+double objective_metric(const netlist::TimingView& v, const SizingSpec& spec,
                         const std::vector<double>& speed, const stat::NormalRV& t) {
   switch (spec.objective.kind) {
     case ObjectiveKind::kDelay:
       return t.mu + spec.objective.sigma_weight * t.sigma();
     case ObjectiveKind::kArea:
-      return ssta::DelayCalculator::total_speed(c, speed);
+      return ssta::DelayCalculator::total_speed(v, speed);
     case ObjectiveKind::kSigma:
       return spec.objective.sign * t.sigma();
     case ObjectiveKind::kWeighted: {
       double w = 0.0;
       for (std::size_t i = 0; i < speed.size(); ++i) {
-        if (c.node(static_cast<NodeId>(i)).kind == NodeKind::kGate) {
+        if (v.is_gate(static_cast<NodeId>(i))) {
           w += spec.objective.weights[i] * speed[i];
         }
       }
@@ -103,12 +117,12 @@ double objective_metric(const netlist::Circuit& c, const SizingSpec& spec,
   return 0.0;
 }
 
-Score score_sizing(const netlist::Circuit& c, const SizingSpec& spec,
+Score score_sizing(const netlist::TimingView& v, const SizingSpec& spec,
                    const std::vector<double>& speed) {
-  const ReducedEvaluator eval(c, spec.sigma_model);
+  const ReducedEvaluator eval(v, spec.sigma_model);
   const stat::NormalRV t = eval.eval(speed);
   Score s;
-  s.objective = objective_metric(c, spec, speed, t);
+  s.objective = objective_metric(v, spec, speed, t);
   if (spec.delay_constraint) {
     const DelayConstraint& dc = *spec.delay_constraint;
     const double h = t.mu + dc.sigma_weight * t.sigma() - dc.bound;
@@ -140,11 +154,36 @@ constexpr double kMinRhoScale = 1e-3;
 }  // namespace
 
 SizingResult Sizer::run(const SizerOptions& options) const {
-  return run(options, default_start());
+  return run_impl(options, default_start(), nullptr);
 }
 
 SizingResult Sizer::run(const SizerOptions& options,
                         const std::vector<double>& initial_speed) const {
+  return run_impl(options, initial_speed, nullptr);
+}
+
+SizingResult Sizer::resize(const SizerOptions& options, const SizingWarmStart& warm) const {
+  if (!warm.speed.empty() &&
+      warm.speed.size() != static_cast<std::size_t>(view_->num_nodes())) {
+    throw std::invalid_argument("Sizer::resize: warm.speed has " +
+                                std::to_string(warm.speed.size()) + " entries for " +
+                                std::to_string(view_->num_nodes()) +
+                                " nodes (indexed by NodeId, like SizingResult::speed)");
+  }
+  if (!std::isfinite(warm.lambda) || !std::isfinite(warm.rho)) {
+    throw std::invalid_argument("Sizer::resize: warm lambda/rho must be finite");
+  }
+  return run_impl(options, warm.speed.empty() ? default_start() : warm.speed, &warm);
+}
+
+SizingResult Sizer::run_impl(const SizerOptions& options, const std::vector<double>& initial_speed,
+                             const SizingWarmStart* warm) const {
+  if (options.method == Method::kFullSpace && circuit_ == nullptr) {
+    throw std::invalid_argument(
+        "Sizer: full-space sizing needs the owning Circuit (the NLP constraint "
+        "structure is built from it); construct the Sizer from a Circuit or use "
+        "Method::kReducedSpace on this view");
+  }
   const auto t0 = std::chrono::steady_clock::now();
 
   // Degraded fallback when a cancel/tripwire fires outside the solvers' own
@@ -155,12 +194,10 @@ SizingResult Sizer::run(const SizerOptions& options,
     r.status = std::string(options.method == Method::kFullSpace ? "full-space/" : "reduced/") + what;
     r.breakdown_site = std::move(site);
     r.from_checkpoint = true;
-    r.speed.assign(static_cast<std::size_t>(circuit_->num_nodes()), 1.0);
-    for (NodeId id : circuit_->topo_order()) {
-      if (circuit_->node(id).kind == NodeKind::kGate) {
-        r.speed[static_cast<std::size_t>(id)] =
-            std::clamp(start[static_cast<std::size_t>(id)], 1.0, spec_.max_speed);
-      }
+    r.speed.assign(static_cast<std::size_t>(view_->num_nodes()), 1.0);
+    for (NodeId id : view_->gates_in_topo_order()) {
+      r.speed[static_cast<std::size_t>(id)] =
+          std::clamp(start[static_cast<std::size_t>(id)], 1.0, spec_.max_speed);
     }
     return r;
   };
@@ -189,7 +226,10 @@ SizingResult Sizer::run(const SizerOptions& options,
                        : perturbed_start(initial_speed, spec_.max_speed, options.retry_seed, attempt);
       SizingResult r;
       try {
-        r = run_attempt(options, start, rho_scale);
+        // Warm multiplier state only applies to the un-perturbed first
+        // attempt: a retry start is a different point, where the old
+        // multipliers are no longer meaningful.
+        r = run_attempt(options, start, rho_scale, attempt == 0 ? warm : nullptr);
       } catch (const runtime::OperationCancelled&) {
         r = degraded(start, "time-limit", "");
       } catch (const nlp::EvalBreakdown& e) {
@@ -205,8 +245,8 @@ SizingResult Sizer::run(const SizerOptions& options,
         bool take = r.converged && !result.converged;
         if (r.converged == result.converged) {
           try {
-            take = score_sizing(*circuit_, spec_, r.speed)
-                       .better_than(score_sizing(*circuit_, spec_, result.speed),
+            take = score_sizing(*view_, spec_, r.speed)
+                       .better_than(score_sizing(*view_, spec_, result.speed),
                                     options.feasibility_tol);
           } catch (const runtime::OperationCancelled&) {
             take = false;
@@ -227,20 +267,23 @@ SizingResult Sizer::run(const SizerOptions& options,
 }
 
 SizingResult Sizer::run_attempt(const SizerOptions& options, const std::vector<double>& start,
-                                double rho_scale) const {
-  return options.method == Method::kFullSpace ? run_full_space(options, start, rho_scale)
-                                              : run_reduced_space(options, start, rho_scale);
+                                double rho_scale, const SizingWarmStart* warm) const {
+  return options.method == Method::kFullSpace
+             ? run_full_space(options, start, rho_scale, warm)
+             : run_reduced_space(options, start, rho_scale, warm);
 }
 
 SizingResult Sizer::run_full_space(const SizerOptions& options, const std::vector<double>& start,
-                                   double rho_scale) const {
+                                   double rho_scale, const SizingWarmStart* warm_in) const {
   std::vector<double> s0 = start;
   SizingResult warm;
-  if (options.warm_start_full_space) {
+  // An ECO warm start replaces the reduced-space pre-solve: the previous
+  // solution's sizes already play the feasible-start role.
+  if (options.warm_start_full_space && warm_in == nullptr) {
     SizerOptions pre = options;
     pre.method = Method::kReducedSpace;
     pre.verbose = false;
-    warm = run_reduced_space(pre, start, rho_scale);
+    warm = run_reduced_space(pre, start, rho_scale, nullptr);
     s0 = warm.speed;
   }
   FullSpaceFormulation form = build_full_space(*circuit_, spec_, s0);
@@ -252,7 +295,14 @@ SizingResult Sizer::run_full_space(const SizerOptions& options, const std::vecto
   al.max_outer_iterations = options.max_outer_iterations;
   al.max_inner_iterations = options.max_inner_iterations;
   al.verbose = options.verbose;
-  const nlp::SolveResult sol = nlp::solve_augmented_lagrangian(*form.problem, al);
+  nlp::WarmStart nlp_warm;  // empty fields = cold defaults
+  if (warm_in != nullptr) {
+    if (static_cast<int>(warm_in->multipliers.size()) == form.problem->num_constraints()) {
+      nlp_warm.multipliers = warm_in->multipliers;
+    }
+    nlp_warm.rho = warm_in->rho;
+  }
+  const nlp::SolveResult sol = nlp::solve_augmented_lagrangian(*form.problem, al, nlp_warm);
 
   SizingResult result;
   result.converged = sol.ok();
@@ -260,19 +310,23 @@ SizingResult Sizer::run_full_space(const SizerOptions& options, const std::vecto
   result.speed = form.speeds_from(sol.x);
   result.objective_value = sol.objective;
   result.iterations = sol.inner_iterations;
+  result.outer_iterations = sol.outer_iterations;
   result.from_checkpoint = sol.from_checkpoint;
   result.checkpoint_outer = sol.checkpoint_outer;
   result.breakdown_site = sol.breakdown_site;
+  result.warm.speed = result.speed;
+  result.warm.multipliers = sol.multipliers;
+  result.warm.rho = sol.final_rho;
 
   // A non-converged augmented-Lagrangian run can drift off the warm-start
   // optimum; never return something worse than the point we started from.
   // (An expired deadline can make the rescore throw — keep the solver's
   // checkpoint in that case.)
-  if (!result.converged && options.warm_start_full_space) {
+  if (!result.converged && options.warm_start_full_space && warm_in == nullptr) {
     bool use_warm = false;
     try {
-      use_warm = score_sizing(*circuit_, spec_, warm.speed)
-                     .better_than(score_sizing(*circuit_, spec_, result.speed),
+      use_warm = score_sizing(*view_, spec_, warm.speed)
+                     .better_than(score_sizing(*view_, spec_, result.speed),
                                   options.feasibility_tol);
     } catch (const runtime::OperationCancelled&) {
       use_warm = false;
@@ -282,6 +336,7 @@ SizingResult Sizer::run_full_space(const SizerOptions& options, const std::vecto
       result.converged = warm.converged;
       result.status += "+fallback:" + warm.status;
       result.iterations += warm.iterations;
+      result.warm.speed = result.speed;
     }
   }
   return result;
@@ -289,15 +344,12 @@ SizingResult Sizer::run_full_space(const SizerOptions& options, const std::vecto
 
 SizingResult Sizer::run_reduced_space(const SizerOptions& options,
                                       const std::vector<double>& start,
-                                      double rho_scale) const {
-  const netlist::Circuit& c = *circuit_;
-  const ReducedEvaluator eval(c, spec_.sigma_model);
+                                      double rho_scale, const SizingWarmStart* warm_in) const {
+  const netlist::TimingView& v = *view_;
+  const ReducedEvaluator eval(v, spec_.sigma_model);
 
   // Optimizer variables: speed factor per gate.
-  std::vector<NodeId> gates;
-  for (NodeId id : c.topo_order()) {
-    if (c.node(id).kind == NodeKind::kGate) gates.push_back(id);
-  }
+  const std::vector<NodeId>& gates = v.gates_in_topo_order();
   const std::size_t ng = gates.size();
   std::vector<double> x(ng);
   for (std::size_t i = 0; i < ng; ++i) {
@@ -306,10 +358,12 @@ SizingResult Sizer::run_reduced_space(const SizerOptions& options,
   const std::vector<double> lo(ng, 1.0);
   const std::vector<double> hi(ng, spec_.max_speed);
 
-  std::vector<double> speed(static_cast<std::size_t>(c.num_nodes()), 1.0);
+  std::vector<double> speed(static_cast<std::size_t>(v.num_nodes()), 1.0);
   std::vector<double> full_grad;
-  double lambda = 0.0;
-  double rho = 10.0 * rho_scale;
+  // An ECO warm start resumes the multiplier/penalty schedule where the
+  // previous solve left it; cold solves estimate lambda from zero.
+  double lambda = warm_in != nullptr ? warm_in->lambda : 0.0;
+  double rho = warm_in != nullptr && warm_in->rho > 0.0 ? warm_in->rho : 10.0 * rho_scale;
 
   const bool has_constraint = spec_.delay_constraint.has_value();
   const double obj_k =
@@ -385,7 +439,9 @@ SizingResult Sizer::run_reduced_space(const SizerOptions& options,
     for (std::size_t i = 0; i < ng; ++i) {
       if (!std::isfinite(grad[i])) {
         throw nlp::EvalBreakdown("reduced-space gradient (gate " +
-                                 c.node(gates[i]).name + ")");
+                                 (circuit_ != nullptr ? circuit_->node(gates[i]).name
+                                                      : "#" + std::to_string(gates[i])) +
+                                 ")");
       }
     }
     return f;
@@ -406,6 +462,7 @@ SizingResult Sizer::run_reduced_space(const SizerOptions& options,
   int ckpt_outer = -1;
   bool have_ckpt = false;
   int total_it = 0;
+  int outers_run = 0;
 
   try {
     if (!has_constraint) {
@@ -423,11 +480,15 @@ SizingResult Sizer::run_reduced_space(const SizerOptions& options,
       for (int outer = 0; outer < options.max_outer_iterations && !done; ++outer) {
         // LANCELOT-style omega schedule: early subproblems are solved loosely
         // (their multipliers are wrong anyway), tightening toward the final
-        // optimality tolerance.
+        // optimality tolerance. A warm-started resize skips the loose rungs —
+        // its multipliers are already near-correct, so the loose subproblem
+        // would just wander off the old optimum and have to walk back.
         nlp::LbfgsOptions lb_outer = lb;
-        lb_outer.tol = std::max(lb.tol, 1e-2 / std::pow(4.0, outer));
+        lb_outer.tol = warm_in != nullptr ? lb.tol
+                                          : std::max(lb.tol, 1e-2 / std::pow(4.0, outer));
         const nlp::LbfgsResult r = minimize_projected_lbfgs(eval_al, x, lo, hi, lb_outer);
         total_it += r.iterations;
+        ++outers_run;
         for (std::size_t i = 0; i < ng; ++i) speed[static_cast<std::size_t>(gates[i])] = x[i];
         const stat::NormalRV probe = eval.eval(speed);
         const double h = probe.mu + dc.sigma_weight * probe.sigma() - dc.bound;
@@ -436,7 +497,7 @@ SizingResult Sizer::run_reduced_space(const SizerOptions& options,
           std::printf("[sizer-reduced] outer=%d viol=%.3e pg=%.3e rho=%.1e\n", outer, viol,
                       r.projected_gradient, rho);
         }
-        const double obj_now = objective_metric(c, spec_, speed, probe);
+        const double obj_now = objective_metric(v, spec_, speed, probe);
         if (std::isfinite(viol) && std::isfinite(obj_now) &&
             (!have_ckpt || Score{viol, obj_now}.better_than(ckpt_score, feas))) {
           ckpt_x = x;
@@ -478,10 +539,14 @@ SizingResult Sizer::run_reduced_space(const SizerOptions& options,
     result.checkpoint_outer = ckpt_outer;
   }
 
-  result.speed.assign(static_cast<std::size_t>(c.num_nodes()), 1.0);
+  result.outer_iterations = has_constraint ? outers_run : 1;
+  result.speed.assign(static_cast<std::size_t>(v.num_nodes()), 1.0);
   for (std::size_t i = 0; i < ng; ++i) {
     result.speed[static_cast<std::size_t>(gates[i])] = x[i];
   }
+  result.warm.speed = result.speed;
+  result.warm.lambda = lambda;
+  result.warm.rho = rho;
   std::vector<double> g;
   try {
     result.objective_value = eval_al(x, g);

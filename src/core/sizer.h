@@ -62,6 +62,20 @@ struct SizerOptions {
   unsigned retry_seed = 12345u;
 };
 
+/// Carry-over state from a previous solve of a nearby instance — the sizing
+/// layer's warm start for ECO re-sizing (DESIGN.md §12). Every SizingResult
+/// records one (`result.warm`); feed it to Sizer::resize after editing the
+/// instance (via TimingView::update_node_params / clone_with_library) and the
+/// solve starts from the old sizes and multiplier/penalty state instead of
+/// re-estimating them from scratch, which is where the outer iterations are
+/// saved. Empty/zero fields fall back to the cold defaults.
+struct SizingWarmStart {
+  std::vector<double> speed;        ///< per NodeId; empty = default start
+  std::vector<double> multipliers;  ///< full-space AugLag multipliers
+  double lambda = 0.0;              ///< reduced-space scalar delay multiplier
+  double rho = 0.0;                 ///< penalty parameter; <= 0 = cold default
+};
+
 struct SizingResult {
   bool converged = false;
   std::string status;               ///< solver status string
@@ -72,7 +86,11 @@ struct SizingResult {
   double objective_value = 0.0;
   double constraint_violation = 0.0;
   int iterations = 0;               ///< total inner iterations
+  int outer_iterations = 0;         ///< multiplier/penalty outer iterations
   double wall_seconds = 0.0;
+
+  /// State to seed a follow-up resize of a perturbed instance from.
+  SizingWarmStart warm;
 
   // ---- Resilience report (DESIGN.md §9) ----
   int retries_used = 0;             ///< multistart restarts consumed
@@ -90,27 +108,47 @@ class Sizer {
  public:
   Sizer(const netlist::Circuit& circuit, SizingSpec spec);
 
+  /// Sizes against a standalone TimingView — e.g. an ECO-edited copy owned by
+  /// an ssta::IncrementalEngine or a derived serve cache entry. The caller
+  /// keeps `view` alive for this sizer's lifetime. Only Method::kReducedSpace
+  /// works on a bare view (the full-space NLP is built from the owning
+  /// Circuit); run/resize throw std::invalid_argument otherwise.
+  Sizer(const netlist::TimingView& view, SizingSpec spec);
+
   /// Runs the optimization; `initial_speed` (indexed by NodeId) overrides the
   /// default start (S=1 for delay objectives; S=limit when a delay constraint
   /// must first be met).
   SizingResult run(const SizerOptions& options = {}) const;
   SizingResult run(const SizerOptions& options, const std::vector<double>& initial_speed) const;
 
+  /// Re-solves after an ECO perturbation, warm-starting from a previous
+  /// result's `warm` state (DESIGN.md §12): the old sizes become the start
+  /// point and the multiplier/penalty loop resumes from the old lambda/rho
+  /// instead of the cold schedule. On a nearby instance this converges in
+  /// fewer outer iterations than `run` (pinned by tests). Full-space resizes
+  /// additionally skip the reduced-space pre-solve — the warm sizes already
+  /// play that role.
+  SizingResult resize(const SizerOptions& options, const SizingWarmStart& warm) const;
+
   const SizingSpec& spec() const { return spec_; }
 
  private:
+  SizingResult run_impl(const SizerOptions& options, const std::vector<double>& initial_speed,
+                        const SizingWarmStart* warm) const;
   /// One solve from `start`. `rho_scale` backs the initial penalty off on
-  /// retries after a penalty explosion (1.0 on the first attempt).
+  /// retries after a penalty explosion (1.0 on the first attempt). `warm`
+  /// (nullable) carries multiplier/penalty state into the outer loop.
   SizingResult run_attempt(const SizerOptions& options, const std::vector<double>& start,
-                           double rho_scale) const;
+                           double rho_scale, const SizingWarmStart* warm) const;
   SizingResult run_full_space(const SizerOptions& options, const std::vector<double>& start,
-                              double rho_scale) const;
+                              double rho_scale, const SizingWarmStart* warm) const;
   SizingResult run_reduced_space(const SizerOptions& options, const std::vector<double>& start,
-                                 double rho_scale) const;
+                                 double rho_scale, const SizingWarmStart* warm) const;
   std::vector<double> default_start() const;
   void finish(SizingResult& result) const;
 
-  const netlist::Circuit* circuit_;
+  const netlist::Circuit* circuit_;  ///< null when view-constructed
+  const netlist::TimingView* view_;  ///< never null (circuit_->view() otherwise)
   SizingSpec spec_;
 };
 

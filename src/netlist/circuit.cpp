@@ -8,8 +8,8 @@
 
 namespace statsize::netlist {
 
-void Circuit::require_mutable() const {
-  if (finalized_) throw std::runtime_error("circuit is finalized; no further edits allowed");
+void Circuit::require_mutable(const char* operation) const {
+  if (finalized_) throw FinalizedMutationError(operation);
 }
 
 void Circuit::require_finalized() const {
@@ -17,7 +17,7 @@ void Circuit::require_finalized() const {
 }
 
 NodeId Circuit::add_input(std::string name) {
-  require_mutable();
+  require_mutable("add_input");
   Node n;
   n.kind = NodeKind::kPrimaryInput;
   n.name = name.empty() ? "pi" + std::to_string(num_inputs_) : std::move(name);
@@ -27,7 +27,7 @@ NodeId Circuit::add_input(std::string name) {
 }
 
 NodeId Circuit::add_gate(int cell, std::vector<NodeId> fanins, std::string name) {
-  require_mutable();
+  require_mutable("add_gate");
   const CellType& type = library_->cell(cell);  // throws on bad id
   if (static_cast<int>(fanins.size()) != type.num_inputs) {
     throw std::invalid_argument("gate " + name + ": cell " + type.name + " expects " +
@@ -49,7 +49,7 @@ NodeId Circuit::add_gate(int cell, std::vector<NodeId> fanins, std::string name)
 }
 
 NodeId Circuit::add_gate_deferred(int cell, std::string name) {
-  require_mutable();
+  require_mutable("add_gate_deferred");
   const CellType& type = library_->cell(cell);  // throws on bad id
   Node n;
   n.kind = NodeKind::kGate;
@@ -62,7 +62,7 @@ NodeId Circuit::add_gate_deferred(int cell, std::string name) {
 }
 
 void Circuit::set_fanin(NodeId id, int pin, NodeId driver) {
-  require_mutable();
+  require_mutable("set_fanin");
   Node& n = nodes_.at(static_cast<std::size_t>(id));
   if (n.kind != NodeKind::kGate) {
     throw std::invalid_argument("set_fanin: node '" + n.name + "' is not a gate");
@@ -79,7 +79,7 @@ void Circuit::set_fanin(NodeId id, int pin, NodeId driver) {
 }
 
 void Circuit::mark_output(NodeId id, double pad_load) {
-  require_mutable();
+  require_mutable("mark_output");
   Node& n = nodes_.at(static_cast<std::size_t>(id));
   n.is_output = true;
   n.pad_load = pad_load;
@@ -87,13 +87,13 @@ void Circuit::mark_output(NodeId id, double pad_load) {
 }
 
 void Circuit::set_wire_load(NodeId id, double load) {
-  require_mutable();
+  require_mutable("set_wire_load");
   if (load < 0.0) throw std::invalid_argument("wire load must be non-negative");
   nodes_.at(static_cast<std::size_t>(id)).wire_load = load;
 }
 
 void Circuit::finalize() {
-  require_mutable();
+  require_mutable("finalize");
 
   // The structural analyzer performs all validation (pin wiring, pin counts,
   // acyclicity with cycle extraction, output reachability) and produces the

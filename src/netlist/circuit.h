@@ -29,6 +29,33 @@ inline constexpr NodeId kInvalidNode = -1;
 
 enum class NodeKind : std::uint8_t { kPrimaryInput, kGate };
 
+/// Thrown by every structural mutator once finalize() has run. The compiled
+/// TimingView served by view() is a snapshot; letting add_gate/set_fanin/...
+/// succeed after finalize() would leave it silently stale. Post-finalize
+/// edits go through a TimingView *copy* instead (update_node_params — the
+/// edit→invalidate→repropagate path, DESIGN.md §12), which the message names
+/// so callers hitting this learn the sanctioned route. Derives from
+/// std::runtime_error, matching what require_mutable historically threw.
+class FinalizedMutationError : public std::runtime_error {
+ public:
+  explicit FinalizedMutationError(const std::string& operation)
+      : std::runtime_error("Circuit::" + operation +
+                           ": circuit is finalized; no further edits allowed. Post-finalize "
+                           "parameter edits go through a TimingView copy "
+                           "(TimingView::update_node_params / ssta::IncrementalEngine), which "
+                           "tracks its own epoch and dirty set instead of staling view().") {}
+};
+
+/// Per-gate delay-model constants of eq. 14 as one editable record: the unit
+/// a post-finalize library edit replaces via TimingView::update_node_params.
+/// Matches the CellType fields the view compiled (t_int, c, c_in, area).
+struct NodeParams {
+  double t_int = 0.0;  ///< intrinsic delay
+  double c = 0.0;      ///< drive "resistance" constant (eq. 14's c)
+  double c_in = 0.0;   ///< input pin capacitance at S = 1
+  double area = 0.0;   ///< cell area at S = 1
+};
+
 struct Node {
   NodeKind kind = NodeKind::kGate;
   int cell = -1;  ///< id into the circuit's CellLibrary; -1 for inputs
@@ -117,7 +144,8 @@ class Circuit {
   int depth() const;
 
  private:
-  void require_mutable() const;
+  /// Throws FinalizedMutationError naming `operation` once finalize() ran.
+  void require_mutable(const char* operation) const;
   void require_finalized() const;
 
   const CellLibrary* library_;

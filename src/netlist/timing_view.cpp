@@ -102,6 +102,48 @@ TimingView::TimingView(const Circuit& circuit) {
   }
 }
 
+void TimingView::update_node_params(NodeId id, const NodeParams& params) {
+  const std::size_t i = static_cast<std::size_t>(id);
+  if (id < 0 || id >= num_nodes() || kind_[i] != NodeKind::kGate) {
+    throw std::invalid_argument("TimingView::update_node_params: node " + std::to_string(id) +
+                                " is not a gate of this view");
+  }
+  const std::string tag = "edited node " + std::to_string(id) + " ";
+  require_finite(params.t_int, tag + "intrinsic delay t_int");
+  require_finite(params.c, tag + "drive coefficient c");
+  require_finite(params.c_in, tag + "input capacitance c_in");
+  require_finite(params.area, tag + "area");
+
+  t_int_[i] = params.t_int;
+  drive_c_[i] = params.c;
+  c_in_[i] = params.c_in;
+  area_[i] = params.area;
+  // The derived per-edge pin caps: every fanin's fanout edge targeting this
+  // gate carries its C_in. A gate wired twice to one driver owns two such
+  // edges on that driver; the scan rewrites each (matching the compile,
+  // which emitted one fanout_cin_ slot per Node::fanouts entry).
+  const std::size_t fi_end = fanin_offset_[i + 1];
+  for (std::size_t fe = fanin_offset_[i]; fe < fi_end; ++fe) {
+    const std::size_t f = static_cast<std::size_t>(fanin_[fe]);
+    const std::size_t end = fanout_offset_[f + 1];
+    for (std::size_t e = fanout_offset_[f]; e < end; ++e) {
+      if (fanout_[e] == id) fanout_cin_[e] = params.c_in;
+    }
+  }
+
+  ++epoch_;
+  if (dirty_mask_.size() != kind_.size()) dirty_mask_.assign(kind_.size(), 0);
+  if (!dirty_mask_[i]) {
+    dirty_mask_[i] = 1;
+    dirty_.push_back(id);
+  }
+}
+
+void TimingView::clear_dirty() {
+  for (NodeId id : dirty_) dirty_mask_[static_cast<std::size_t>(id)] = 0;
+  dirty_.clear();
+}
+
 void TimingView::batch_load_capacitance(const double* speed, double* cap) const {
   const std::size_t num = kind_.size();
   const std::size_t num_edges = fanout_.size();

@@ -22,8 +22,13 @@
 // the Node path reads — so any sweep retargeted from Node walks to the view
 // performs the same floating-point operations in the same order and stays
 // bit-identical. Circuit::finalize() compiles and caches the view
-// (Circuit::view()); there is no way to mutate a view, and a Circuit cannot
-// change after finalize(), so the two can never disagree.
+// (Circuit::view()); that shared snapshot is held const and never mutated,
+// and a Circuit cannot change after finalize() (FinalizedMutationError), so
+// the two can never disagree. Post-finalize (ECO) edits operate on value
+// *copies* of the view instead: TimingView is all-vector and cheaply
+// copyable, and update_node_params() mutates such a copy in place while
+// tracking an epoch counter and a dirty set so downstream caches can
+// repropagate exactly the edited cone (DESIGN.md §12).
 //
 // Compilation validates that every precomputed constant is finite and throws
 // std::invalid_argument naming the offending cell/node otherwise; `statsize
@@ -32,6 +37,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -83,6 +89,41 @@ class TimingView {
   double area(NodeId id) const { return area_[static_cast<std::size_t>(id)]; }
   /// wire_load + pad_load-if-output: the constant part of eq. 14's C_load.
   double static_load(NodeId id) const { return static_load_[static_cast<std::size_t>(id)]; }
+
+  /// Gate `id`'s delay-model constants as one record (0s for inputs).
+  NodeParams node_params(NodeId id) const {
+    const std::size_t i = static_cast<std::size_t>(id);
+    return {t_int_[i], drive_c_[i], c_in_[i], area_[i]};
+  }
+
+  // --- Post-finalize edit protocol (DESIGN.md §12) --------------------------
+  //
+  // The view Circuit::view() serves stays an immutable snapshot; ECO edits
+  // mutate a value *copy* through update_node_params. Each successful edit
+  // bumps epoch() and records the node in dirty_nodes(), the cumulative set
+  // a cache consumer (ssta::IncrementalEngine, core::ReducedEvaluator)
+  // drains with clear_dirty() after repropagating — a stale cache is
+  // detectable by epoch mismatch instead of silently wrong.
+
+  /// Replaces gate `id`'s delay-model constants: t_int/c/c_in/area, plus the
+  /// derived per-edge pin cap on every fanin→id fanout edge (a gate wired
+  /// twice to one driver has both edges rewritten). Throws
+  /// std::invalid_argument — view unchanged — if `id` is not a gate or any
+  /// value is non-finite (the same validation compilation applies).
+  void update_node_params(NodeId id, const NodeParams& params);
+
+  /// Monotone edit counter: 0 for a freshly compiled (or copied-from-
+  /// pristine) view, +1 per successful update_node_params.
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Nodes edited since the last clear_dirty(), deduplicated, in first-edit
+  /// order. Dirtiness covers the node's *own* constants; consumers widen to
+  /// the delay-dirty frontier themselves (edited ∪ their gate fanins — a
+  /// c_in change shifts every driver's load through the rewritten edge cap).
+  const std::vector<NodeId>& dirty_nodes() const { return dirty_; }
+
+  /// Acknowledges dirty_nodes() as repropagated; epoch() keeps its value.
+  void clear_dirty();
 
   /// Fanins of `id` in pin order (empty for primary inputs).
   NodeSpan fanins(NodeId id) const {
@@ -145,6 +186,10 @@ class TimingView {
  private:
   int num_gates_ = 0;
   int num_inputs_ = 0;
+
+  std::uint64_t epoch_ = 0;
+  std::vector<NodeId> dirty_;               ///< first-edit order, deduplicated
+  std::vector<unsigned char> dirty_mask_;   ///< lazily sized; dedup for dirty_
 
   std::vector<NodeKind> kind_;
   std::vector<unsigned char> is_output_;

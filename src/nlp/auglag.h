@@ -80,8 +80,29 @@ struct SolveResult {
   std::string status_string() const;
 };
 
+/// Carry-over state from a previous solve of a *nearby* problem (an ECO
+/// perturbation of the instance) — the multiplier/penalty warm start the
+/// sizing layer threads through Sizer::resize (DESIGN.md §12). Empty fields
+/// fall back to the cold defaults: empty `x` → problem.start() (then clamped
+/// to bounds, as always), empty `multipliers` → zeros, `rho` <= 0 →
+/// options.initial_rho. Non-empty fields must match the problem's dimensions
+/// (std::invalid_argument otherwise). Reusing converged multipliers near the
+/// old solution lets the outer loop start at (or near) the correct
+/// first-order point instead of re-estimating lambda from zero, which is
+/// where the ECO resize saves its outer iterations.
+struct WarmStart {
+  std::vector<double> x;
+  std::vector<double> multipliers;
+  double rho = 0.0;  ///< <= 0 means options.initial_rho
+};
+
 /// Solves `problem` starting from problem.start().
 SolveResult solve_augmented_lagrangian(const Problem& problem, const AugLagOptions& options = {});
+
+/// Solves `problem` from the warm start (see WarmStart; the plain overload
+/// is exactly this with an empty warm start).
+SolveResult solve_augmented_lagrangian(const Problem& problem, const AugLagOptions& options,
+                                       const WarmStart& warm);
 
 /// The Psi model itself — exposed for tests and for reuse by the
 /// reduced-space sizer's constraint handling.

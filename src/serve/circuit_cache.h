@@ -3,6 +3,12 @@
 // Circuit + compiled TimingView + granularity advice); every subsequent job
 // against the same content hash reuses the entry with a shared-lock lookup.
 //
+// A PATCH /v1/circuits/<key> creates a *derived* entry (DESIGN.md §12): it
+// shares the base entry's Circuit (and its parse work) but owns an edited
+// TimingView copy plus the per-gate speed overrides; its key is the base key
+// extended with a content hash of the edits, so identical edit sets dedupe
+// exactly like identical uploads.
+//
 // Concurrency contract:
 //  * find() takes a shared lock and bumps an atomic recency stamp — readers
 //    never serialize on each other.
@@ -11,7 +17,8 @@
 //    entry wins, so two concurrent uploads of the same text agree).
 //  * Entries are handed out as shared_ptr<const CachedCircuit>: eviction
 //    only drops the cache's reference, so a queued/running job keeps its
-//    circuit alive regardless of cache churn.
+//    circuit alive regardless of cache churn. A derived entry keeps its base
+//    alive the same way (the `base` edge).
 
 #pragma once
 
@@ -19,19 +26,23 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "core/sizer.h"
 #include "netlist/circuit.h"
+#include "netlist/timing_view.h"
 
 namespace statsize::serve {
 
-/// One finalized upload. Immutable after construction apart from the
-/// recency stamp.
+/// One finalized upload (or a PATCH-derived edit of one). Immutable after
+/// construction apart from the recency stamp and the sizing warm-start memo.
 struct CachedCircuit {
-  std::string key;     ///< "c-<fnv1a64 hex>" content hash
+  std::string key;     ///< "c-<fnv1a64 hex>"; derived: "<base>+e-<hex>"
   std::string name;    ///< client-supplied label (may be empty)
   std::string format;  ///< "blif" | "verilog"
   std::shared_ptr<const netlist::Circuit> circuit;
@@ -49,7 +60,51 @@ struct CachedCircuit {
   /// dispatch per request.
   std::size_t serial_cutoff = 0;
 
+  // ---- Derived (PATCH-created) entries only ----
+  /// The entry this one was patched from; keeps it (and its warm-start memo)
+  /// alive across cache eviction. Null for plain uploads.
+  std::shared_ptr<const CachedCircuit> base;
+  /// Edited TimingView copy (delay-model constants already applied via
+  /// update_node_params). Null for plain uploads — jobs fall back to the
+  /// shared circuit's view.
+  std::shared_ptr<const netlist::TimingView> patched_view;
+  /// Per-gate speed-factor overrides, applied on top of the uniform
+  /// `params.speed` fill for analysis jobs (first-edit order; later PATCHes
+  /// of the same node appear later and win). Speed is a per-query quantity,
+  /// not TimingView state, so the overrides travel with the entry.
+  std::vector<std::pair<netlist::NodeId, double>> speed_edits;
+  std::size_t num_edits = 0;  ///< total edit records folded into this entry
+
+  /// The view every job on this entry computes against.
+  const netlist::TimingView& timing_view() const {
+    return patched_view ? *patched_view : circuit->view();
+  }
+
+  /// Last successful reduced-space sizing's carry-over state on this entry —
+  /// what a derived entry's size job warm-starts from (DESIGN.md §12).
+  void store_warm(std::shared_ptr<const core::SizingWarmStart> w) const {
+    std::lock_guard<std::mutex> lock(warm_mu_);
+    warm_ = std::move(w);
+  }
+  std::shared_ptr<const core::SizingWarmStart> last_warm() const {
+    std::lock_guard<std::mutex> lock(warm_mu_);
+    return warm_;
+  }
+  /// This entry's memo, else the nearest ancestor's (a freshly PATCHed entry
+  /// has no solve of its own yet — the parent's multipliers are the warm
+  /// start the ECO resize wants). Null when nothing along the chain sized.
+  std::shared_ptr<const core::SizingWarmStart> resolve_warm() const {
+    for (const CachedCircuit* e = this; e != nullptr; e = e->base.get()) {
+      if (auto w = e->last_warm()) return w;
+    }
+    return nullptr;
+  }
+
   mutable std::atomic<std::uint64_t> last_used{0};
+
+ private:
+  mutable std::mutex warm_mu_;
+  mutable std::shared_ptr<const core::SizingWarmStart> warm_;
 };
 
 /// FNV-1a 64-bit over `text` — the content-hash half of a cache key.

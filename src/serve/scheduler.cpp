@@ -177,6 +177,39 @@ std::shared_ptr<Job> JobScheduler::submit(JobType type,
   return job;
 }
 
+std::vector<std::shared_ptr<Job>> JobScheduler::submit_batch(std::vector<JobRequest> requests) {
+  std::vector<std::shared_ptr<Job>> jobs;
+  if (requests.empty()) return jobs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || !started_ || queue_.size() + requests.size() > options_.queue_depth) {
+      if (metrics_) metrics_->jobs_rejected.inc(static_cast<std::int64_t>(requests.size()));
+      return jobs;
+    }
+    jobs.reserve(requests.size());
+    const double submitted = now_ms();
+    for (JobRequest& req : requests) {
+      auto job = std::make_shared<Job>();
+      char idbuf[16];
+      std::snprintf(idbuf, sizeof(idbuf), "job-%06d", next_id_++);
+      job->id = idbuf;
+      job->type = req.type;
+      job->params = std::move(req.params);
+      job->circuit = std::move(req.circuit);
+      job->submitted_ms = submitted;
+      jobs_.emplace(job->id, job);
+      queue_.push_back(job);
+      jobs.push_back(std::move(job));
+    }
+    if (metrics_) {
+      metrics_->jobs_submitted.inc(static_cast<std::int64_t>(jobs.size()));
+      metrics_->queue_depth.set(static_cast<std::int64_t>(queue_.size()));
+    }
+  }
+  cv_.notify_one();
+  return jobs;
+}
+
 std::shared_ptr<Job> JobScheduler::get(const std::string& id) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = jobs_.find(id);
@@ -246,9 +279,21 @@ void JobScheduler::run_job(Job& job) {
     runtime::set_level_serial_cutoff(job.circuit->serial_cutoff);
   }
 
-  const netlist::Circuit& circuit = *job.circuit->circuit;
+  // Derived (PATCH-created) entries carry an edited TimingView; jobs compute
+  // against it through the same view-overload engines the CLI path compiles,
+  // so a patched result is bit-identical to re-uploading the edited netlist.
+  const netlist::TimingView& view = job.circuit->timing_view();
   const ssta::SigmaModel sigma_model{job.params.sigma_kappa, job.params.sigma_offset};
   const double deadline_seconds = job.params.deadline_ms / 1000.0;
+
+  // Uniform analysis speed fill, then the entry's per-gate overrides.
+  auto analysis_speed = [&] {
+    std::vector<double> speed(static_cast<std::size_t>(view.num_nodes()), job.params.speed);
+    for (const auto& [node, s] : job.circuit->speed_edits) {
+      speed[static_cast<std::size_t>(node)] = s;
+    }
+    return speed;
+  };
 
   JobState final_state = JobState::kDone;
   std::string result;
@@ -264,10 +309,8 @@ void JobScheduler::run_job(Job& job) {
                                    deadline_seconds > 0.0
                                        ? runtime::Deadline::after_seconds(deadline_seconds)
                                        : runtime::Deadline::never());
-        ssta::DelayCalculator calc(circuit, sigma_model);
-        std::vector<double> speed(static_cast<std::size_t>(circuit.num_nodes()),
-                                  job.params.speed);
-        ssta::TimingReport report = ssta::run_ssta(calc, speed);
+        ssta::DelayCalculator calc(view, sigma_model);
+        ssta::TimingReport report = ssta::run_ssta(calc, analysis_speed());
         w.begin_object();
         w.key("mu").value(report.circuit_delay.mu);
         w.key("sigma").value(report.circuit_delay.sigma());
@@ -287,10 +330,8 @@ void JobScheduler::run_job(Job& job) {
         else if (job.params.corner != "worst") {
           throw std::runtime_error("unknown corner: " + job.params.corner);
         }
-        ssta::DelayCalculator calc(circuit, sigma_model);
-        std::vector<double> speed(static_cast<std::size_t>(circuit.num_nodes()),
-                                  job.params.speed);
-        ssta::StaReport report = ssta::run_sta(circuit, calc.all_delays(speed), corner);
+        ssta::DelayCalculator calc(view, sigma_model);
+        ssta::StaReport report = ssta::run_sta(view, calc.all_delays(analysis_speed()), corner);
         w.begin_object();
         w.key("corner").value(job.params.corner);
         w.key("circuit_delay").value(report.circuit_delay);
@@ -302,14 +343,12 @@ void JobScheduler::run_job(Job& job) {
                                    deadline_seconds > 0.0
                                        ? runtime::Deadline::after_seconds(deadline_seconds)
                                        : runtime::Deadline::never());
-        ssta::DelayCalculator calc(circuit, sigma_model);
-        std::vector<double> speed(static_cast<std::size_t>(circuit.num_nodes()),
-                                  job.params.speed);
+        ssta::DelayCalculator calc(view, sigma_model);
         ssta::MonteCarloOptions mc;
         mc.num_samples = job.params.mc_samples;
         mc.seed = job.params.mc_seed;
         ssta::MonteCarloResult mc_result =
-            ssta::run_monte_carlo(circuit, calc.all_delays(speed), mc);
+            ssta::run_monte_carlo(view, calc.all_delays(analysis_speed()), mc);
         w.begin_object();
         w.key("samples").value(job.params.mc_samples);
         w.key("seed").value(static_cast<long>(job.params.mc_seed));
@@ -351,13 +390,37 @@ void JobScheduler::run_job(Job& job) {
         opt.cancel = &job.cancel;
         opt.max_retries = job.params.max_retries;
 
-        core::Sizer sizer(circuit, spec);
-        core::SizingResult r = sizer.run(opt);
+        const bool derived = job.circuit->patched_view != nullptr;
+        if (derived && opt.method == core::Method::kFullSpace) {
+          throw std::runtime_error(
+              "full-space sizing needs the original upload (the NLP is built from "
+              "the Circuit); use method=reduced on patched circuits");
+        }
+        core::SizingResult r;
+        bool warm_started = false;
+        if (derived) {
+          // ECO resize (DESIGN.md §12): size against the edited view,
+          // warm-starting from the nearest solved ancestor's sizes and
+          // multiplier/penalty state when one exists.
+          core::Sizer sizer(view, spec);
+          const std::shared_ptr<const core::SizingWarmStart> warm =
+              job.circuit->resolve_warm();
+          warm_started = warm != nullptr;
+          r = warm_started ? sizer.resize(opt, *warm) : sizer.run(opt);
+        } else {
+          core::Sizer sizer(*job.circuit->circuit, spec);
+          r = sizer.run(opt);
+        }
+        if (opt.method == core::Method::kReducedSpace) {
+          job.circuit->store_warm(
+              std::make_shared<core::SizingWarmStart>(std::move(r.warm)));
+        }
         if (metrics_ && r.from_checkpoint) metrics_->jobs_deadline_checkpoints.inc();
         w.begin_object();
         w.key("converged").value(r.converged);
         w.key("status").value(r.status);
         w.key("method").value(job.params.method);
+        w.key("warm_started").value(warm_started);
         w.key("mu").value(r.circuit_delay.mu);
         w.key("sigma").value(r.circuit_delay.sigma());
         w.key("mu_plus_3sigma").value(r.circuit_delay.quantile_offset(3.0));
@@ -366,9 +429,13 @@ void JobScheduler::run_job(Job& job) {
         w.key("objective_value").value(r.objective_value);
         w.key("constraint_violation").value(r.constraint_violation);
         w.key("iterations").value(r.iterations);
+        w.key("outer_iterations").value(r.outer_iterations);
         w.key("retries_used").value(r.retries_used);
         w.key("from_checkpoint").value(r.from_checkpoint);
         w.key("checkpoint_outer").value(r.checkpoint_outer);
+        w.key("speed").begin_array();
+        for (double s : r.speed) w.value(s);
+        w.end_array();
         w.end_object();
         break;
       }

@@ -118,6 +118,20 @@ class JobScheduler {
   std::shared_ptr<Job> submit(JobType type, std::shared_ptr<const CachedCircuit> circuit,
                               JobParams params);
 
+  /// One element of a batched submission (POST /v1/jobs with a JSON array).
+  struct JobRequest {
+    JobType type = JobType::kSsta;
+    std::shared_ptr<const CachedCircuit> circuit;
+    JobParams params;
+  };
+
+  /// All-or-nothing admission under one lock: either every request is queued
+  /// (ids assigned in order, FIFO with respect to other submissions) and the
+  /// jobs come back in request order, or — when the whole batch would not
+  /// fit under the queue depth — nothing is queued and the vector is empty
+  /// (the server answers 429 for the batch).
+  std::vector<std::shared_ptr<Job>> submit_batch(std::vector<JobRequest> requests);
+
   std::shared_ptr<Job> get(const std::string& id) const;
 
   /// Cooperative cancel: queued jobs flip to kCancelled immediately, running

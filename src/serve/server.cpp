@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cmath>
 #include <cstring>
 #include <sstream>
 #include <stdexcept>
@@ -54,6 +55,25 @@ std::string_view path_of(const std::string& target) {
   const std::size_t q = target.find('?');
   return std::string_view(target).substr(0, q == std::string::npos ? target.size() : q);
 }
+
+/// Round-trippable double for the canonical edit serialization hashed into a
+/// derived entry's key: %.17g is injective on finite doubles, so two edit
+/// sets collide only if they are value-identical.
+std::string fmt_g17(double d) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  return std::string(buf);
+}
+
+/// One parsed PATCH edit: optional speed override + optional delay-model
+/// parameter overrides (absent fields keep the node's current values).
+struct ParsedEdit {
+  netlist::NodeId node = 0;
+  bool has_speed = false;
+  double speed = 1.0;
+  bool has_t_int = false, has_c = false, has_c_in = false, has_area = false;
+  double t_int = 0.0, c = 0.0, c_in = 0.0, area = 0.0;
+};
 
 }  // namespace
 
@@ -226,6 +246,12 @@ HttpResponse Server::handle(const HttpRequest& request) {
     if (request.method == "GET") return handle_list_circuits();
     return HttpResponse::json(405, error_body("method not allowed"));
   }
+  if (path.rfind("/v1/circuits/", 0) == 0) {
+    const std::string key(path.substr(std::string_view("/v1/circuits/").size()));
+    if (key.empty()) return HttpResponse::json(404, error_body("missing circuit key"));
+    if (request.method == "PATCH") return handle_patch(request, key);
+    return HttpResponse::json(405, error_body("method not allowed"));
+  }
   if (path == "/v1/jobs" && request.method == "POST") return handle_submit(request);
   if (path.rfind("/v1/jobs/", 0) == 0) {
     const std::string id(path.substr(std::string_view("/v1/jobs/").size()));
@@ -313,6 +339,159 @@ HttpResponse Server::handle_upload(const HttpRequest& request) {
   return HttpResponse::json(cached ? 200 : 201, os.str());
 }
 
+HttpResponse Server::handle_patch(const HttpRequest& request, const std::string& key) {
+  util::JsonValue body;
+  try {
+    body = util::parse_json(request.body);
+  } catch (const util::JsonParseError& e) {
+    return HttpResponse::json(400, parse_error_body(e));
+  }
+  if (!body.is_object()) {
+    return HttpResponse::json(400, error_body("body must be a JSON object"));
+  }
+  const util::JsonValue* edits_json = body.find("edits");
+  if (edits_json == nullptr || !edits_json->is_array() || edits_json->items().empty()) {
+    return HttpResponse::json(
+        400, error_body("missing field: edits (non-empty array of edit objects)"));
+  }
+
+  std::shared_ptr<const CachedCircuit> base = cache_.find(key);
+  if (!base) {
+    metrics_.cache_misses.inc();
+    return HttpResponse::json(
+        404, error_body("unknown circuit key: " + key + " (upload it first)"));
+  }
+  metrics_.cache_hits.inc();
+  const netlist::TimingView& base_view = base->timing_view();
+
+  // Parse + validate every edit before building anything; the canonical
+  // serialization hashed into the derived key is built alongside.
+  std::vector<ParsedEdit> edits;
+  edits.reserve(edits_json->items().size());
+  std::string canon;
+  for (std::size_t i = 0; i < edits_json->items().size(); ++i) {
+    const util::JsonValue& e = edits_json->items()[i];
+    const std::string at = "edits[" + std::to_string(i) + "]";
+    if (!e.is_object()) {
+      return HttpResponse::json(400, error_body(at + " must be an object"));
+    }
+    const util::JsonValue* node = e.find("node");
+    if (node == nullptr || !node->is_number()) {
+      return HttpResponse::json(400, error_body(at + ": missing integer field: node"));
+    }
+    ParsedEdit parsed;
+    try {
+      parsed.node = static_cast<netlist::NodeId>(node->as_int());
+    } catch (const std::exception&) {
+      return HttpResponse::json(400, error_body(at + ".node must be an integer NodeId"));
+    }
+    if (parsed.node < 0 || parsed.node >= static_cast<netlist::NodeId>(base_view.num_nodes()) ||
+        !base_view.is_gate(parsed.node)) {
+      return HttpResponse::json(
+          400, error_body(at + ".node " + std::to_string(parsed.node) +
+                          " is not a gate of circuit " + key));
+    }
+    canon += "n" + std::to_string(parsed.node);
+    auto take = [&](const char* field, bool& has, double& value,
+                    const char* tag) -> const char* {
+      const util::JsonValue* v = e.find(field);
+      if (v == nullptr) return nullptr;
+      if (!v->is_number()) return "must be a number";
+      value = v->as_number();
+      if (!std::isfinite(value)) return "must be finite";
+      has = true;
+      canon += std::string(";") + tag + "=" + fmt_g17(value);
+      return nullptr;
+    };
+    struct Field { const char* name; bool& has; double& value; const char* tag; };
+    const Field fields[] = {{"speed", parsed.has_speed, parsed.speed, "s"},
+                            {"t_int", parsed.has_t_int, parsed.t_int, "t"},
+                            {"c", parsed.has_c, parsed.c, "c"},
+                            {"c_in", parsed.has_c_in, parsed.c_in, "i"},
+                            {"area", parsed.has_area, parsed.area, "a"}};
+    for (const Field& f : fields) {
+      if (const char* err = take(f.name, f.has, f.value, f.tag)) {
+        return HttpResponse::json(400, error_body(at + "." + f.name + " " + err));
+      }
+    }
+    if (parsed.has_speed && parsed.speed <= 0.0) {
+      return HttpResponse::json(400, error_body(at + ".speed must be positive"));
+    }
+    if (!parsed.has_speed && !parsed.has_t_int && !parsed.has_c && !parsed.has_c_in &&
+        !parsed.has_area) {
+      return HttpResponse::json(
+          400, error_body(at + " edits nothing (expected speed | t_int | c | c_in | area)"));
+    }
+    edits.push_back(parsed);
+    canon += "\n";
+  }
+
+  char suffix[8 + 16 + 1];
+  std::snprintf(suffix, sizeof(suffix), "+e-%016llx",
+                static_cast<unsigned long long>(fnv1a64(canon)));
+  const std::string derived_key = base->key + suffix;
+
+  std::shared_ptr<const CachedCircuit> entry = cache_.find(derived_key);
+  bool cached = entry != nullptr;
+  std::size_t evicted = 0;
+  if (cached) {
+    metrics_.cache_hits.inc();
+  } else {
+    auto fresh = std::make_shared<CachedCircuit>();
+    auto view = std::make_shared<netlist::TimingView>(base_view);
+    fresh->speed_edits = base->speed_edits;
+    try {
+      for (const ParsedEdit& e : edits) {
+        if (e.has_t_int || e.has_c || e.has_c_in || e.has_area) {
+          netlist::NodeParams p = view->node_params(e.node);
+          if (e.has_t_int) p.t_int = e.t_int;
+          if (e.has_c) p.c = e.c;
+          if (e.has_c_in) p.c_in = e.c_in;
+          if (e.has_area) p.area = e.area;
+          view->update_node_params(e.node, p);
+        }
+        if (e.has_speed) fresh->speed_edits.emplace_back(e.node, e.speed);
+      }
+    } catch (const std::exception& e) {
+      return HttpResponse::json(400, error_body(std::string("edit rejected: ") + e.what()));
+    }
+    view->clear_dirty();  // a fresh entry starts with a clean epoch baseline
+    fresh->key = derived_key;
+    fresh->name = body.string_or("name", base->name);
+    fresh->format = base->format;
+    fresh->circuit = base->circuit;
+    fresh->num_gates = base->num_gates;
+    fresh->num_inputs = base->num_inputs;
+    fresh->num_outputs = base->num_outputs;
+    fresh->depth = base->depth;
+    fresh->num_levels = base->num_levels;
+    fresh->serial_cutoff = base->serial_cutoff;
+    fresh->base = base;
+    fresh->patched_view = std::move(view);
+    fresh->num_edits = base->num_edits + edits.size();
+    CircuitCache::InsertResult inserted = cache_.insert(std::move(fresh));
+    entry = inserted.entry;
+    cached = inserted.existed;
+    evicted = inserted.evicted;
+    if (evicted > 0) metrics_.cache_evictions.inc(static_cast<std::int64_t>(evicted));
+  }
+  metrics_.circuits_cached.set(static_cast<std::int64_t>(cache_.size()));
+
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("key").value(entry->key);
+  w.key("base").value(base->key);
+  w.key("cached").value(cached);
+  w.key("name").value(entry->name);
+  w.key("edits_applied").value(static_cast<long>(edits.size()));
+  w.key("num_edits").value(static_cast<long>(entry->num_edits));
+  w.key("gates").value(entry->num_gates);
+  w.key("serial_cutoff").value(static_cast<long>(entry->serial_cutoff));
+  w.end_object();
+  return HttpResponse::json(cached ? 200 : 201, os.str());
+}
+
 HttpResponse Server::handle_list_circuits() {
   std::ostringstream os;
   util::JsonWriter w(os);
@@ -334,41 +513,40 @@ HttpResponse Server::handle_list_circuits() {
   return HttpResponse::json(200, os.str());
 }
 
-HttpResponse Server::handle_submit(const HttpRequest& request) {
-  util::JsonValue body;
-  try {
-    body = util::parse_json(request.body);
-  } catch (const util::JsonParseError& e) {
-    return HttpResponse::json(400, parse_error_body(e));
-  }
+bool Server::parse_job_request(const util::JsonValue& body, JobScheduler::JobRequest* out,
+                               HttpResponse* error) {
   if (!body.is_object()) {
-    return HttpResponse::json(400, error_body("body must be a JSON object"));
+    *error = HttpResponse::json(400, error_body("job request must be a JSON object"));
+    return false;
   }
   const std::string key = body.string_or("circuit", "");
   if (key.empty()) {
-    return HttpResponse::json(400, error_body("missing field: circuit (cache key)"));
+    *error = HttpResponse::json(400, error_body("missing field: circuit (cache key)"));
+    return false;
   }
   const std::string type_name = body.string_or("type", "ssta");
-  JobType type;
-  if (type_name == "ssta") type = JobType::kSsta;
-  else if (type_name == "sta") type = JobType::kSta;
-  else if (type_name == "monte_carlo") type = JobType::kMonteCarlo;
-  else if (type_name == "size") type = JobType::kSize;
+  if (type_name == "ssta") out->type = JobType::kSsta;
+  else if (type_name == "sta") out->type = JobType::kSta;
+  else if (type_name == "monte_carlo") out->type = JobType::kMonteCarlo;
+  else if (type_name == "size") out->type = JobType::kSize;
   else {
-    return HttpResponse::json(
+    *error = HttpResponse::json(
         400, error_body("unknown job type: " + type_name +
                         " (expected ssta | sta | monte_carlo | size)"));
+    return false;
   }
 
-  std::shared_ptr<const CachedCircuit> circuit = cache_.find(key);
-  if (!circuit) {
+  out->circuit = cache_.find(key);
+  if (!out->circuit) {
     metrics_.cache_misses.inc();
-    return HttpResponse::json(
+    *error = HttpResponse::json(
         404, error_body("unknown circuit key: " + key + " (upload it first)"));
+    return false;
   }
   metrics_.cache_hits.inc();
 
-  JobParams params;
+  JobParams& params = out->params;
+  params = JobParams{};
   try {
     params.deadline_ms = body.number_or("deadline_ms", params.deadline_ms);
     params.jobs = body.int_or("jobs", params.jobs);
@@ -388,14 +566,37 @@ HttpResponse Server::handle_submit(const HttpRequest& request) {
     params.max_speed = body.number_or("max_speed", params.max_speed);
     params.max_retries = body.int_or("max_retries", params.max_retries);
   } catch (const std::exception& e) {
-    return HttpResponse::json(400, error_body(std::string("bad job params: ") + e.what()));
+    *error = HttpResponse::json(400, error_body(std::string("bad job params: ") + e.what()));
+    return false;
   }
   if (params.deadline_ms < 0.0 || params.mc_samples < 1 ||
       params.jobs < 0 || params.jobs > 1024) {
-    return HttpResponse::json(400, error_body("job params out of range"));
+    *error = HttpResponse::json(400, error_body("job params out of range"));
+    return false;
   }
+  return true;
+}
 
-  std::shared_ptr<Job> job = scheduler_.submit(type, std::move(circuit), std::move(params));
+HttpResponse Server::handle_submit(const HttpRequest& request) {
+  util::JsonValue body;
+  try {
+    body = util::parse_json(request.body);
+  } catch (const util::JsonParseError& e) {
+    return HttpResponse::json(400, parse_error_body(e));
+  }
+  if (body.is_array()) return handle_submit_batch(body);
+  if (!body.is_object()) {
+    return HttpResponse::json(
+        400, error_body("body must be a JSON object (or an array of them to batch)"));
+  }
+  JobScheduler::JobRequest req;
+  HttpResponse error;
+  if (!parse_job_request(body, &req, &error)) return error;
+  const JobType type = req.type;
+  const std::string key = req.circuit->key;
+
+  std::shared_ptr<Job> job =
+      scheduler_.submit(req.type, std::move(req.circuit), std::move(req.params));
   if (!job) {
     HttpResponse response = HttpResponse::json(
         429, error_body("job queue full (retry later)"));
@@ -407,8 +608,53 @@ HttpResponse Server::handle_submit(const HttpRequest& request) {
   w.begin_object();
   w.key("id").value(job->id);
   w.key("state").value(job_state_name(job->state.load(std::memory_order_acquire)));
-  w.key("type").value(type_name);
+  w.key("type").value(job_type_name(type));
   w.key("circuit").value(key);
+  w.end_object();
+  return HttpResponse::json(202, os.str());
+}
+
+HttpResponse Server::handle_submit_batch(const util::JsonValue& body) {
+  const std::vector<util::JsonValue>& items = body.items();
+  if (items.empty()) {
+    return HttpResponse::json(400, error_body("batch must contain at least one job"));
+  }
+  // Validate every element before queuing anything: a bad element rejects the
+  // whole batch, so clients never have to hunt down half-submitted jobs.
+  std::vector<JobScheduler::JobRequest> requests(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    HttpResponse error;
+    if (!parse_job_request(items[i], &requests[i], &error)) {
+      const std::string detail = util::parse_json(error.body).string_or("error", "invalid");
+      return HttpResponse::json(error.status,
+                                error_body("jobs[" + std::to_string(i) + "]: " + detail));
+    }
+  }
+  // Echo material captured before submit_batch moves the requests.
+  std::vector<std::pair<JobType, std::string>> echo;
+  echo.reserve(requests.size());
+  for (const auto& r : requests) echo.emplace_back(r.type, r.circuit->key);
+
+  std::vector<std::shared_ptr<Job>> jobs = scheduler_.submit_batch(std::move(requests));
+  if (jobs.empty()) {
+    HttpResponse response = HttpResponse::json(
+        429, error_body("job queue cannot take the whole batch (retry later)"));
+    response.headers["Retry-After"] = "1";
+    return response;
+  }
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("jobs").begin_array();
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    w.begin_object();
+    w.key("id").value(jobs[i]->id);
+    w.key("state").value(job_state_name(jobs[i]->state.load(std::memory_order_acquire)));
+    w.key("type").value(job_type_name(echo[i].first));
+    w.key("circuit").value(echo[i].second);
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
   return HttpResponse::json(202, os.str());
 }

@@ -1,13 +1,17 @@
 // The `statsize serve` daemon: a blocking-socket HTTP/1.1 front end over the
 // CircuitCache and JobScheduler.
 //
-//   POST   /v1/circuits      upload BLIF/Verilog text -> content-hash key
-//   GET    /v1/circuits      list cached circuits (most recently used first)
-//   POST   /v1/jobs          submit ssta | sta | monte_carlo | size
-//   GET    /v1/jobs/<id>     poll state + result
-//   DELETE /v1/jobs/<id>     cooperative cancel
-//   GET    /v1/stats         serve::Metrics as JSON
-//   GET    /v1/healthz       liveness
+//   POST   /v1/circuits        upload BLIF/Verilog text -> content-hash key
+//   GET    /v1/circuits        list cached circuits (most recently used first)
+//   PATCH  /v1/circuits/<key>  ECO edit -> derived entry sharing the base
+//                              circuit (key = "<base>+e-<edit hash>")
+//   POST   /v1/jobs            submit ssta | sta | monte_carlo | size; a JSON
+//                              array batches jobs atomically (all queued in
+//                              order, or one 429 and none queued)
+//   GET    /v1/jobs/<id>       poll state + result
+//   DELETE /v1/jobs/<id>       cooperative cancel
+//   GET    /v1/stats           serve::Metrics as JSON
+//   GET    /v1/healthz         liveness
 //
 // Threading: one accept thread (SO_RCVTIMEO-paced so stop() is prompt) feeds
 // a bounded fd queue; `io_threads` workers each own one connection at a time
@@ -30,6 +34,7 @@
 #include "serve/http.h"
 #include "serve/metrics.h"
 #include "serve/scheduler.h"
+#include "util/json.h"
 
 namespace statsize::serve {
 
@@ -80,7 +85,13 @@ class Server {
 
   HttpResponse handle_upload(const HttpRequest& request);
   HttpResponse handle_list_circuits();
+  HttpResponse handle_patch(const HttpRequest& request, const std::string& key);
   HttpResponse handle_submit(const HttpRequest& request);
+  HttpResponse handle_submit_batch(const util::JsonValue& body);
+  /// Parses one job-request object (a whole POST /v1/jobs body or one batch
+  /// element) into `out`. False → `*error` is the ready 4xx response.
+  bool parse_job_request(const util::JsonValue& body, JobScheduler::JobRequest* out,
+                         HttpResponse* error);
   HttpResponse handle_job_get(const std::string& id);
   HttpResponse handle_job_delete(const std::string& id);
   HttpResponse handle_stats();

@@ -1,15 +1,28 @@
 #include "ssta/delay_model.h"
 
+#include <stdexcept>
+
 #include "netlist/timing_view.h"
 
 namespace statsize::ssta {
 
 using netlist::NodeId;
 
+DelayCalculator::DelayCalculator(const netlist::Circuit& circuit, SigmaModel sigma_model)
+    : circuit_(&circuit), view_(&circuit.view()), sigma_model_(sigma_model) {}
+
+const netlist::Circuit& DelayCalculator::circuit() const {
+  if (circuit_ == nullptr) {
+    throw std::logic_error(
+        "DelayCalculator::circuit: calculator was constructed from a bare "
+        "TimingView (ECO edit path) and has no backing Circuit");
+  }
+  return *circuit_;
+}
+
 double DelayCalculator::mean_delay(NodeId id, const std::vector<double>& speed) const {
-  const netlist::TimingView& view = circuit_->view();
-  const double load = view.load_capacitance(id, speed.data());
-  return view.t_int(id) + view.drive_c(id) * load / speed[static_cast<std::size_t>(id)];
+  const double load = view_->load_capacitance(id, speed.data());
+  return view_->t_int(id) + view_->drive_c(id) * load / speed[static_cast<std::size_t>(id)];
 }
 
 stat::NormalRV DelayCalculator::delay(NodeId id, const std::vector<double>& speed) const {
@@ -18,7 +31,7 @@ stat::NormalRV DelayCalculator::delay(NodeId id, const std::vector<double>& spee
 }
 
 std::vector<stat::NormalRV> DelayCalculator::all_delays(const std::vector<double>& speed) const {
-  const netlist::TimingView& view = circuit_->view();
+  const netlist::TimingView& view = *view_;
   std::vector<stat::NormalRV> delays(static_cast<std::size_t>(view.num_nodes()));
   // Batched load caps: one SIMD-friendly pass over the fanout edge array
   // replaces a short gather loop per gate. Same arithmetic per node as
@@ -35,8 +48,13 @@ std::vector<stat::NormalRV> DelayCalculator::all_delays(const std::vector<double
 
 double DelayCalculator::total_speed(const netlist::Circuit& circuit,
                                     const std::vector<double>& speed) {
+  return total_speed(circuit.view(), speed);
+}
+
+double DelayCalculator::total_speed(const netlist::TimingView& view,
+                                    const std::vector<double>& speed) {
   double sum = 0.0;
-  for (NodeId id : circuit.view().gates_in_topo_order()) {
+  for (NodeId id : view.gates_in_topo_order()) {
     sum += speed[static_cast<std::size_t>(id)];
   }
   return sum;
@@ -44,7 +62,11 @@ double DelayCalculator::total_speed(const netlist::Circuit& circuit,
 
 double DelayCalculator::total_area(const netlist::Circuit& circuit,
                                    const std::vector<double>& speed) {
-  const netlist::TimingView& view = circuit.view();
+  return total_area(circuit.view(), speed);
+}
+
+double DelayCalculator::total_area(const netlist::TimingView& view,
+                                   const std::vector<double>& speed) {
   double sum = 0.0;
   for (NodeId id : view.gates_in_topo_order()) {
     sum += view.area(id) * speed[static_cast<std::size_t>(id)];

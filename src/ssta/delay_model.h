@@ -26,13 +26,30 @@ struct SigmaModel {
   double sigma(double mu) const { return kappa * mu + offset; }
 };
 
-/// Evaluates the sizable delay model over a whole circuit.
+/// Evaluates the sizable delay model over a whole circuit. All evaluation
+/// runs against a TimingView; the Circuit constructor just binds the
+/// circuit's compiled view (and keeps the Circuit reachable for consumers
+/// that need Node-level detail, e.g. canonical SSTA). The view constructor
+/// serves the ECO path, where an edited view copy has no backing Circuit.
 class DelayCalculator {
  public:
-  DelayCalculator(const netlist::Circuit& circuit, SigmaModel sigma_model = {})
-      : circuit_(&circuit), sigma_model_(sigma_model) {}
+  /// Binds circuit.view(); throws (via view()) if not finalized.
+  explicit DelayCalculator(const netlist::Circuit& circuit, SigmaModel sigma_model = {});
 
-  const netlist::Circuit& circuit() const { return *circuit_; }
+  /// Binds a standalone view — e.g. an edited copy owned by an
+  /// IncrementalEngine or a derived serve cache entry. The caller keeps
+  /// `view` alive for this calculator's lifetime. circuit() throws on a
+  /// calculator built this way.
+  explicit DelayCalculator(const netlist::TimingView& view, SigmaModel sigma_model = {})
+      : view_(&view), sigma_model_(sigma_model) {}
+
+  /// The backing Circuit, for consumers needing Node-level detail. Throws
+  /// std::logic_error when constructed from a bare TimingView.
+  const netlist::Circuit& circuit() const;
+
+  /// The timing graph every evaluation runs on.
+  const netlist::TimingView& view() const { return *view_; }
+
   const SigmaModel& sigma_model() const { return sigma_model_; }
 
   /// Mean delay of gate `id` under speed assignment `speed` (indexed by
@@ -47,12 +64,15 @@ class DelayCalculator {
 
   /// Sum of speed factors — the paper's area measure (Table 1's sum S_i).
   static double total_speed(const netlist::Circuit& circuit, const std::vector<double>& speed);
+  static double total_speed(const netlist::TimingView& view, const std::vector<double>& speed);
 
   /// Area-weighted sum (cell area scales linearly with S, see [3]/[8]).
   static double total_area(const netlist::Circuit& circuit, const std::vector<double>& speed);
+  static double total_area(const netlist::TimingView& view, const std::vector<double>& speed);
 
  private:
-  const netlist::Circuit* circuit_;
+  const netlist::Circuit* circuit_ = nullptr;  ///< null when view-constructed
+  const netlist::TimingView* view_;
   SigmaModel sigma_model_;
 };
 

@@ -175,11 +175,16 @@ struct alignas(64) ChunkMoments {
 MonteCarloResult run_monte_carlo(const netlist::Circuit& circuit,
                                  const std::vector<stat::NormalRV>& gate_delays,
                                  const MonteCarloOptions& options) {
-  if (static_cast<int>(gate_delays.size()) != circuit.num_nodes()) {
+  return run_monte_carlo(circuit.view(), gate_delays, options);
+}
+
+MonteCarloResult run_monte_carlo(const netlist::TimingView& view,
+                                 const std::vector<stat::NormalRV>& gate_delays,
+                                 const MonteCarloOptions& options) {
+  if (static_cast<int>(gate_delays.size()) != view.num_nodes()) {
     throw std::invalid_argument("gate_delays must be indexed by NodeId");
   }
   validate_num_samples(options, "run_monte_carlo");
-  const netlist::TimingView& view = circuit.view();
   const DelayParams params(gate_delays);
   const std::size_t chunks = num_chunks(options);
   MonteCarloResult result;

@@ -48,6 +48,12 @@ MonteCarloResult run_monte_carlo(const netlist::Circuit& circuit,
                                  const std::vector<stat::NormalRV>& gate_delays,
                                  const MonteCarloOptions& options = {});
 
+/// View-level implementation the Circuit overload delegates to; accepts an
+/// ECO-edited view copy with no backing Circuit (serve's derived entries).
+MonteCarloResult run_monte_carlo(const netlist::TimingView& view,
+                                 const std::vector<stat::NormalRV>& gate_delays,
+                                 const MonteCarloOptions& options = {});
+
 /// Per-gate criticality: the fraction of Monte Carlo trials in which the gate
 /// lies on the critical path (computed by tracing back the argmax from the
 /// critical primary output). Indexed by NodeId; inputs get 0.

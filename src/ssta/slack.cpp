@@ -20,7 +20,13 @@ double SlackReport::meet_probability(NodeId id) const {
 SlackReport compute_slacks(const netlist::Circuit& circuit,
                            const std::vector<NormalRV>& gate_delays,
                            const TimingReport& timing, double deadline) {
-  if (static_cast<int>(gate_delays.size()) != circuit.num_nodes() ||
+  return compute_slacks(circuit.view(), gate_delays, timing, deadline);
+}
+
+SlackReport compute_slacks(const netlist::TimingView& view,
+                           const std::vector<NormalRV>& gate_delays,
+                           const TimingReport& timing, double deadline) {
+  if (static_cast<int>(gate_delays.size()) != view.num_nodes() ||
       timing.arrival.size() != gate_delays.size()) {
     throw std::invalid_argument("reports must be indexed by NodeId");
   }
@@ -32,7 +38,6 @@ SlackReport compute_slacks(const netlist::Circuit& circuit,
   // Backward sweep in reverse topological order. A node's required time is
   // the statistical min over consumers of (their required time minus their
   // delay); output pads require the deadline itself.
-  const netlist::TimingView& view = circuit.view();
   std::vector<char> has_required(n, 0);
   const std::vector<NodeId>& topo = view.topo_order();
   for (std::size_t t = topo.size(); t-- > 0;) {

@@ -36,6 +36,12 @@ SlackReport compute_slacks(const netlist::Circuit& circuit,
                            const std::vector<stat::NormalRV>& gate_delays,
                            const TimingReport& timing, double deadline);
 
+/// View-level implementation the Circuit overload delegates to; accepts an
+/// ECO-edited view copy with no backing Circuit.
+SlackReport compute_slacks(const netlist::TimingView& view,
+                           const std::vector<stat::NormalRV>& gate_delays,
+                           const TimingReport& timing, double deadline);
+
 /// Mean-critical path: from the latest-arriving primary output back through
 /// the latest-arriving fanin to a primary input. Returned source-to-sink.
 std::vector<netlist::NodeId> extract_critical_path(const netlist::Circuit& circuit,

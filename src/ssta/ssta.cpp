@@ -16,29 +16,22 @@ using stat::NormalRV;
 
 namespace {
 
-/// Below this gate count the levelized fan-out costs more than it saves.
-/// Results are identical either way: each gate's fanin fold is a fixed
-/// serial computation; parallelism only changes which thread runs it.
-constexpr int kParallelGateCutoff = 192;
-constexpr std::size_t kGateGrain = 32;
-
 bool use_parallel(const netlist::TimingView& view) {
   return runtime::threads() > 1 && view.num_gates() >= kParallelGateCutoff;
 }
 
 }  // namespace
 
-TimingReport run_ssta(const netlist::Circuit& circuit, const std::vector<NormalRV>& gate_delays,
+TimingReport run_ssta(const netlist::TimingView& view, const std::vector<NormalRV>& gate_delays,
                       const std::vector<NormalRV>& input_arrivals) {
-  if (static_cast<int>(gate_delays.size()) != circuit.num_nodes()) {
+  if (static_cast<int>(gate_delays.size()) != view.num_nodes()) {
     throw std::invalid_argument("gate_delays must be indexed by NodeId");
   }
-  if (static_cast<int>(input_arrivals.size()) != circuit.num_inputs()) {
+  if (static_cast<int>(input_arrivals.size()) != view.num_inputs()) {
     throw std::invalid_argument(
         "input_arrivals must carry one entry per primary input (in topological "
         "input order)");
   }
-  const netlist::TimingView& view = circuit.view();
   TimingReport report;
   report.arrival.resize(static_cast<std::size_t>(view.num_nodes()));
 
@@ -81,23 +74,34 @@ TimingReport run_ssta(const netlist::Circuit& circuit, const std::vector<NormalR
   return report;
 }
 
+TimingReport run_ssta(const netlist::TimingView& view, const std::vector<NormalRV>& gate_delays,
+                      NormalRV input_arrival) {
+  const std::vector<NormalRV> arrivals(static_cast<std::size_t>(view.num_inputs()),
+                                       input_arrival);
+  return run_ssta(view, gate_delays, arrivals);
+}
+
+TimingReport run_ssta(const netlist::Circuit& circuit, const std::vector<NormalRV>& gate_delays,
+                      const std::vector<NormalRV>& input_arrivals) {
+  return run_ssta(circuit.view(), gate_delays, input_arrivals);
+}
+
 TimingReport run_ssta(const netlist::Circuit& circuit, const std::vector<NormalRV>& gate_delays,
                       NormalRV input_arrival) {
   const std::vector<NormalRV> arrivals(static_cast<std::size_t>(circuit.num_inputs()),
                                        input_arrival);
-  return run_ssta(circuit, gate_delays, arrivals);
+  return run_ssta(circuit.view(), gate_delays, arrivals);
 }
 
 TimingReport run_ssta(const DelayCalculator& calc, const std::vector<double>& speed) {
-  return run_ssta(calc.circuit(), calc.all_delays(speed));
+  return run_ssta(calc.view(), calc.all_delays(speed));
 }
 
-StaReport run_sta(const netlist::Circuit& circuit, const std::vector<NormalRV>& gate_delays,
+StaReport run_sta(const netlist::TimingView& view, const std::vector<NormalRV>& gate_delays,
                   Corner corner) {
-  if (static_cast<int>(gate_delays.size()) != circuit.num_nodes()) {
+  if (static_cast<int>(gate_delays.size()) != view.num_nodes()) {
     throw std::invalid_argument("gate_delays must be indexed by NodeId");
   }
-  const netlist::TimingView& view = circuit.view();
   const double k = corner == Corner::kBest ? -3.0 : corner == Corner::kWorst ? 3.0 : 0.0;
   StaReport report;
   report.arrival.resize(static_cast<std::size_t>(view.num_nodes()), 0.0);
@@ -121,6 +125,11 @@ StaReport run_sta(const netlist::Circuit& circuit, const std::vector<NormalRV>& 
   }
   report.circuit_delay = total;
   return report;
+}
+
+StaReport run_sta(const netlist::Circuit& circuit, const std::vector<NormalRV>& gate_delays,
+                  Corner corner) {
+  return run_sta(circuit.view(), gate_delays, corner);
 }
 
 }  // namespace statsize::ssta

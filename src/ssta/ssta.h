@@ -28,6 +28,14 @@ struct TimingReport {
   stat::NormalRV circuit_delay;
 };
 
+/// Parallel dispatch thresholds shared by the sweeps here and by the
+/// IncrementalEngine's per-level-bucket parallel decision (incremental.h):
+/// below kParallelGateCutoff gates the levelized fan-out costs more than it
+/// saves. Results are identical either way — each gate's fanin fold is a
+/// fixed serial computation; parallelism only changes which thread runs it.
+inline constexpr int kParallelGateCutoff = 192;
+inline constexpr std::size_t kGateGrain = 32;
+
 /// Propagates arrival times through `circuit` given per-node gate delays
 /// (from DelayCalculator::all_delays or custom). `input_arrival` applies to
 /// every primary input; per-input schedules can be passed via the overload.
@@ -39,7 +47,19 @@ TimingReport run_ssta(const netlist::Circuit& circuit,
                       const std::vector<stat::NormalRV>& gate_delays,
                       const std::vector<stat::NormalRV>& input_arrivals);
 
-/// Convenience: delay model evaluation + propagation in one call.
+/// View-level propagation — the implementation the Circuit overloads
+/// delegate to. Takes any TimingView, including an ECO-edited copy with no
+/// backing Circuit (the serve PATCH path / IncrementalEngine cross-check).
+TimingReport run_ssta(const netlist::TimingView& view,
+                      const std::vector<stat::NormalRV>& gate_delays,
+                      const std::vector<stat::NormalRV>& input_arrivals);
+
+TimingReport run_ssta(const netlist::TimingView& view,
+                      const std::vector<stat::NormalRV>& gate_delays,
+                      stat::NormalRV input_arrival = {});
+
+/// Convenience: delay model evaluation + propagation in one call (runs on
+/// the calculator's view, so it works for view-only calculators too).
 TimingReport run_ssta(const DelayCalculator& calc, const std::vector<double>& speed);
 
 // ---------------------------------------------------------------------------
@@ -59,6 +79,9 @@ struct StaReport {
 };
 
 StaReport run_sta(const netlist::Circuit& circuit, const std::vector<stat::NormalRV>& gate_delays,
+                  Corner corner);
+
+StaReport run_sta(const netlist::TimingView& view, const std::vector<stat::NormalRV>& gate_delays,
                   Corner corner);
 
 }  // namespace statsize::ssta

@@ -1,0 +1,510 @@
+// Incremental (ECO) timing tests — DESIGN.md §12.
+//
+// Covers the whole edit→invalidate→repropagate stack: the TimingView mutation
+// protocol (update_node_params / epoch / dirty set), the FinalizedMutationError
+// contract on the Circuit side, the IncrementalEngine's bit-identity pin
+// against full run_ssta recompute, the ReducedEvaluator's persistent forward
+// tape, and the Sizer warm-start path. The property suite drives random mixed
+// edit sequences across --jobs {1,4} x serial cutoff {0, advised} and demands
+// EXPECT_EQ (bitwise) agreement of arrivals, Tmax, slacks, and gradients with
+// a from-scratch recompute at every step.
+
+#include "ssta/incremental.h"
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/reduced_space.h"
+#include "core/sizer.h"
+#include "netlist/generators.h"
+#include "netlist/timing_view.h"
+#include "runtime/runtime.h"
+#include "ssta/slack.h"
+#include "ssta/ssta.h"
+
+namespace statsize {
+namespace {
+
+using netlist::Circuit;
+using netlist::NodeId;
+using netlist::NodeParams;
+using netlist::TimingView;
+using ssta::IncrementalEngine;
+using ssta::TimingEdit;
+
+Circuit small_dag(int gates, std::uint64_t seed) {
+  netlist::RandomDagParams p;
+  p.num_gates = gates;
+  p.num_inputs = 16 + gates / 20;
+  p.depth = 8 + gates / 40;
+  p.seed = seed;
+  return netlist::make_random_dag(p);
+}
+
+/// Gate wired twice to the same driver: d's fanout has two edges into g, so a
+/// c_in edit on g must rewrite both per-edge pin caps.
+Circuit double_edge_circuit() {
+  Circuit c(netlist::CellLibrary::standard());
+  const NodeId a = c.add_input("a");
+  const NodeId d = c.add_gate(0, {a}, "d");
+  const NodeId g = c.add_gate(2, {d, d}, "g");  // NAND2 fed twice by d
+  c.mark_output(g);
+  c.finalize();
+  return c;
+}
+
+std::vector<double> unit_speed(const TimingView& view) {
+  return std::vector<double>(static_cast<std::size_t>(view.num_nodes()), 1.0);
+}
+
+/// From-scratch reference on the engine's own (edited) view and speeds.
+ssta::TimingReport fresh_report(const IncrementalEngine& engine) {
+  const ssta::DelayCalculator calc(engine.view(), engine.sigma_model());
+  return ssta::run_ssta(engine.view(), calc.all_delays(engine.speed()));
+}
+
+void expect_rv_eq(const stat::NormalRV& a, const stat::NormalRV& b) {
+  EXPECT_EQ(a.mu, b.mu);
+  EXPECT_EQ(a.var, b.var);
+  EXPECT_FALSE(std::isnan(a.mu));
+}
+
+void expect_engine_matches_full(const IncrementalEngine& engine) {
+  const ssta::TimingReport fresh = fresh_report(engine);
+  ASSERT_EQ(fresh.arrival.size(), engine.arrivals().size());
+  for (std::size_t i = 0; i < fresh.arrival.size(); ++i) {
+    expect_rv_eq(fresh.arrival[i], engine.arrivals()[i]);
+  }
+  expect_rv_eq(fresh.circuit_delay, engine.tmax());
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: mutating a finalized Circuit is a named error.
+
+TEST(FinalizedMutation, StructuralEditsAfterFinalizeThrowNamedError) {
+  Circuit c(netlist::CellLibrary::standard());
+  const NodeId a = c.add_input("a");
+  const NodeId g = c.add_gate(0, {a}, "g");
+  c.mark_output(g);
+  c.finalize();
+
+  EXPECT_THROW(c.add_input("b"), netlist::FinalizedMutationError);
+  EXPECT_THROW(c.add_gate(0, {a}, "h"), netlist::FinalizedMutationError);
+  EXPECT_THROW(c.mark_output(a), netlist::FinalizedMutationError);
+  try {
+    c.add_input("b");
+    FAIL() << "expected FinalizedMutationError";
+  } catch (const netlist::FinalizedMutationError& e) {
+    // The message must route the caller to the sanctioned post-finalize path.
+    EXPECT_NE(std::string(e.what()).find("update_node_params"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TimingView mutation protocol.
+
+TEST(TimingViewEdit, UpdateNodeParamsRewritesConstantsAndPinCaps) {
+  const Circuit c = small_dag(40, 7);
+  TimingView view = c.view();  // value copy; the snapshot stays pristine
+  const std::vector<NodeId>& gates = view.gates_in_topo_order();
+  const NodeId g = gates[gates.size() / 2];
+
+  NodeParams p = view.node_params(g);
+  p.t_int *= 1.25;
+  p.c *= 0.8;
+  p.c_in *= 1.5;
+  p.area *= 2.0;
+  view.update_node_params(g, p);
+
+  EXPECT_EQ(view.t_int(g), p.t_int);
+  EXPECT_EQ(view.drive_c(g), p.c);
+  EXPECT_EQ(view.c_in(g), p.c_in);
+  EXPECT_EQ(view.area(g), p.area);
+  // Every fanin->g fanout edge now carries the new pin cap.
+  for (NodeId driver : view.fanins(g)) {
+    const netlist::NodeSpan outs = view.fanouts(driver);
+    const double* cin = view.fanout_cin(driver);
+    for (std::size_t e = 0; e < outs.size(); ++e) {
+      if (outs[e] == g) EXPECT_EQ(cin[e], p.c_in);
+    }
+  }
+  // The Circuit's own compiled snapshot is untouched.
+  EXPECT_NE(c.view().t_int(g), p.t_int);
+  EXPECT_EQ(c.view().epoch(), 0u);
+}
+
+TEST(TimingViewEdit, DuplicateEdgeGetsBothPinCapsRewritten) {
+  const Circuit c = double_edge_circuit();
+  TimingView view = c.view();
+  const NodeId d = view.gates_in_topo_order()[0];
+  const NodeId g = view.gates_in_topo_order()[1];
+  ASSERT_EQ(view.fanouts(d).size(), 2u);
+
+  NodeParams p = view.node_params(g);
+  p.c_in = 3.5;
+  view.update_node_params(g, p);
+
+  const double* cin = view.fanout_cin(d);
+  EXPECT_EQ(cin[0], 3.5);
+  EXPECT_EQ(cin[1], 3.5);
+  // Both edges contribute: load = static + 2 * c_in * S_g.
+  const std::vector<double> speed(static_cast<std::size_t>(view.num_nodes()), 2.0);
+  EXPECT_EQ(view.load_capacitance(d, speed.data()),
+            view.static_load(d) + 3.5 * 2.0 + 3.5 * 2.0);
+}
+
+TEST(TimingViewEdit, EpochAndDirtySetTrackEditsDeduplicated) {
+  const Circuit c = small_dag(30, 11);
+  TimingView view = c.view();
+  const std::vector<NodeId>& gates = view.gates_in_topo_order();
+  EXPECT_EQ(view.epoch(), 0u);
+  EXPECT_TRUE(view.dirty_nodes().empty());
+
+  NodeParams p0 = view.node_params(gates[0]);
+  p0.t_int *= 1.1;
+  view.update_node_params(gates[0], p0);
+  NodeParams p1 = view.node_params(gates[1]);
+  p1.c_in *= 1.1;
+  view.update_node_params(gates[1], p1);
+  p0.t_int *= 1.1;
+  view.update_node_params(gates[0], p0);  // re-edit: epoch bumps, no dup
+
+  EXPECT_EQ(view.epoch(), 3u);
+  ASSERT_EQ(view.dirty_nodes().size(), 2u);
+  EXPECT_EQ(view.dirty_nodes()[0], gates[0]);  // first-edit order
+  EXPECT_EQ(view.dirty_nodes()[1], gates[1]);
+
+  view.clear_dirty();
+  EXPECT_TRUE(view.dirty_nodes().empty());
+  EXPECT_EQ(view.epoch(), 3u);  // epoch is monotone, not reset
+}
+
+TEST(TimingViewEdit, InvalidEditsThrowAndLeaveViewUnchanged) {
+  const Circuit c = small_dag(30, 13);
+  TimingView view = c.view();
+  const NodeId input = view.topo_order()[0];
+  const NodeId g = view.gates_in_topo_order()[0];
+  const NodeParams before = view.node_params(g);
+
+  EXPECT_THROW(view.update_node_params(input, NodeParams{1, 1, 1, 1}), std::invalid_argument);
+  NodeParams bad = before;
+  bad.t_int = std::nan("");
+  EXPECT_THROW(view.update_node_params(g, bad), std::invalid_argument);
+
+  EXPECT_EQ(view.epoch(), 0u);
+  EXPECT_TRUE(view.dirty_nodes().empty());
+  EXPECT_EQ(view.t_int(g), before.t_int);
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalEngine unit behaviour.
+
+TEST(IncrementalEngine, ConstructorValidatesSpeed) {
+  const Circuit c = small_dag(30, 17);
+  std::vector<double> wrong(static_cast<std::size_t>(c.num_nodes()) - 1, 1.0);
+  EXPECT_THROW(IncrementalEngine(c.view(), wrong), std::invalid_argument);
+
+  std::vector<double> nonpos = unit_speed(c.view());
+  nonpos[static_cast<std::size_t>(c.view().gates_in_topo_order()[0])] = 0.0;
+  EXPECT_THROW(IncrementalEngine(c.view(), nonpos), std::invalid_argument);
+}
+
+TEST(IncrementalEngine, BatchIsValidatedBeforeAnyStateChanges) {
+  const Circuit c = small_dag(30, 19);
+  IncrementalEngine engine(c.view(), unit_speed(c.view()));
+  const stat::NormalRV before = engine.tmax();
+  const NodeId g = c.view().gates_in_topo_order()[0];
+  const NodeId input = c.view().topo_order()[0];
+
+  // A good edit followed by a bad one: the whole batch must be rejected
+  // with no propagation and no state change.
+  const std::vector<TimingEdit> batch{TimingEdit::set_speed(g, 2.0),
+                                      TimingEdit::set_speed(input, 2.0)};
+  EXPECT_THROW(engine.apply_edits(batch), std::invalid_argument);
+  expect_rv_eq(engine.tmax(), before);
+  EXPECT_EQ(engine.speed()[static_cast<std::size_t>(g)], 1.0);
+
+  EXPECT_THROW(engine.apply_edits({TimingEdit::set_speed(g, -1.0)}), std::invalid_argument);
+  EXPECT_THROW(engine.apply_edits({TimingEdit::set_speed(g, std::nan(""))}),
+               std::invalid_argument);
+}
+
+TEST(IncrementalEngine, NoOpEditPropagatesNothing) {
+  const Circuit c = small_dag(30, 23);
+  IncrementalEngine engine(c.view(), unit_speed(c.view()));
+  const stat::NormalRV before = engine.tmax();
+  const NodeId g = c.view().gates_in_topo_order()[0];
+
+  engine.apply_edits({TimingEdit::set_speed(g, 1.0)});  // bitwise-equal value
+  EXPECT_EQ(engine.last_arrival_recomputes(), 0u);
+  expect_rv_eq(engine.tmax(), before);
+}
+
+TEST(IncrementalEngine, SpeedAndParamsEditsMatchFullRecompute) {
+  const Circuit c = small_dag(60, 29);
+  IncrementalEngine engine(c.view(), unit_speed(c.view()));
+  const std::vector<NodeId>& gates = c.view().gates_in_topo_order();
+
+  const stat::NormalRV t1 = engine.apply_edits({TimingEdit::set_speed(gates[2], 1.7)});
+  expect_rv_eq(t1, engine.tmax());  // the return value is the cached Tmax
+  expect_engine_matches_full(engine);
+
+  NodeParams p = engine.view().node_params(gates[gates.size() / 2]);
+  p.t_int *= 1.2;
+  p.c_in *= 0.8;
+  engine.apply_edits({TimingEdit::set_params(gates[gates.size() / 2], p)});
+  expect_engine_matches_full(engine);
+
+  // A mixed batch in one call.
+  NodeParams q = engine.view().node_params(gates[1]);
+  q.c *= 1.3;
+  engine.apply_edits({TimingEdit::set_speed(gates.back(), 2.4),
+                      TimingEdit::set_params(gates[1], q)});
+  expect_engine_matches_full(engine);
+  EXPECT_GT(engine.last_arrival_recomputes(), 0u);
+}
+
+TEST(IncrementalEngine, FullRecomputeIsIdempotentOnCaches) {
+  const Circuit c = small_dag(60, 31);
+  IncrementalEngine engine(c.view(), unit_speed(c.view()));
+  engine.apply_edits({TimingEdit::set_speed(c.view().gates_in_topo_order()[5], 2.0)});
+  const stat::NormalRV tmax = engine.tmax();
+  const std::vector<stat::NormalRV> arrivals = engine.arrivals();
+  engine.full_recompute();
+  expect_rv_eq(engine.tmax(), tmax);
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    expect_rv_eq(engine.arrivals()[i], arrivals[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property suite: random mixed edit sequences, bit-identity of everything the
+// stack serves (arrivals, Tmax, slacks, gradients) vs full recompute, across
+// --jobs {1,4} x serial cutoff {0, advised}.
+
+void run_edit_sequence_property(int jobs, bool advised_cutoff) {
+  runtime::set_threads(jobs);
+  if (advised_cutoff) {
+    runtime::reset_level_serial_cutoff();  // re-resolves to the advised auto value
+  } else {
+    runtime::set_level_serial_cutoff(0);  // every level pays the pool
+  }
+
+  // ~300 gates: comfortably above the parallel gate cutoff so the pooled
+  // kernels actually run at jobs > 1.
+  const Circuit c = small_dag(300, 77);
+  const ssta::SigmaModel sigma{};
+  IncrementalEngine engine(c.view(), unit_speed(c.view()), sigma);
+  core::ReducedEvaluator warm_eval(engine.view(), sigma);
+  const std::vector<NodeId>& gates = engine.view().gates_in_topo_order();
+  const double deadline = engine.tmax().mu * 1.05;
+
+  std::mt19937 rng(20260807u + static_cast<unsigned>(jobs) * 2u +
+                   (advised_cutoff ? 1u : 0u));
+  std::uniform_int_distribution<std::size_t> pick_gate(0, gates.size() - 1);
+  std::uniform_real_distribution<double> speed_dist(0.6, 2.4);
+  std::uniform_real_distribution<double> scale_dist(0.9, 1.1);
+  std::uniform_int_distribution<int> batch_size(1, 3);
+  std::bernoulli_distribution is_speed_edit(0.5);
+
+  for (int step = 0; step < 12; ++step) {
+    std::vector<TimingEdit> batch;
+    std::vector<NodeId> param_edited;
+    const int n = batch_size(rng);
+    for (int i = 0; i < n; ++i) {
+      const NodeId g = gates[pick_gate(rng)];
+      if (is_speed_edit(rng)) {
+        batch.push_back(TimingEdit::set_speed(g, speed_dist(rng)));
+      } else {
+        NodeParams p = engine.view().node_params(g);
+        p.t_int *= scale_dist(rng);
+        p.c *= scale_dist(rng);
+        p.c_in *= scale_dist(rng);
+        batch.push_back(TimingEdit::set_params(g, p));
+        param_edited.push_back(g);
+      }
+    }
+    engine.apply_edits(batch);
+
+    // Arrivals + Tmax, bitwise.
+    const ssta::TimingReport fresh = fresh_report(engine);
+    ASSERT_EQ(fresh.arrival.size(), engine.arrivals().size());
+    for (std::size_t i = 0; i < fresh.arrival.size(); ++i) {
+      EXPECT_EQ(fresh.arrival[i].mu, engine.arrivals()[i].mu) << "node " << i;
+      EXPECT_EQ(fresh.arrival[i].var, engine.arrivals()[i].var) << "node " << i;
+    }
+    EXPECT_EQ(fresh.circuit_delay.mu, engine.tmax().mu);
+    EXPECT_EQ(fresh.circuit_delay.var, engine.tmax().var);
+
+    // Slacks computed from the engine's cached report vs the fresh one.
+    const ssta::DelayCalculator calc(engine.view(), sigma);
+    const std::vector<stat::NormalRV> delays = calc.all_delays(engine.speed());
+    const ssta::SlackReport s_inc =
+        ssta::compute_slacks(engine.view(), delays, engine.timing_report(), deadline);
+    const ssta::SlackReport s_full =
+        ssta::compute_slacks(engine.view(), delays, fresh, deadline);
+    ASSERT_EQ(s_inc.slack.size(), s_full.slack.size());
+    for (std::size_t i = 0; i < s_inc.slack.size(); ++i) {
+      EXPECT_EQ(s_inc.slack[i].mu, s_full.slack[i].mu);
+      EXPECT_EQ(s_inc.slack[i].var, s_full.slack[i].var);
+    }
+
+    // Gradients: the warm evaluator (persistent tape, dirty-cone re-eval)
+    // vs a cold evaluation on the same edited view.
+    warm_eval.note_edits(param_edited);
+    std::vector<double> g_warm, g_cold;
+    const stat::NormalRV t_warm = warm_eval.eval_with_grad(engine.speed(), 1.0, 0.5, g_warm);
+    core::ReducedEvaluator cold(engine.view(), sigma);
+    const stat::NormalRV t_cold = cold.eval_with_grad(engine.speed(), 1.0, 0.5, g_cold);
+    EXPECT_EQ(t_warm.mu, t_cold.mu);
+    EXPECT_EQ(t_warm.var, t_cold.var);
+    ASSERT_EQ(g_warm.size(), g_cold.size());
+    for (std::size_t i = 0; i < g_warm.size(); ++i) {
+      EXPECT_EQ(g_warm[i], g_cold[i]) << "grad " << i;
+    }
+  }
+}
+
+class EditSequenceProperty : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    runtime::set_threads(0);  // back to auto
+    runtime::reset_level_serial_cutoff();
+  }
+};
+
+TEST_F(EditSequenceProperty, Jobs1CutoffZero) { run_edit_sequence_property(1, false); }
+TEST_F(EditSequenceProperty, Jobs1CutoffAdvised) { run_edit_sequence_property(1, true); }
+TEST_F(EditSequenceProperty, Jobs4CutoffZero) { run_edit_sequence_property(4, false); }
+TEST_F(EditSequenceProperty, Jobs4CutoffAdvised) { run_edit_sequence_property(4, true); }
+
+// ---------------------------------------------------------------------------
+// ReducedEvaluator cache behaviour.
+
+TEST(ReducedEvaluatorCache, ConeReEvalTouchesFewerGatesThanFullSweep) {
+  const Circuit c = small_dag(300, 41);
+  const ssta::SigmaModel sigma{};
+  core::ReducedEvaluator eval(c.view(), sigma);
+  std::vector<double> speed = unit_speed(c.view());
+  std::vector<double> grad;
+  eval.eval_with_grad(speed, 1.0, 0.0, grad);  // primes the tape
+  EXPECT_EQ(eval.last_forward_recomputes(),
+            static_cast<std::size_t>(c.view().num_gates()));
+
+  // Perturb a near-output gate: only its small cone refolds.
+  const std::vector<NodeId>& gates = c.view().gates_in_topo_order();
+  speed[static_cast<std::size_t>(gates.back())] = 1.5;
+  eval.eval_with_grad(speed, 1.0, 0.0, grad);
+  EXPECT_LT(eval.last_forward_recomputes(),
+            static_cast<std::size_t>(c.view().num_gates()));
+  EXPECT_GT(eval.last_forward_recomputes(), 0u);
+
+  // invalidate() drops the tape: next call is a full sweep again.
+  eval.invalidate();
+  eval.eval_with_grad(speed, 1.0, 0.0, grad);
+  EXPECT_EQ(eval.last_forward_recomputes(),
+            static_cast<std::size_t>(c.view().num_gates()));
+}
+
+TEST(ReducedEvaluatorCache, UnnotedViewEditStillYieldsColdBits) {
+  const Circuit c = small_dag(120, 43);
+  const ssta::SigmaModel sigma{};
+  TimingView view = c.view();
+  core::ReducedEvaluator eval(view, sigma);
+  const std::vector<double> speed = unit_speed(view);
+  std::vector<double> g_warm, g_cold;
+  eval.eval_with_grad(speed, 1.0, 0.0, g_warm);
+
+  // Edit behind the evaluator's back (no note_edits): the epoch mismatch must
+  // force a safe full resweep, not a silently stale gradient.
+  const NodeId g = view.gates_in_topo_order()[3];
+  NodeParams p = view.node_params(g);
+  p.t_int *= 1.3;
+  view.update_node_params(g, p);
+
+  const stat::NormalRV t_warm = eval.eval_with_grad(speed, 1.0, 0.0, g_warm);
+  core::ReducedEvaluator cold(view, sigma);
+  const stat::NormalRV t_cold = cold.eval_with_grad(speed, 1.0, 0.0, g_cold);
+  EXPECT_EQ(t_warm.mu, t_cold.mu);
+  EXPECT_EQ(t_warm.var, t_cold.var);
+  for (std::size_t i = 0; i < g_warm.size(); ++i) EXPECT_EQ(g_warm[i], g_cold[i]);
+}
+
+// ---------------------------------------------------------------------------
+// Sizer warm-start (resize) contract.
+
+core::SizerOptions reduced_opts() {
+  core::SizerOptions o;
+  o.method = core::Method::kReducedSpace;
+  return o;
+}
+
+TEST(SizerWarmStart, ResizeValidatesWarmStart) {
+  const Circuit c = small_dag(40, 47);
+  core::SizingSpec spec;
+  const core::Sizer sizer(c, spec);
+  core::SizingWarmStart warm;
+  warm.speed.assign(3, 1.0);  // wrong size: must be indexed by NodeId
+  EXPECT_THROW(sizer.resize(reduced_opts(), warm), std::invalid_argument);
+  warm.speed.clear();
+  warm.rho = std::nan("");
+  EXPECT_THROW(sizer.resize(reduced_opts(), warm), std::invalid_argument);
+}
+
+TEST(SizerWarmStart, ViewConstructedSizerRejectsFullSpace) {
+  const Circuit c = small_dag(40, 53);
+  TimingView view = c.view();
+  core::SizingSpec spec;
+  const core::Sizer sizer(view, spec);
+  core::SizerOptions full;
+  full.method = core::Method::kFullSpace;
+  EXPECT_THROW(sizer.run(full), std::invalid_argument);
+  EXPECT_NO_THROW(sizer.run(reduced_opts()));
+}
+
+TEST(SizerWarmStart, WarmResizeConvergesInFewerOuterIterationsThanCold) {
+  // Solve a delay-constrained min-area instance, perturb a few cells' library
+  // constants (~5%), and re-solve on the edited view: the warm start from the
+  // base solve must need fewer AugLag outer iterations than a cold solve, and
+  // land on an equivalent sizing.
+  const Circuit c = small_dag(60, 59);
+  const core::SizingSpec base_spec = [&] {
+    core::SizingSpec spec;
+    spec.objective = core::Objective::min_area();
+    const ssta::DelayCalculator calc(c, spec.sigma_model);
+    std::vector<double> s(static_cast<std::size_t>(c.num_nodes()), spec.max_speed);
+    const double mu_min = ssta::run_ssta(calc, s).circuit_delay.mu;
+    std::fill(s.begin(), s.end(), 1.0);
+    const double mu_max = ssta::run_ssta(calc, s).circuit_delay.mu;
+    spec.delay_constraint = core::DelayConstraint::at_most(mu_min + 0.4 * (mu_max - mu_min));
+    return spec;
+  }();
+
+  const core::SizingResult base = core::Sizer(c, base_spec).run(reduced_opts());
+  ASSERT_TRUE(base.converged) << base.status;
+  ASSERT_GT(base.outer_iterations, 1);
+
+  TimingView view = c.view();
+  const std::vector<NodeId>& gates = view.gates_in_topo_order();
+  for (std::size_t i = 0; i < gates.size(); i += gates.size() / 3) {
+    NodeParams p = view.node_params(gates[i]);
+    p.t_int *= 1.05;
+    view.update_node_params(gates[i], p);
+  }
+
+  const core::Sizer resizer(view, base_spec);
+  const core::SizingResult cold = resizer.run(reduced_opts());
+  const core::SizingResult warm = resizer.resize(reduced_opts(), base.warm);
+  ASSERT_TRUE(cold.converged) << cold.status;
+  ASSERT_TRUE(warm.converged) << warm.status;
+
+  EXPECT_LT(warm.outer_iterations, cold.outer_iterations);
+  EXPECT_NEAR(warm.sum_speed, cold.sum_speed, 0.05 * cold.sum_speed + 0.1);
+  EXPECT_LE(warm.constraint_violation, 1e-3);
+}
+
+}  // namespace
+}  // namespace statsize

@@ -433,6 +433,48 @@ TEST(AugLag, MultiplierEstimatesAreLagrangeMultipliers) {
   EXPECT_NEAR(r.multipliers[0], 2.0, 1e-3);
 }
 
+TEST(AugLagWarmStart, EmptyWarmStartMatchesPlainOverloadBitwise) {
+  auto p = make_hs6();
+  const SolveResult plain = solve_augmented_lagrangian(*p);
+  const SolveResult warm = solve_augmented_lagrangian(*p, {}, WarmStart{});
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(warm.ok());
+  ASSERT_EQ(plain.x.size(), warm.x.size());
+  for (std::size_t i = 0; i < plain.x.size(); ++i) EXPECT_EQ(plain.x[i], warm.x[i]);
+  EXPECT_EQ(plain.outer_iterations, warm.outer_iterations);
+  EXPECT_EQ(plain.final_rho, warm.final_rho);
+}
+
+TEST(AugLagWarmStart, RejectsSizeMismatchesAndNonFiniteRho) {
+  auto p = make_hs6();
+  WarmStart bad_x;
+  bad_x.x = {1.0};  // problem has 2 vars
+  EXPECT_THROW(solve_augmented_lagrangian(*p, {}, bad_x), std::invalid_argument);
+  WarmStart bad_m;
+  bad_m.multipliers = {0.0, 0.0};  // problem has 1 constraint
+  EXPECT_THROW(solve_augmented_lagrangian(*p, {}, bad_m), std::invalid_argument);
+  WarmStart bad_rho;
+  bad_rho.rho = std::nan("");
+  EXPECT_THROW(solve_augmented_lagrangian(*p, {}, bad_rho), std::invalid_argument);
+}
+
+TEST(AugLagWarmStart, ResolveFromConvergedStateTakesFewerOuterIterations) {
+  auto p = make_hs6();
+  const SolveResult cold = solve_augmented_lagrangian(*p);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_GT(cold.outer_iterations, 1);
+
+  WarmStart warm;
+  warm.x = cold.x;
+  warm.multipliers = cold.multipliers;
+  warm.rho = cold.final_rho;
+  const SolveResult resumed = solve_augmented_lagrangian(*p, {}, warm);
+  ASSERT_TRUE(resumed.ok()) << resumed.status_string();
+  EXPECT_LT(resumed.outer_iterations, cold.outer_iterations);
+  EXPECT_NEAR(resumed.x[0], 1.0, 1e-4);
+  EXPECT_NEAR(resumed.x[1], 1.0, 1e-4);
+}
+
 TEST(AugLagModel, GradientMatchesFiniteDifference) {
   auto p = make_hs6();
   AugLagModel model(*p, {0.7}, 13.0);

@@ -15,8 +15,10 @@
 #include <thread>
 #include <vector>
 
+#include "core/sizer.h"
 #include "netlist/blif.h"
 #include "netlist/generators.h"
+#include "netlist/timing_view.h"
 #include "runtime/signal.h"
 #include "serve/circuit_cache.h"
 #include "serve/client.h"
@@ -305,6 +307,271 @@ TEST_F(ServeTest, StopCancelsQueuedAndRunningJobs) {
   ASSERT_NE(q, nullptr);
   EXPECT_EQ(r->state.load(), serve::JobState::kCancelled);
   EXPECT_EQ(q->state.load(), serve::JobState::kCancelled);
+}
+
+// ---------------------------------------------------------------------------
+// Batched job submission (POST /v1/jobs with a JSON array)
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeTest, BatchSubmitQueuesAllJobsInOrder) {
+  StartServer();
+  const std::string key = client_->upload(kC17, "blif", "c17");
+  serve::ApiResult batch = client_->request(
+      "POST", "/v1/jobs",
+      "[" + job_body(key, "ssta") + ", " + job_body(key, "sta") + ", " +
+          job_body(key, "monte_carlo", "\"samples\": 100") + "]");
+  ASSERT_EQ(batch.status, 202) << batch.body;
+  const util::JsonValue doc = batch.json();
+  const util::JsonValue* jobs = doc.find("jobs");
+  ASSERT_NE(jobs, nullptr);
+  ASSERT_EQ(jobs->items().size(), 3u);
+  const char* types[] = {"ssta", "sta", "monte_carlo"};
+  std::string prev_id;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const util::JsonValue& j = jobs->items()[i];
+    EXPECT_EQ(j.string_or("type", ""), types[i]);
+    EXPECT_EQ(j.string_or("circuit", ""), key);
+    const std::string id = j.string_or("id", "");
+    ASSERT_EQ(id.substr(0, 4), "job-");
+    EXPECT_GT(id, prev_id);  // "job-%06d": lexicographic == submission order
+    prev_id = id;
+    EXPECT_EQ(client_->wait(id, 0.01, 60.0).string_or("state", ""), "done");
+  }
+  EXPECT_EQ(server_->metrics().jobs_submitted.value(), 3);
+}
+
+TEST_F(ServeTest, BatchSubmitRejectsWholeBatchOnOneBadElement) {
+  StartServer();
+  const std::string key = client_->upload(kC17, "blif");
+  serve::ApiResult bad_type = client_->request(
+      "POST", "/v1/jobs", "[" + job_body(key, "ssta") + ", " + job_body(key, "warp") + "]");
+  EXPECT_EQ(bad_type.status, 400);
+  EXPECT_NE(bad_type.body.find("jobs[1]"), std::string::npos) << bad_type.body;
+
+  serve::ApiResult bad_key = client_->request(
+      "POST", "/v1/jobs", "[" + job_body("c-0000000000000000", "ssta") + "]");
+  EXPECT_EQ(bad_key.status, 404);
+  EXPECT_NE(bad_key.body.find("jobs[0]"), std::string::npos) << bad_key.body;
+
+  EXPECT_EQ(client_->request("POST", "/v1/jobs", "[]").status, 400);
+  // A rejected batch queues nothing.
+  EXPECT_EQ(server_->metrics().jobs_submitted.value(), 0);
+}
+
+TEST_F(ServeTest, BatchSubmitIsAllOrNothingOnQueueOverflow) {
+  serve::ServerOptions options;
+  options.scheduler.queue_depth = 2;
+  StartServer(options);
+  const std::string key = client_->upload(kC17, "blif");
+  // Occupy the executor so queued jobs stay queued.
+  const std::string running =
+      client_->submit(job_body(key, "monte_carlo", "\"samples\": 200000000"));
+  for (int i = 0; i < 500; ++i) {
+    if (client_->job(running).json().string_or("state", "") == "running") break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // Three jobs cannot fit the two queue slots: the whole batch bounces and
+  // none of it is queued.
+  const std::string batch3 = "[" + job_body(key, "ssta") + ", " + job_body(key, "ssta") +
+                             ", " + job_body(key, "ssta") + "]";
+  serve::ApiResult overflow = client_->request("POST", "/v1/jobs", batch3);
+  EXPECT_EQ(overflow.status, 429) << overflow.body;
+  EXPECT_GE(server_->metrics().jobs_rejected.value(), 3);
+
+  // A batch that fits is accepted whole.
+  serve::ApiResult ok = client_->request(
+      "POST", "/v1/jobs", "[" + job_body(key, "ssta") + ", " + job_body(key, "sta") + "]");
+  ASSERT_EQ(ok.status, 202) << ok.body;
+  const util::JsonValue ok_doc = ok.json();
+  const util::JsonValue* accepted = ok_doc.find("jobs");
+  ASSERT_NE(accepted, nullptr);
+  ASSERT_EQ(accepted->items().size(), 2u);
+
+  EXPECT_EQ(client_->cancel(running).status, 200);
+  for (const util::JsonValue& j : accepted->items()) {
+    EXPECT_EQ(client_->wait(j.string_or("id", ""), 0.02, 60.0).string_or("state", ""),
+              "done");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PATCH /v1/circuits/<key>: ECO edits -> derived cache entries
+// ---------------------------------------------------------------------------
+
+/// First two gate NodeIds of the in-process parse of `kC17` (ids are stable:
+/// the daemon parses the same text with the same reader).
+std::pair<netlist::NodeId, netlist::NodeId> c17_gates() {
+  std::istringstream in(kC17);
+  const netlist::Circuit circuit = netlist::read_blif(in);
+  const std::vector<netlist::NodeId>& gates = circuit.view().gates_in_topo_order();
+  return {gates[0], gates[1]};
+}
+
+TEST_F(ServeTest, PatchValidatesAndCreatesDerivedEntry) {
+  StartServer();
+  const std::string key = client_->upload(kC17, "blif", "c17");
+  const auto [g0, g1] = c17_gates();
+
+  EXPECT_EQ(client_->request("PATCH", "/v1/circuits/c-0000000000000000",
+                             "{\"edits\": [{\"node\": 5, \"t_int\": 2.0}]}")
+                .status,
+            404);
+  EXPECT_EQ(client_->request("PATCH", "/v1/circuits/" + key, "{}").status, 400);
+  EXPECT_EQ(client_->request("PATCH", "/v1/circuits/" + key, "{\"edits\": []}").status, 400);
+  // Node 0 is a primary input, not a gate.
+  EXPECT_EQ(client_->request("PATCH", "/v1/circuits/" + key,
+                             "{\"edits\": [{\"node\": 0, \"t_int\": 2.0}]}")
+                .status,
+            400);
+  EXPECT_EQ(client_->request("PATCH", "/v1/circuits/" + key,
+                             "{\"edits\": [{\"node\": " + std::to_string(g0) +
+                                 ", \"speed\": -1.0}]}")
+                .status,
+            400);
+  EXPECT_EQ(client_->request("PATCH", "/v1/circuits/" + key,
+                             "{\"edits\": [{\"node\": " + std::to_string(g0) +
+                                 ", \"t_int\": \"fast\"}]}")
+                .status,
+            400);
+  EXPECT_EQ(client_->request("PATCH", "/v1/circuits/" + key,
+                             "{\"edits\": [{\"node\": " + std::to_string(g0) + "}]}")
+                .status,
+            400);
+
+  const std::string edit = "{\"edits\": [{\"node\": " + std::to_string(g0) +
+                           ", \"t_int\": 2.5}]}";
+  serve::ApiResult created = client_->request("PATCH", "/v1/circuits/" + key, edit);
+  ASSERT_EQ(created.status, 201) << created.body;
+  const util::JsonValue doc = created.json();
+  const std::string derived = doc.string_or("key", "");
+  EXPECT_EQ(derived.substr(0, key.size() + 3), key + "+e-");
+  EXPECT_EQ(derived.size(), key.size() + 3 + 16);  // "+e-" + 64-bit hex hash
+  EXPECT_EQ(doc.string_or("base", ""), key);
+  EXPECT_FALSE(doc.bool_or("cached", true));
+  EXPECT_EQ(doc.int_or("num_edits", 0), 1);
+
+  // Same edit body -> same derived key, served from cache.
+  serve::ApiResult again = client_->request("PATCH", "/v1/circuits/" + key, edit);
+  ASSERT_EQ(again.status, 200) << again.body;
+  EXPECT_TRUE(again.json().bool_or("cached", false));
+  EXPECT_EQ(again.json().string_or("key", ""), derived);
+
+  // A different edit value derives a different key.
+  serve::ApiResult other = client_->request(
+      "PATCH", "/v1/circuits/" + key,
+      "{\"edits\": [{\"node\": " + std::to_string(g1) + ", \"t_int\": 2.5}]}");
+  ASSERT_EQ(other.status, 201) << other.body;
+  EXPECT_NE(other.json().string_or("key", ""), derived);
+}
+
+TEST_F(ServeTest, AnalysisOnPatchedCircuitIsBitIdenticalToInProcessEdit) {
+  StartServer();
+  const std::string key = client_->upload(kC17, "blif");
+  const auto [g0, g1] = c17_gates();
+
+  serve::ApiResult patched = client_->request(
+      "PATCH", "/v1/circuits/" + key,
+      "{\"edits\": [{\"node\": " + std::to_string(g0) +
+          ", \"t_int\": 2.5, \"c_in\": 0.4}, {\"node\": " + std::to_string(g1) +
+          ", \"speed\": 1.5}]}");
+  ASSERT_EQ(patched.status, 201) << patched.body;
+  const std::string derived = patched.json().string_or("key", "");
+
+  const std::string id = client_->submit(job_body(derived, "ssta"));
+  util::JsonValue doc = client_->wait(id, 0.01, 60.0);
+  ASSERT_EQ(doc.string_or("state", ""), "done") << doc.string_or("error", "");
+  const util::JsonValue* result = doc.find("result");
+  ASSERT_NE(result, nullptr);
+
+  // The same ECO applied in process: params edit on a view copy, speed edit
+  // as a per-node override of the uniform analysis speed.
+  std::istringstream in(kC17);
+  const netlist::Circuit circuit = netlist::read_blif(in);
+  netlist::TimingView view = circuit.view();
+  netlist::NodeParams p = view.node_params(g0);
+  p.t_int = 2.5;
+  p.c_in = 0.4;
+  view.update_node_params(g0, p);
+  std::vector<double> speed(static_cast<std::size_t>(view.num_nodes()), 1.0);
+  speed[static_cast<std::size_t>(g1)] = 1.5;
+  const ssta::DelayCalculator calc(view, {});
+  const ssta::TimingReport reference = ssta::run_ssta(view, calc.all_delays(speed));
+
+  EXPECT_EQ(result->number_or("mu", -1.0), reference.circuit_delay.mu);
+  EXPECT_EQ(result->number_or("sigma", -1.0), reference.circuit_delay.sigma());
+}
+
+TEST_F(ServeTest, PatchedSizeOverHttpMatchesInProcessWarmResize) {
+  StartServer();
+  const std::string key = client_->upload(kC17, "blif");
+  const auto [g0, g1] = c17_gates();
+  (void)g1;
+
+  // Base solve: cold (nothing to warm-start from), and it memoizes its warm
+  // state on the cache entry.
+  const std::string base_id =
+      client_->submit(job_body(key, "size", "\"method\": \"reduced\""));
+  util::JsonValue base_doc = client_->wait(base_id, 0.01, 120.0);
+  ASSERT_EQ(base_doc.string_or("state", ""), "done") << base_doc.string_or("error", "");
+  const util::JsonValue* base_result = base_doc.find("result");
+  ASSERT_NE(base_result, nullptr);
+  EXPECT_FALSE(base_result->bool_or("warm_started", true));
+  EXPECT_GE(base_result->int_or("outer_iterations", 0), 1);
+
+  serve::ApiResult patched = client_->request(
+      "PATCH", "/v1/circuits/" + key,
+      "{\"edits\": [{\"node\": " + std::to_string(g0) + ", \"t_int\": 1.8}]}");
+  ASSERT_EQ(patched.status, 201) << patched.body;
+  const std::string derived = patched.json().string_or("key", "");
+
+  // Derived solve: warm-started from the base entry's memoized result.
+  const std::string warm_id =
+      client_->submit(job_body(derived, "size", "\"method\": \"reduced\""));
+  util::JsonValue warm_doc = client_->wait(warm_id, 0.01, 120.0);
+  ASSERT_EQ(warm_doc.string_or("state", ""), "done") << warm_doc.string_or("error", "");
+  const util::JsonValue* warm_result = warm_doc.find("result");
+  ASSERT_NE(warm_result, nullptr);
+  EXPECT_TRUE(warm_result->bool_or("warm_started", false));
+
+  // Full-space sizing cannot run on a patched entry (the NLP is built from
+  // the immutable Circuit) — the job fails with a routing hint, not silently
+  // wrong numbers.
+  const std::string full_id =
+      client_->submit(job_body(derived, "size", "\"method\": \"full\""));
+  util::JsonValue full_doc = client_->wait(full_id, 0.01, 60.0);
+  EXPECT_EQ(full_doc.string_or("state", ""), "failed");
+  EXPECT_NE(full_doc.string_or("error", "").find("reduced"), std::string::npos);
+
+  // In-process mirror of the daemon's exact pipeline (JobParams defaults:
+  // min-delay objective with sigma weight 3, max_speed 3, default sigma
+  // model): cold base solve, then resize on the edited view warm-started
+  // from the base result.
+  std::istringstream in(kC17);
+  const netlist::Circuit circuit = netlist::read_blif(in);
+  core::SizingSpec spec;
+  spec.objective = core::Objective::min_delay(3.0);
+  spec.max_speed = 3.0;
+  core::SizerOptions opt;
+  opt.method = core::Method::kReducedSpace;
+  const core::SizingResult base_ref = core::Sizer(circuit, spec).run(opt);
+
+  netlist::TimingView view = circuit.view();
+  netlist::NodeParams p = view.node_params(g0);
+  p.t_int = 1.8;
+  view.update_node_params(g0, p);
+  const core::SizingResult warm_ref =
+      core::Sizer(view, spec).resize(opt, base_ref.warm);
+
+  // %.17g round-trips doubles exactly: the sizes served over HTTP must be
+  // the bits the in-process warm path computes.
+  const util::JsonValue* served_speed = warm_result->find("speed");
+  ASSERT_NE(served_speed, nullptr);
+  ASSERT_EQ(served_speed->items().size(), warm_ref.speed.size());
+  for (std::size_t i = 0; i < warm_ref.speed.size(); ++i) {
+    EXPECT_EQ(served_speed->items()[i].as_number(), warm_ref.speed[i]) << "node " << i;
+  }
+  EXPECT_EQ(warm_result->number_or("mu", -1.0), warm_ref.circuit_delay.mu);
+  EXPECT_EQ(warm_result->int_or("outer_iterations", -1), warm_ref.outer_iterations);
 }
 
 // ---------------------------------------------------------------------------

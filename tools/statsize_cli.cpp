@@ -357,7 +357,7 @@ int main(int argc, char** argv) {
     return run_audit(argc - 1, argv + 1);
   }
   if (argc >= 2) {
-    // serve | ssta | submit | poll | cancel (tools/statsize_serve_cli.cpp).
+    // serve | ssta | submit | patch | poll | cancel (tools/statsize_serve_cli.cpp).
     const int code = tools::run_serve_family(argv[1], argc - 1, argv + 1);
     if (code >= 0) return code;
   }

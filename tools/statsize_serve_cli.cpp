@@ -228,6 +228,85 @@ int run_submit(int argc, char** argv) {
   return report_job_document(client.wait(id, 0.05, args.get_double("timeout")));
 }
 
+int run_patch(int argc, char** argv) {
+  util::ArgParser args(
+      "statsize patch — derive an edited circuit entry on a serve daemon (ECO). "
+      "The daemon answers with a derived cache key (<base>+e-<hash>) that later "
+      "jobs target; size jobs on it warm-start from the base entry's last "
+      "solution. One edit is given with --node plus field flags; multi-gate "
+      "batches pass a raw JSON edit array via --edits.");
+  args.allow_positionals("base circuit key (c-NNN... or an already-derived key)");
+  args.add_string("host", "daemon host", "127.0.0.1");
+  args.add_int("port", "daemon port");
+  args.add_int("node", "gate NodeId to edit (single-edit form)");
+  args.add_double("speed", "new speed factor for --node (per-query, not cached in the view)");
+  args.add_double("t-int", "new intrinsic delay for --node");
+  args.add_double("drive-c", "new drive constant c for --node");
+  args.add_double("c-in", "new input pin capacitance for --node");
+  args.add_double("area", "new area for --node");
+  args.add_string("edits", "raw JSON edit array, e.g. '[{\"node\":5,\"t_int\":2.5}]'");
+  args.add_string("name", "display name for the derived entry (default: base name)");
+  args.add_flag("raw", "print the raw JSON response instead of the summary");
+  if (!args.parse(argc, argv)) return 0;
+  if (!args.has("port")) throw std::invalid_argument("--port is required");
+  if (args.positionals().size() != 1) {
+    throw std::invalid_argument("expected exactly one circuit key");
+  }
+
+  std::ostringstream body;
+  if (args.has("edits")) {
+    if (args.has("node")) {
+      throw std::invalid_argument("--edits and --node are mutually exclusive");
+    }
+    // Round-trip through the parser so a malformed array fails here with a
+    // local message instead of a 400 from the daemon.
+    const util::JsonValue edits = util::parse_json(args.get_string("edits"));
+    if (!edits.is_array()) throw std::invalid_argument("--edits must be a JSON array");
+    body << "{\"edits\": " << args.get_string("edits");
+    if (args.has("name")) {
+      body << ", \"name\": \"" << util::JsonWriter::escape(args.get_string("name"))
+           << "\"";
+    }
+    body << "}";
+  } else {
+    if (!args.has("node")) throw std::invalid_argument("need --node or --edits");
+    util::JsonWriter w(body);
+    w.begin_object();
+    if (args.has("name")) w.key("name").value(args.get_string("name"));
+    w.key("edits").begin_array();
+    w.begin_object();
+    w.key("node").value(args.get_int("node"));
+    struct Field { const char* flag; const char* field; };
+    const Field fields[] = {{"speed", "speed"}, {"t-int", "t_int"}, {"drive-c", "c"},
+                            {"c-in", "c_in"}, {"area", "area"}};
+    for (const Field& f : fields) {
+      if (args.has(f.flag)) w.key(f.field).value(args.get_double(f.flag));
+    }
+    w.end_object();
+    w.end_array();
+    w.end_object();
+  }
+
+  serve::Client client(args.get_string("host"), args.get_int("port"));
+  const serve::ApiResult result = client.request(
+      "PATCH", "/v1/circuits/" + args.positionals()[0], body.str());
+  if (!result.ok()) {
+    std::fprintf(stderr, "error (%d): %s\n", result.status, result.body.c_str());
+    return 1;
+  }
+  if (args.get_flag("raw")) {
+    std::printf("%s\n", result.body.c_str());
+    return 0;
+  }
+  const util::JsonValue doc = result.json();
+  std::printf("%s %s -> %s (%ld edit(s), %ld total on this lineage)\n",
+              result.status == 200 ? "cached" : "derived",
+              doc.string_or("base", "?").c_str(), doc.string_or("key", "?").c_str(),
+              static_cast<long>(doc.number_or("edits_applied", 0.0)),
+              static_cast<long>(doc.number_or("num_edits", 0.0)));
+  return 0;
+}
+
 int run_poll(int argc, char** argv) {
   util::ArgParser args("statsize poll — print one job document from a serve daemon");
   args.allow_positionals("job id (job-NNNNNN)");
@@ -275,6 +354,7 @@ int run_serve_family(const std::string& cmd, int argc, char** argv) {
     if (cmd == "serve") return run_serve(argc, argv);
     if (cmd == "ssta") return run_ssta(argc, argv);
     if (cmd == "submit") return run_submit(argc, argv);
+    if (cmd == "patch") return run_patch(argc, argv);
     if (cmd == "poll") return run_poll(argc, argv);
     if (cmd == "cancel") return run_cancel(argc, argv);
   } catch (const std::exception& e) {
