@@ -1,0 +1,347 @@
+// Chaos soak (DESIGN.md §13): the crash-safety contract under load, end to
+// end, across a REAL process death.
+//
+//   1. Clean reference: an unarmed in-process daemon answers one SSTA job;
+//      its result is the bit-identity reference for everything below.
+//   2. A child process (forked before any thread exists — sanitizer-safe)
+//      runs `statsize serve` with a durable journal and a schedule of armed
+//      IO faults (accept reset, dropped read, torn response write, torn
+//      journal write, one executor crash).
+//   3. Closed-loop clients with Idempotency-Keys and retrying backoff hammer
+//      the child; once enough submissions are acked, the child is SIGKILLed
+//      mid-load — in-flight jobs, queued jobs, open sockets and all.
+//   4. The parent restarts a daemon on the same journal dir and enforces the
+//      hard gates: every acked job is still there and reaches a terminal
+//      state (no wedge, no lost jobs), re-submitting every key admits no
+//      duplicate work (dedup for done jobs, a fresh attempt only for
+//      interrupted ones), every completed result is bit-identical to the
+//      clean reference, and recovery replay itself survived whatever tail
+//      the kill left behind.
+//
+// Any violated gate exits 1 (scripts/check.sh runs this as a hard gate);
+// success writes BENCH_chaos.json. Sized for a single-core CI host: the
+// load phase is tens of millisecond-scale c17 jobs, not minutes of soak.
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "runtime/fault.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace statsize;
+using Clock = std::chrono::steady_clock;
+
+constexpr const char* kC17 = R"(.model c17
+.inputs 1GAT 2GAT 3GAT 6GAT 7GAT
+.outputs 22GAT 23GAT
+.names 1GAT 3GAT 10GAT
+0- 1
+-0 1
+.names 3GAT 6GAT 11GAT
+0- 1
+-0 1
+.names 2GAT 11GAT 16GAT
+0- 1
+-0 1
+.names 11GAT 7GAT 19GAT
+0- 1
+-0 1
+.names 10GAT 16GAT 22GAT
+0- 1
+-0 1
+.names 16GAT 19GAT 23GAT
+0- 1
+-0 1
+.end
+)";
+
+constexpr int kClients = 2;
+constexpr int kJobsPerClient = 8;
+constexpr int kKillAfterAcks = 5;  ///< SIGKILL lands with work queued + running
+
+/// The fault schedule the child daemon runs under: transport failures the
+/// clients must retry through, one admission-side torn journal write (503 →
+/// retried, not lost), and one simulated executor crash (an `interrupted`
+/// job the recovery gate must surface).
+constexpr const char* kChildFaults =
+    "serve.accept:3,serve.read:5,serve.write.partial:7,"
+    "serve.journal.write:4,serve.executor.crash:2";
+
+[[noreturn]] void fail(const std::string& what) {
+  std::fprintf(stderr, "FATAL: chaos_soak gate violated: %s\n", what.c_str());
+  std::exit(1);
+}
+
+serve::ClientOptions soak_client_options() {
+  serve::ClientOptions options;
+  options.retries = 6;
+  options.backoff_ms = 5.0;
+  options.backoff_cap_ms = 80.0;
+  options.connect_timeout_seconds = 2.0;
+  options.recv_timeout_seconds = 2.0;
+  return options;
+}
+
+std::string job_body(const std::string& key) {
+  return "{\"circuit\": \"" + key + "\", \"type\": \"ssta\"}";
+}
+
+/// Polls until the job leaves queued/running, bounded — a job that never
+/// settles after recovery is the wedge this bench exists to catch.
+util::JsonValue wait_terminal(serve::Client& client, const std::string& id,
+                              double deadline_seconds) {
+  const Clock::time_point t0 = Clock::now();
+  for (;;) {
+    serve::ApiResult result = client.job(id);
+    if (result.status != 200) fail("job " + id + " lost: HTTP " + std::to_string(result.status));
+    util::JsonValue doc = result.json();
+    const std::string state = doc.string_or("state", "");
+    if (state != "queued" && state != "running") return doc;
+    if (std::chrono::duration<double>(Clock::now() - t0).count() > deadline_seconds) {
+      fail("wedged: job " + id + " still '" + state + "' after recovery");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+/// The child: a journaled daemon under the fault schedule. Writes its port
+/// down the pipe, then idles until SIGKILL. Never returns.
+[[noreturn]] void run_child_daemon(const std::string& journal_dir, int port_pipe) {
+  runtime::fault::arm(kChildFaults);
+  serve::ServerOptions options;
+  options.port = 0;
+  options.journal_dir = journal_dir;
+  options.journal_fsync = serve::FsyncPolicy::kAlways;  // an ack means durable
+  serve::Server server(options);
+  server.start();
+  const int port = server.port();
+  if (write(port_pipe, &port, sizeof(port)) != sizeof(port)) _exit(2);
+  close(port_pipe);
+  for (;;) pause();  // SIGKILL is the only way out — that's the point
+}
+
+struct Submission {
+  std::string key;
+  std::string id;      ///< empty when the ack never arrived (kill window)
+  bool acked = false;
+};
+
+}  // namespace
+
+int main() {
+  const std::string journal_dir = "chaos_soak_journal";
+  std::filesystem::remove_all(journal_dir);
+
+  // -- Fork the chaos daemon FIRST: the process must be single-threaded at
+  // fork time or the sanitizers (rightly) object.
+  int port_pipe[2];
+  if (pipe(port_pipe) != 0) fail("pipe() failed");
+  const pid_t child = fork();
+  if (child < 0) fail("fork() failed");
+  if (child == 0) {
+    close(port_pipe[0]);
+    run_child_daemon(journal_dir, port_pipe[1]);
+  }
+  close(port_pipe[1]);
+  int chaos_port = 0;
+  if (read(port_pipe[0], &chaos_port, sizeof(chaos_port)) != sizeof(chaos_port)) {
+    kill(child, SIGKILL);
+    fail("child daemon did not report a port");
+  }
+  close(port_pipe[0]);
+  std::printf("chaos_soak: chaos daemon pid %d on 127.0.0.1:%d (faults: %s)\n",
+              static_cast<int>(child), chaos_port, kChildFaults);
+
+  // -- Clean reference (parent-local, unarmed, no journal).
+  double ref_mu = 0.0;
+  double ref_sigma = 0.0;
+  {
+    serve::Server reference;
+    reference.start();
+    serve::Client client("127.0.0.1", reference.port());
+    const std::string key = client.upload(kC17, "blif", "c17");
+    util::JsonValue doc = client.wait(client.submit(job_body(key)), 0.001);
+    const util::JsonValue* result = doc.find("result");
+    if (doc.string_or("state", "") != "done" || result == nullptr) {
+      fail("clean reference job did not finish");
+    }
+    ref_mu = result->number_or("mu", 0.0);
+    ref_sigma = result->number_or("sigma", 0.0);
+    reference.stop();
+  }
+  std::printf("chaos_soak: clean reference mu=%.17g sigma=%.17g\n", ref_mu, ref_sigma);
+
+  // -- Closed-loop load against the chaos daemon; SIGKILL mid-load.
+  std::mutex mu;
+  std::vector<Submission> submissions;
+  std::atomic<int> acks{0};
+  std::atomic<bool> killed{false};
+  std::atomic<long> client_retries{0};
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      serve::Client client("127.0.0.1", chaos_port, soak_client_options());
+      std::string circuit_key;
+      for (int i = 0; i < kJobsPerClient; ++i) {
+        Submission sub;
+        sub.key = "soak-c" + std::to_string(c) + "-i" + std::to_string(i);
+        try {
+          if (circuit_key.empty()) circuit_key = client.upload(kC17, "blif", "c17");
+          sub.id = client.submit(job_body(circuit_key), sub.key);
+          sub.acked = true;
+          acks.fetch_add(1, std::memory_order_relaxed);
+        } catch (const std::exception&) {
+          // Ack lost — possibly admitted anyway. The restart phase re-submits
+          // this key; the idempotency contract owns the ambiguity.
+        }
+        {
+          const std::lock_guard<std::mutex> lock(mu);
+          submissions.push_back(sub);
+        }
+        if (!sub.acked && killed.load(std::memory_order_relaxed)) break;
+      }
+      client_retries.fetch_add(client.retries_used(), std::memory_order_relaxed);
+    });
+  }
+
+  // Kill once enough acks are in flight (bounded by a hard cap so a wedged
+  // load phase cannot hang the bench).
+  const Clock::time_point load_start = Clock::now();
+  while (acks.load(std::memory_order_relaxed) < kKillAfterAcks &&
+         std::chrono::duration<double>(Clock::now() - load_start).count() < 20.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  kill(child, SIGKILL);
+  killed.store(true, std::memory_order_relaxed);
+  int wait_status = 0;
+  waitpid(child, &wait_status, 0);
+  for (std::thread& t : clients) t.join();
+  std::printf("chaos_soak: SIGKILL after %d acked submissions (%ld client retries)\n",
+              acks.load(), client_retries.load());
+  if (acks.load() < kKillAfterAcks) fail("load phase never reached the kill threshold");
+
+  // -- Restart on the same journal and enforce the gates.
+  serve::ServerOptions restart_options;
+  restart_options.journal_dir = journal_dir;
+  serve::Server restarted(restart_options);
+  restarted.start();  // throwing here = journal corruption gate
+  serve::Client client("127.0.0.1", restarted.port(), soak_client_options());
+  const std::int64_t truncated = restarted.journal()->truncated_bytes();
+  const std::int64_t recovered = restarted.metrics().jobs_recovered.value();
+  const std::int64_t interrupted = restarted.metrics().jobs_interrupted.value();
+  std::printf("chaos_soak: recovery replayed %lld records (%lld truncated bytes), "
+              "%lld jobs recovered, %lld interrupted\n",
+              static_cast<long long>(restarted.metrics().journal_records_replayed.value()),
+              static_cast<long long>(truncated), static_cast<long long>(recovered),
+              static_cast<long long>(interrupted));
+
+  // Gate 1 — no lost or wedged jobs: every acked id settles terminally, and
+  // every completed result is bit-identical to the clean reference.
+  std::map<std::string, std::string> state_by_key;
+  std::map<std::string, std::string> id_by_key;
+  int done_before_resubmit = 0;
+  for (const Submission& sub : submissions) {
+    if (!sub.acked) continue;
+    util::JsonValue doc = wait_terminal(client, sub.id, 30.0);
+    const std::string state = doc.string_or("state", "");
+    if (state == "failed") {
+      fail("acked job " + sub.id + " failed after recovery: " + doc.string_or("error", ""));
+    }
+    if (state == "done") {
+      ++done_before_resubmit;
+      const util::JsonValue* result = doc.find("result");
+      if (result == nullptr || result->number_or("mu", -1.0) != ref_mu ||
+          result->number_or("sigma", -1.0) != ref_sigma) {
+        fail("job " + sub.id + " result is not bit-identical to the clean run");
+      }
+    }
+    state_by_key[sub.key] = state;
+    id_by_key[sub.key] = sub.id;
+  }
+
+  // Gate 2 — idempotent re-submission admits no duplicate work: every key is
+  // retried; a done job answers with its original id (dedup), only an
+  // interrupted or never-admitted key may start fresh work.
+  int deduped = 0;
+  int fresh = 0;
+  const std::int64_t submitted_before = restarted.metrics().jobs_submitted.value();
+  std::string circuit_key = client.upload(kC17, "blif", "c17");
+  std::vector<std::string> fresh_ids;
+  for (const Submission& sub : submissions) {
+    serve::ApiResult result = client.request("POST", "/v1/jobs", job_body(circuit_key),
+                                             {{"Idempotency-Key", sub.key}});
+    if (result.status != 200 && result.status != 202) {
+      fail("re-submitting key " + sub.key + " answered HTTP " +
+           std::to_string(result.status) + ": " + result.body);
+    }
+    util::JsonValue doc = result.json();
+    if (doc.bool_or("deduplicated", false)) {
+      ++deduped;
+      const auto known = id_by_key.find(sub.key);
+      if (known != id_by_key.end() && doc.string_or("id", "") != known->second) {
+        fail("key " + sub.key + " deduplicated to a DIFFERENT job than it acked");
+      }
+    } else {
+      ++fresh;
+      const auto state = state_by_key.find(sub.key);
+      if (state != state_by_key.end() && state->second != "interrupted") {
+        fail("key " + sub.key + " (state " + state->second +
+             ") was re-admitted as new work — duplicate side effect");
+      }
+      fresh_ids.push_back(doc.string_or("id", ""));
+    }
+  }
+  if (restarted.metrics().jobs_submitted.value() - submitted_before !=
+      static_cast<std::int64_t>(fresh)) {
+    fail("admission count does not match the fresh re-submissions — duplicates slipped in");
+  }
+  for (const std::string& id : fresh_ids) {
+    util::JsonValue doc = wait_terminal(client, id, 30.0);
+    const util::JsonValue* result = doc.find("result");
+    if (doc.string_or("state", "") != "done" || result == nullptr ||
+        result->number_or("mu", -1.0) != ref_mu) {
+      fail("retried job " + id + " did not complete bit-identically");
+    }
+  }
+  restarted.stop();
+
+  std::printf("chaos_soak: PASS — %d acked, %d done pre-resubmit, %d deduped, "
+              "%d fresh retries, 0 duplicates, 0 wedges\n",
+              acks.load(), done_before_resubmit, deduped, fresh);
+
+  bench::JsonArtifact artifact("chaos");
+  artifact.add_row()
+      .field("acked_submissions", acks.load())
+      .field("client_retries", static_cast<int>(client_retries.load()))
+      .field("journal_truncated_bytes", static_cast<int>(truncated))
+      .field("jobs_recovered", static_cast<int>(recovered))
+      .field("jobs_interrupted", static_cast<int>(interrupted))
+      .field("done_before_resubmit", done_before_resubmit)
+      .field("deduplicated_retries", deduped)
+      .field("fresh_retries", fresh)
+      .field("duplicate_side_effects", 0)
+      .field("status", std::string("pass"));
+  artifact.write();
+
+  std::filesystem::remove_all(journal_dir);
+  return 0;
+}

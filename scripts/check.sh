@@ -42,10 +42,12 @@ if [ "$SANITIZE" = "thread" ]; then
   # hit-counting run on pool worker threads, so their synchronization is part
   # of the concurrency surface. The serve suite joins them: its live-loopback
   # tests cross socket threads, the scheduler's executor, and the circuit
-  # cache's shared-lock readers in one process.
+  # cache's shared-lock readers in one process. The chaos suite rides the same
+  # run: journal appends, fault hit-counting, and recovery replay all cross
+  # the socket/executor thread boundary.
   echo "== ctest under ThreadSanitizer (runtime + parallel engines + serve) =="
   STATSIZE_JOBS=4 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-    -L '^(runtime_test|ssta_test|nlp_test|core_test|timing_view_test|resilience_test|serve_test|incremental_test)$'
+    -L '^(runtime_test|ssta_test|nlp_test|core_test|timing_view_test|resilience_test|serve_test|incremental_test|chaos_test)$'
   # The ECO label again on its own: the incremental engine's level worklist
   # commits scratch arrivals from pool workers, a prime TSan surface.
   echo "== ctest eco label under ThreadSanitizer =="
@@ -66,6 +68,20 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -L '^resilience$'
 # full recompute under the sanitizers too.
 echo "== ctest eco label under sanitizers =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L '^eco$'
+
+# And the crash-safety contract (DESIGN.md §13): journal framing, recovery
+# replay, idempotent retries, and the fault-injection sites, as a named gate.
+echo "== ctest chaos label under sanitizers =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L '^chaos$'
+
+# Chaos soak hard gate: a forked journaled daemon under armed IO faults is
+# SIGKILLed mid-load, restarted on the same journal, and must show no lost
+# jobs, no duplicate side effects from idempotent retries, and bit-identical
+# completed results vs a clean run. Exit code is the gate; the evidence lands
+# in BENCH_chaos.json. Light enough for a single-core host.
+echo "== chaos soak gate (SIGKILL + recovery) =="
+(cd "$BUILD_DIR" && "$BUILD_DIR/bench/chaos_soak")
+echo "chaos soak gate passed (evidence in $BUILD_DIR/BENCH_chaos.json)"
 
 # ECO bench gate: the bit-identity cross-check (every single-gate edit vs a
 # from-scratch run_ssta / cold gradient) plus the >=10x rebuild-per-query

@@ -13,46 +13,46 @@ std::atomic<bool> g_armed{false};
 
 namespace {
 
+/// One armed "<site>:<hit_n>" entry. Each entry fires exactly once, on its
+/// own hit counter, independently of the other entries in the schedule.
+struct ArmedSite {
+  std::string site;
+  long target_hit = 1;  // 1-based hit on which the site fires
+  long hits = 0;        // hits observed since arming
+  bool fired = false;
+};
+
 std::mutex g_mutex;
-std::string g_site;     // armed site name ("" = none)
-long g_target_hit = 0;  // 1-based hit on which the site fires
-long g_hits = 0;        // hits observed on g_site since arming
-bool g_fired = false;   // a site fires exactly once
+std::vector<ArmedSite> g_schedule;
 
-}  // namespace
-
-const std::vector<const char*>& known_sites() {
-  static const std::vector<const char*> sites = {
-      kPoolChunk, kAuglagObjective, kAuglagConstraint, kAuglagOuter, kTronIter, kReducedEval,
-  };
-  return sites;
+ArmedSite* find_site(const char* site) {
+  for (ArmedSite& s : g_schedule) {
+    if (std::strcmp(site, s.site.c_str()) == 0) return &s;
+  }
+  return nullptr;
 }
 
-bool detail::fires(const char* site) {
-  const std::lock_guard<std::mutex> lock(g_mutex);
-  if (g_fired || g_site.empty() || std::strcmp(site, g_site.c_str()) != 0) return false;
-  ++g_hits;
-  if (g_hits != g_target_hit) return false;
-  g_fired = true;
-  return true;
-}
-
-void arm(const std::string& spec) {
-  std::string site = spec;
-  long hit = 1;
-  if (const auto colon = spec.find(':'); colon != std::string::npos) {
-    site = spec.substr(0, colon);
-    const std::string count = spec.substr(colon + 1);
+/// Parses one "<site>[:<hit>]" entry; throws naming the full spec on error.
+ArmedSite parse_entry(const std::string& entry, const std::string& full_spec) {
+  ArmedSite parsed;
+  parsed.site = entry;
+  if (const auto colon = entry.find(':'); colon != std::string::npos) {
+    parsed.site = entry.substr(0, colon);
+    const std::string count = entry.substr(colon + 1);
     char* end = nullptr;
-    hit = std::strtol(count.c_str(), &end, 10);
-    if (count.empty() || end == nullptr || *end != '\0' || hit < 1) {
-      throw std::invalid_argument("fault spec '" + spec +
-                                  "': hit count must be a positive integer");
+    parsed.target_hit = std::strtol(count.c_str(), &end, 10);
+    if (count.empty() || end == nullptr || *end != '\0' || parsed.target_hit < 1) {
+      throw std::invalid_argument("fault spec '" + full_spec +
+                                  "': hit count must be a positive integer in '" + entry +
+                                  "'");
     }
+  }
+  if (parsed.site.empty()) {
+    throw std::invalid_argument("fault spec '" + full_spec + "': empty site entry");
   }
   bool known = false;
   for (const char* s : known_sites()) {
-    if (site == s) {
+    if (parsed.site == s) {
       known = true;
       break;
     }
@@ -63,15 +63,65 @@ void arm(const std::string& spec) {
       if (!all.empty()) all += ", ";
       all += s;
     }
-    throw std::invalid_argument("fault spec '" + spec + "': unknown site '" + site +
-                                "' (known sites: " + all + ")");
+    throw std::invalid_argument("fault spec '" + full_spec + "': unknown site '" +
+                                parsed.site + "' (known sites: " + all + ")");
+  }
+  return parsed;
+}
+
+}  // namespace
+
+const std::vector<const char*>& known_sites() {
+  static const std::vector<const char*> sites = {
+      kPoolChunk,     kAuglagObjective,    kAuglagConstraint,  kAuglagOuter,
+      kTronIter,      kReducedEval,        kServeAccept,       kServeRead,
+      kServeWritePartial, kServeJournalWrite, kServeExecutorCrash, kCacheEvict,
+  };
+  return sites;
+}
+
+bool detail::fires(const char* site) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  ArmedSite* armed = find_site(site);
+  if (armed == nullptr) return false;
+  // Keep counting after the fire: hits_observed() reports opportunities seen
+  // at the site for the whole armed window, not just up to the trigger.
+  ++armed->hits;
+  if (armed->fired || armed->hits != armed->target_hit) return false;
+  armed->fired = true;
+  return true;
+}
+
+void arm(const std::string& spec) {
+  // Parse and validate the whole schedule before mutating anything, so a bad
+  // entry leaves the previous arming intact (a half-armed schedule would make
+  // a chaos test vacuously pass on the sites that never armed).
+  std::vector<ArmedSite> schedule;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string entry =
+        spec.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    ArmedSite parsed = parse_entry(entry, spec);
+    // Precedence: the LAST entry for a repeated site wins.
+    bool replaced = false;
+    for (ArmedSite& existing : schedule) {
+      if (existing.site == parsed.site) {
+        existing = parsed;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) schedule.push_back(std::move(parsed));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (schedule.empty()) {
+    throw std::invalid_argument("fault spec '" + spec + "': no site entries");
   }
   {
     const std::lock_guard<std::mutex> lock(g_mutex);
-    g_site = site;
-    g_target_hit = hit;
-    g_hits = 0;
-    g_fired = false;
+    g_schedule = std::move(schedule);
   }
   detail::g_armed.store(true, std::memory_order_relaxed);
 }
@@ -85,15 +135,35 @@ void arm_from_env() {
 void disarm() {
   detail::g_armed.store(false, std::memory_order_relaxed);
   const std::lock_guard<std::mutex> lock(g_mutex);
-  g_site.clear();
-  g_target_hit = 0;
-  g_hits = 0;
-  g_fired = false;
+  g_schedule.clear();
 }
 
 long hits_observed() {
   const std::lock_guard<std::mutex> lock(g_mutex);
-  return g_hits;
+  long total = 0;
+  for (const ArmedSite& s : g_schedule) total += s.hits;
+  return total;
+}
+
+long hits_observed(const char* site) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  const ArmedSite* armed = find_site(site);
+  return armed == nullptr ? 0 : armed->hits;
+}
+
+bool fired(const char* site) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  const ArmedSite* armed = find_site(site);
+  return armed != nullptr && armed->fired;
+}
+
+long fires_observed() {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  long total = 0;
+  for (const ArmedSite& s : g_schedule) {
+    if (s.fired) ++total;
+  }
+  return total;
 }
 
 }  // namespace statsize::runtime::fault

@@ -14,6 +14,14 @@
 //                   omitted), read by fault::arm_from_env() at CLI startup.
 //   * programmatic: fault::arm("tron.iter:3") / fault::disarm(), or the RAII
 //                   ScopedFault for tests.
+//   * multi-site:   a comma-separated schedule arms several sites at once —
+//                   "serve.read:3,serve.journal.write:1" — each with its own
+//                   hit counter, each firing exactly once. Precedence: when
+//                   the same site appears more than once in one schedule, the
+//                   LAST entry wins (its hit count replaces the earlier one).
+//                   arm() validates the whole schedule before touching any
+//                   state, so a bad entry leaves the previous arming intact.
+//                   disarm() always clears every armed site and counter.
 //
 // Zero overhead when off: every fault point first checks a single relaxed
 // atomic flag (armed()); the site-name comparison and hit counting live
@@ -61,6 +69,38 @@ inline constexpr const char* kTronIter = "tron.iter";
 /// per objective evaluation of the reduced-space sizer).
 inline constexpr const char* kReducedEval = "reduced.eval";
 
+// -- Serve/IO chaos sites (DESIGN.md §13). Counted per opportunity; each
+// fires as the failure mode a hostile network or a dying box would produce.
+
+/// Server accept loop: fires as an immediate close of the freshly accepted
+/// connection (counted per accept) — the client sees a reset before any byte.
+inline constexpr const char* kServeAccept = "serve.accept";
+
+/// Server request read: fires as a dropped connection after a complete
+/// request was parsed but before it is handled (counted per request).
+inline constexpr const char* kServeRead = "serve.read";
+
+/// Server response write: fires as a torn response — only a prefix of the
+/// serialized bytes is sent before the connection dies (counted per
+/// response write).
+inline constexpr const char* kServeWritePartial = "serve.write.partial";
+
+/// Journal append: fires as a torn record — a prefix of the framed record
+/// reaches the file, then the write fails (counted per append). The journal
+/// repairs its tail on the next append; a crash before that leaves the torn
+/// tail for recovery replay to truncate.
+inline constexpr const char* kServeJournalWrite = "serve.journal.write";
+
+/// Job executor: fires as a simulated executor crash at job start — the job
+/// dies without a terminal journal record, so restart recovery must surface
+/// it as `interrupted` (counted per job run).
+inline constexpr const char* kServeExecutorCrash = "serve.executor.crash";
+
+/// Circuit cache insert: fires as a forced eviction of the least-recently
+/// used entry even below capacity (counted per insert) — exercises jobs
+/// holding entries across eviction and recovery with missing circuits.
+inline constexpr const char* kCacheEvict = "cache.evict";
+
 /// All registered site names (for --help style listings and arm validation).
 const std::vector<const char*>& known_sites();
 
@@ -81,9 +121,12 @@ inline bool armed() { return detail::g_armed.load(std::memory_order_relaxed); }
 /// configured hit of the configured site. When unarmed: one relaxed load.
 inline bool hit(const char* site) { return armed() && detail::fires(site); }
 
-/// Arms "<site>:<hit_n>" (or "<site>", hit 1). Throws std::invalid_argument
-/// on an unknown site or malformed hit count. Re-arming replaces the
-/// previous spec and resets the hit counter.
+/// Arms a schedule of one or more comma-separated "<site>:<hit_n>" entries
+/// (":1" may be omitted). Throws std::invalid_argument on an unknown site,
+/// malformed hit count, or empty entry — and in that case leaves any
+/// previously armed schedule untouched. Re-arming replaces the previous
+/// schedule and resets every hit counter. A site repeated within one
+/// schedule keeps only the last entry.
 void arm(const std::string& spec);
 
 /// Arms from the STATSIZE_FAULT environment variable; no-op when unset.
@@ -94,8 +137,20 @@ void arm_from_env();
 /// Disarms and resets all counters.
 void disarm();
 
-/// Hits observed on the armed site so far (test introspection).
+/// Total hits observed across every armed site so far (test introspection).
+/// Counting continues after an entry fires — the value reports opportunities
+/// seen at armed sites over the whole armed window.
 long hits_observed();
+
+/// Hits observed on one armed site (0 when the site is not armed).
+long hits_observed(const char* site);
+
+/// True when the armed entry for `site` has already fired (false when the
+/// site is not armed).
+bool fired(const char* site);
+
+/// Number of armed entries that have fired so far (metrics introspection).
+long fires_observed();
 
 /// RAII arm/disarm for tests.
 class ScopedFault {

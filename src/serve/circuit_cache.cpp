@@ -5,6 +5,8 @@
 #include <limits>
 #include <mutex>
 
+#include "runtime/fault.h"
+
 namespace statsize::serve {
 
 std::uint64_t fnv1a64(std::string_view text) {
@@ -51,7 +53,12 @@ CircuitCache::InsertResult CircuitCache::insert(std::shared_ptr<const CachedCirc
     result.existed = true;
     return result;
   }
-  while (entries_.size() >= capacity_) {
+  // Injected eviction pressure: pretend the cache is over capacity for this
+  // one insert, evicting the LRU entry even when there is room. Jobs holding
+  // shared_ptr entries keep computing; recovery replay sees a missing key.
+  bool forced_evict = runtime::fault::hit(runtime::fault::kCacheEvict);
+  while (entries_.size() >= capacity_ || (forced_evict && !entries_.empty())) {
+    forced_evict = false;
     auto victim = entries_.end();
     std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
     for (auto cand = entries_.begin(); cand != entries_.end(); ++cand) {

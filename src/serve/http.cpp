@@ -1,8 +1,10 @@
 #include "serve/http.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -10,6 +12,8 @@
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
+
+#include "runtime/fault.h"
 
 namespace statsize::serve {
 
@@ -306,18 +310,32 @@ bool HttpConnection::write_response(const HttpResponse& response, bool keep_aliv
   }
   head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
   head += std::string("Connection: ") + (keep_alive ? "keep-alive" : "close") + "\r\n\r\n";
+  if (runtime::fault::hit(runtime::fault::kServeWritePartial)) {
+    // Injected torn response: send roughly half the serialized bytes, then
+    // die. The peer sees a mid-message EOF (kMalformed), never a silently
+    // truncated-but-parseable body — Content-Length guarantees that.
+    const std::string full = head + response.body;
+    write_all(std::string_view(full).substr(0, full.size() / 2));
+    close_fd();
+    return false;
+  }
   return write_all(head) && write_all(response.body);
 }
 
 bool HttpConnection::write_request(const std::string& method, const std::string& target,
-                                   const std::string& body, const std::string& host) {
+                                   const std::string& body, const std::string& host,
+                                   const std::map<std::string, std::string>& headers) {
   std::string head = method + " " + target + " HTTP/1.1\r\nHost: " + host + "\r\n";
+  for (const auto& [key, value] : headers) {
+    head += key + ": " + value + "\r\n";
+  }
   if (!body.empty()) head += "Content-Type: application/json\r\n";
   head += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
   return write_all(head) && write_all(body);
 }
 
-HttpConnection connect_tcp(const std::string& host, int port, double recv_timeout_seconds) {
+HttpConnection connect_tcp(const std::string& host, int port, double recv_timeout_seconds,
+                           double connect_timeout_seconds) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw std::runtime_error("socket(): " + std::string(std::strerror(errno)));
 
@@ -328,7 +346,39 @@ HttpConnection connect_tcp(const std::string& host, int port, double recv_timeou
     ::close(fd);
     throw std::runtime_error("invalid IPv4 address '" + host + "'");
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  if (connect_timeout_seconds > 0.0) {
+    // Bounded handshake: non-blocking connect, poll for writability, then
+    // read SO_ERROR and restore blocking mode.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      if (errno != EINPROGRESS) {
+        const std::string err = std::strerror(errno);
+        ::close(fd);
+        throw std::runtime_error("connect to " + host + ":" + std::to_string(port) + ": " + err);
+      }
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      const int timeout_ms = static_cast<int>(connect_timeout_seconds * 1000.0);
+      const int ready = ::poll(&pfd, 1, timeout_ms < 1 ? 1 : timeout_ms);
+      if (ready <= 0) {
+        ::close(fd);
+        throw std::runtime_error("connect to " + host + ":" + std::to_string(port) +
+                                 ": timed out after " + std::to_string(connect_timeout_seconds) +
+                                 "s");
+      }
+      int soerr = 0;
+      socklen_t len = sizeof(soerr);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+      if (soerr != 0) {
+        const std::string err = std::strerror(soerr);
+        ::close(fd);
+        throw std::runtime_error("connect to " + host + ":" + std::to_string(port) + ": " + err);
+      }
+    }
+    ::fcntl(fd, F_SETFL, flags);
+  } else if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     const std::string err = std::strerror(errno);
     ::close(fd);
     throw std::runtime_error("connect to " + host + ":" + std::to_string(port) + ": " + err);

@@ -86,9 +86,11 @@ class HttpConnection {
   /// headers. Returns false on socket error.
   bool write_response(const HttpResponse& response, bool keep_alive);
 
-  /// Serializes and sends a request with a Content-Length body.
+  /// Serializes and sends a request with a Content-Length body. `headers`
+  /// are written as-is after Host (e.g. {"Idempotency-Key", "..."}).
   bool write_request(const std::string& method, const std::string& target,
-                     const std::string& body, const std::string& host);
+                     const std::string& body, const std::string& host,
+                     const std::map<std::string, std::string>& headers = {});
 
  private:
   bool write_all(std::string_view bytes);
@@ -105,7 +107,10 @@ class HttpConnection {
 };
 
 /// Connects to 127.0.0.1:`port` (or `host`); throws std::runtime_error on
-/// failure. `recv_timeout_seconds` sets SO_RCVTIMEO (0 = blocking forever).
-HttpConnection connect_tcp(const std::string& host, int port, double recv_timeout_seconds = 0.0);
+/// failure. `recv_timeout_seconds` sets SO_RCVTIMEO (0 = blocking forever);
+/// `connect_timeout_seconds` bounds the connect() handshake itself via a
+/// non-blocking connect + poll (0 = OS default).
+HttpConnection connect_tcp(const std::string& host, int port, double recv_timeout_seconds = 0.0,
+                           double connect_timeout_seconds = 0.0);
 
 }  // namespace statsize::serve

@@ -1,0 +1,209 @@
+#include "serve/journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "runtime/fault.h"
+#include "serve/circuit_cache.h"
+
+namespace statsize::serve {
+
+namespace {
+
+constexpr char kMagic[] = "SJ1 ";
+constexpr std::size_t kMagicLen = 4;
+
+std::string hex16(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(value));
+  return std::string(buf, 16);
+}
+
+/// Frames one payload: "SJ1 <len> <hex16> <payload>\n".
+std::string frame(const std::string& payload) {
+  std::string out;
+  out.reserve(payload.size() + 32);
+  out += kMagic;
+  out += std::to_string(payload.size());
+  out += ' ';
+  out += hex16(fnv1a64(payload));
+  out += ' ';
+  out += payload;
+  out += '\n';
+  return out;
+}
+
+/// Attempts to parse one frame at `data[pos..]`. On success fills `payload`
+/// and `next` (offset just past the trailing '\n') and returns true; any
+/// short, malformed, or checksum-mismatched frame returns false (the caller
+/// treats everything from `pos` on as torn tail).
+bool parse_frame(const std::string& data, std::size_t pos, std::string* payload,
+                 std::size_t* next) {
+  if (data.size() - pos < kMagicLen || data.compare(pos, kMagicLen, kMagic) != 0) {
+    return false;
+  }
+  std::size_t p = pos + kMagicLen;
+  // Decimal payload length.
+  std::size_t len = 0;
+  std::size_t digits = 0;
+  while (p < data.size() && data[p] >= '0' && data[p] <= '9') {
+    len = len * 10 + static_cast<std::size_t>(data[p] - '0');
+    ++p;
+    if (++digits > 12) return false;  // absurd length: corrupt
+  }
+  if (digits == 0 || p >= data.size() || data[p] != ' ') return false;
+  ++p;
+  if (data.size() - p < 16) return false;
+  std::uint64_t want = 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    const char c = data[p + i];
+    std::uint64_t nibble;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+    want = (want << 4) | nibble;
+  }
+  p += 16;
+  if (p >= data.size() || data[p] != ' ') return false;
+  ++p;
+  if (data.size() - p < len + 1) return false;  // payload + trailing '\n'
+  if (data[p + len] != '\n') return false;
+  const std::string_view body(data.data() + p, len);
+  if (fnv1a64(body) != want) return false;
+  payload->assign(body);
+  *next = p + len + 1;
+  return true;
+}
+
+}  // namespace
+
+FsyncPolicy parse_fsync_policy(const std::string& name) {
+  if (name == "none") return FsyncPolicy::kNone;
+  if (name == "always") return FsyncPolicy::kAlways;
+  throw std::invalid_argument("unknown fsync policy '" + name +
+                              "' (expected 'none' or 'always')");
+}
+
+Journal::Journal(JournalOptions options) : options_(std::move(options)) {
+  if (options_.dir.empty()) {
+    throw std::runtime_error("journal: directory must not be empty");
+  }
+  if (::mkdir(options_.dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw std::runtime_error("journal: cannot create directory '" + options_.dir +
+                             "': " + std::strerror(errno));
+  }
+  path_ = options_.dir + "/journal.jsonl";
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("journal: cannot open '" + path_ +
+                             "': " + std::strerror(errno));
+  }
+
+  // Startup scan: read the whole file, parse records front to back, truncate
+  // anything after the last valid frame (the torn tail of a crashed append).
+  std::string data;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd_);
+      throw std::runtime_error("journal: cannot read '" + path_ +
+                               "': " + std::strerror(errno));
+    }
+    if (n == 0) break;
+    data.append(buf, static_cast<std::size_t>(n));
+  }
+  std::size_t pos = 0;
+  std::string payload;
+  std::size_t next = 0;
+  while (pos < data.size() && parse_frame(data, pos, &payload, &next)) {
+    Record record;
+    record.doc = util::parse_json(payload);
+    record.kind = record.doc.string_or("kind", "");
+    replay_.push_back(std::move(record));
+    pos = next;
+  }
+  good_offset_ = static_cast<std::int64_t>(pos);
+  truncated_bytes_ = static_cast<std::int64_t>(data.size() - pos);
+  if (truncated_bytes_ > 0) {
+    if (::ftruncate(fd_, good_offset_) != 0) {
+      ::close(fd_);
+      throw std::runtime_error("journal: cannot truncate torn tail of '" + path_ +
+                               "': " + std::strerror(errno));
+    }
+  }
+  file_size_ = good_offset_;
+}
+
+Journal::~Journal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Journal::repair_tail_locked() {
+  if (file_size_ == good_offset_) return;
+  if (::ftruncate(fd_, good_offset_) != 0) {
+    throw JournalWriteError("journal: cannot repair torn tail of '" + path_ +
+                            "': " + std::strerror(errno));
+  }
+  file_size_ = good_offset_;
+}
+
+void Journal::append(const std::string& payload) {
+  const std::string framed = frame(payload);
+  const std::lock_guard<std::mutex> lock(mu_);
+  repair_tail_locked();
+
+  std::size_t write_len = framed.size();
+  bool torn = false;
+  if (runtime::fault::hit(runtime::fault::kServeJournalWrite)) {
+    // Torn write: a prefix of the frame reaches the file, then the write
+    // "fails". Half the frame always cuts inside the payload or header, so
+    // replay sees an unparseable tail.
+    write_len = framed.size() / 2;
+    torn = true;
+  }
+
+  std::size_t written = 0;
+  while (written < write_len) {
+    const ssize_t n = ::pwrite(fd_, framed.data() + written, write_len - written,
+                               static_cast<off_t>(good_offset_) +
+                                   static_cast<off_t>(written));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      file_size_ = good_offset_ + static_cast<std::int64_t>(written);
+      throw JournalWriteError("journal: write to '" + path_ +
+                              "' failed: " + std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  file_size_ = good_offset_ + static_cast<std::int64_t>(written);
+  if (torn) {
+    throw JournalWriteError("journal: injected torn write (serve.journal.write) on '" +
+                            path_ + "'");
+  }
+  good_offset_ = file_size_;
+  ++records_written_;
+  if (options_.fsync == FsyncPolicy::kAlways) {
+    if (::fsync(fd_) != 0) {
+      throw JournalWriteError("journal: fsync of '" + path_ +
+                              "' failed: " + std::strerror(errno));
+    }
+  }
+}
+
+std::int64_t Journal::records_written() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return records_written_;
+}
+
+}  // namespace statsize::serve

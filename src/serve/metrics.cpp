@@ -4,6 +4,8 @@
 #include <cmath>
 #include <ctime>
 
+#include "runtime/fault.h"
+
 namespace statsize::serve {
 
 std::int64_t now() {
@@ -140,6 +142,18 @@ void Metrics::write_json(std::ostream& out) const {
   w.key("misses").value(static_cast<long>(cache_misses.value()));
   w.key("evictions").value(static_cast<long>(cache_evictions.value()));
   w.key("circuits").value(static_cast<long>(circuits_cached.value()));
+  w.end_object();
+
+  w.key("robustness").begin_object();
+  w.key("faults_injected").value(static_cast<long>(runtime::fault::fires_observed()));
+  w.key("fault_hits_observed").value(static_cast<long>(runtime::fault::hits_observed()));
+  w.key("idempotent_dedup_hits").value(static_cast<long>(idempotent_dedup_hits.value()));
+  w.key("journal_records_written").value(static_cast<long>(journal_records_written.value()));
+  w.key("journal_records_replayed").value(static_cast<long>(journal_records_replayed.value()));
+  w.key("journal_truncated_bytes").value(static_cast<long>(journal_truncated_bytes.value()));
+  w.key("journal_write_errors").value(static_cast<long>(journal_write_errors.value()));
+  w.key("jobs_recovered").value(static_cast<long>(jobs_recovered.value()));
+  w.key("jobs_interrupted").value(static_cast<long>(jobs_interrupted.value()));
   w.end_object();
 
   w.key("latency").begin_object();

@@ -110,6 +110,18 @@ struct Metrics {
   Counter cache_evictions;
   Gauge circuits_cached;
 
+  // Robustness / crash-safety (DESIGN.md §13). Journal counters cover the
+  // current process (records_replayed/truncated are stamped once at startup
+  // recovery); fault counters are mirrored from the runtime::fault registry
+  // at serialization time so /v1/stats reflects injected chaos live.
+  Counter idempotent_dedup_hits;     ///< submissions answered from an existing job
+  Counter journal_records_written;   ///< framed records durably appended
+  Counter journal_records_replayed;  ///< records recovered by the startup scan
+  Counter journal_truncated_bytes;   ///< torn-tail bytes discarded at startup
+  Counter journal_write_errors;      ///< append failures (incl. injected torn writes)
+  Counter jobs_recovered;            ///< queued/terminal jobs reinstalled at startup
+  Counter jobs_interrupted;          ///< running-at-crash jobs surfaced as interrupted
+
   // Latency distributions (milliseconds).
   Histogram queue_wait_ms;
   Histogram service_ms;          ///< run time across all job types

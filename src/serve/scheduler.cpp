@@ -1,10 +1,12 @@
 #include "serve/scheduler.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 
 #include "core/sizer.h"
+#include "runtime/fault.h"
 #include "runtime/runtime.h"
 #include "ssta/delay_model.h"
 #include "ssta/monte_carlo.h"
@@ -30,8 +32,66 @@ const char* job_state_name(JobState state) {
     case JobState::kDone: return "done";
     case JobState::kCancelled: return "cancelled";
     case JobState::kFailed: return "failed";
+    case JobState::kInterrupted: return "interrupted";
   }
   return "?";
+}
+
+JobType job_type_from_name(const std::string& name) {
+  for (JobType t : {JobType::kSsta, JobType::kSta, JobType::kMonteCarlo, JobType::kSize}) {
+    if (name == job_type_name(t)) return t;
+  }
+  throw std::invalid_argument("unknown job type: " + name);
+}
+
+JobState job_state_from_name(const std::string& name) {
+  for (JobState s : {JobState::kQueued, JobState::kRunning, JobState::kDone,
+                     JobState::kCancelled, JobState::kFailed, JobState::kInterrupted}) {
+    if (name == job_state_name(s)) return s;
+  }
+  throw std::invalid_argument("unknown job state: " + name);
+}
+
+void write_job_params(util::JsonWriter& w, const JobParams& p) {
+  w.begin_object();
+  w.key("deadline_ms").value(p.deadline_ms);
+  w.key("jobs").value(p.jobs);
+  w.key("sigma_kappa").value(p.sigma_kappa);
+  w.key("sigma_offset").value(p.sigma_offset);
+  w.key("speed").value(p.speed);
+  w.key("corner").value(p.corner);
+  w.key("mc_samples").value(p.mc_samples);
+  w.key("mc_seed").value(static_cast<long>(p.mc_seed));
+  w.key("objective").value(p.objective);
+  w.key("sigma_weight").value(p.sigma_weight);
+  w.key("max_delay").value(p.max_delay);
+  w.key("constraint_sigma_weight").value(p.constraint_sigma_weight);
+  w.key("method").value(p.method);
+  w.key("max_speed").value(p.max_speed);
+  w.key("max_retries").value(p.max_retries);
+  w.end_object();
+}
+
+JobParams job_params_from_json(const util::JsonValue& doc) {
+  JobParams p;
+  p.deadline_ms = doc.number_or("deadline_ms", p.deadline_ms);
+  p.jobs = static_cast<int>(doc.int_or("jobs", p.jobs));
+  p.sigma_kappa = doc.number_or("sigma_kappa", p.sigma_kappa);
+  p.sigma_offset = doc.number_or("sigma_offset", p.sigma_offset);
+  p.speed = doc.number_or("speed", p.speed);
+  p.corner = doc.string_or("corner", p.corner);
+  p.mc_samples = static_cast<int>(doc.int_or("mc_samples", p.mc_samples));
+  p.mc_seed = static_cast<std::uint64_t>(
+      doc.int_or("mc_seed", static_cast<std::int64_t>(p.mc_seed)));
+  p.objective = doc.string_or("objective", p.objective);
+  p.sigma_weight = doc.number_or("sigma_weight", p.sigma_weight);
+  p.max_delay = doc.number_or("max_delay", p.max_delay);
+  p.constraint_sigma_weight =
+      doc.number_or("constraint_sigma_weight", p.constraint_sigma_weight);
+  p.method = doc.string_or("method", p.method);
+  p.max_speed = doc.number_or("max_speed", p.max_speed);
+  p.max_retries = static_cast<int>(doc.int_or("max_retries", p.max_retries));
+  return p;
 }
 
 namespace {
@@ -60,6 +120,50 @@ std::string indent_blob(const std::string& blob, int pad) {
   return out;
 }
 
+// -- Journal record payloads (DESIGN.md §13). Admit carries everything
+// needed to re-create the job after a crash; start/end are transition
+// markers keyed by id. Result/error travel as escaped string members so the
+// record stays one flat object regardless of the result's own structure.
+
+std::string admit_record(const Job& job) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("kind").value("admit");
+  w.key("id").value(job.id);
+  w.key("type").value(job_type_name(job.type));
+  w.key("circuit").value(job.circuit ? job.circuit->key : "");
+  w.key("idempotency_key").value(job.idempotency_key);
+  w.key("params");
+  write_job_params(w, job.params);
+  w.end_object();
+  return os.str();
+}
+
+std::string start_record(const std::string& id) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("kind").value("start");
+  w.key("id").value(id);
+  w.end_object();
+  return os.str();
+}
+
+std::string end_record(const std::string& id, JobState state, const std::string& result,
+                       const std::string& error) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("kind").value("end");
+  w.key("id").value(id);
+  w.key("state").value(job_state_name(state));
+  w.key("result").value(result);
+  w.key("error").value(error);
+  w.end_object();
+  return os.str();
+}
+
 }  // namespace
 
 std::string Job::describe() const {
@@ -85,6 +189,14 @@ std::string Job::describe() const {
   out += "  \"circuit\": \"" + util::JsonWriter::escape(circuit ? circuit->key : "") + "\",\n";
   out += "  \"circuit_name\": \"" +
          util::JsonWriter::escape(circuit ? circuit->name : "") + "\",\n";
+  if (!idempotency_key.empty()) {
+    out += "  \"idempotency_key\": \"" + util::JsonWriter::escape(idempotency_key) + "\",\n";
+  }
+  if (st == JobState::kInterrupted) {
+    // Interrupted is terminal but retryable: the same Idempotency-Key will
+    // start a fresh attempt instead of deduplicating against this record.
+    out += "  \"retryable\": true,\n";
+  }
   out += "  \"deadline_ms\": " + fmt_double(params.deadline_ms) + ",\n";
   if (start_ms > 0.0) {
     out += "  \"queue_wait_ms\": " + fmt_double(start_ms - sub_ms) + ",\n";
@@ -129,8 +241,15 @@ void JobScheduler::stop() {
       JobState expected = JobState::kQueued;
       if (job->state.compare_exchange_strong(expected, JobState::kCancelled,
                                              std::memory_order_acq_rel)) {
-        std::lock_guard<std::mutex> jlock(job->mu);
-        job->error = "server shutting down";
+        {
+          std::lock_guard<std::mutex> jlock(job->mu);
+          job->error = "server shutting down";
+        }
+        // Journal the shutdown cancellation so a restart on the same journal
+        // reports these jobs cancelled instead of re-admitting them — a
+        // graceful stop is an observed outcome, not a crash.
+        journal_append_soft(end_record(job->id, JobState::kCancelled, "",
+                                       "server shutting down"));
         if (metrics_) metrics_->jobs_cancelled.inc();
       }
     }
@@ -147,45 +266,85 @@ void JobScheduler::stop() {
   if (to_join.joinable()) to_join.join();
 }
 
-std::shared_ptr<Job> JobScheduler::submit(JobType type,
-                                          std::shared_ptr<const CachedCircuit> circuit,
-                                          JobParams params) {
-  std::shared_ptr<Job> job;
+JobScheduler::SubmitOutcome JobScheduler::submit(JobType type,
+                                                 std::shared_ptr<const CachedCircuit> circuit,
+                                                 JobParams params,
+                                                 std::string idempotency_key) {
+  SubmitOutcome outcome;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_ || !started_) return nullptr;
+    if (stopping_ || !started_) {
+      outcome.overflow = true;
+      return outcome;
+    }
+    // Idempotency first: a dedup hit must answer even when the queue is full
+    // (that is the whole point of retrying with the same key after a 429).
+    if (!idempotency_key.empty()) {
+      auto it = idem_.find(idempotency_key);
+      if (it != idem_.end()) {
+        auto jit = jobs_.find(it->second);
+        if (jit != jobs_.end() &&
+            jit->second->state.load(std::memory_order_acquire) != JobState::kInterrupted) {
+          if (metrics_) metrics_->idempotent_dedup_hits.inc();
+          outcome.job = jit->second;
+          outcome.deduplicated = true;
+          return outcome;
+        }
+        // Interrupted (or vanished) match: fall through — the fresh
+        // admission below replaces the mapping, giving retry semantics.
+      }
+    }
     if (queue_.size() >= options_.queue_depth) {
       if (metrics_) metrics_->jobs_rejected.inc();
-      return nullptr;
+      outcome.overflow = true;
+      return outcome;
     }
-    job = std::make_shared<Job>();
+    auto job = std::make_shared<Job>();
     char idbuf[16];
     std::snprintf(idbuf, sizeof(idbuf), "job-%06d", next_id_++);
     job->id = idbuf;
     job->type = type;
     job->params = std::move(params);
     job->circuit = std::move(circuit);
+    job->idempotency_key = idempotency_key;
     job->submitted_ms = now_ms();
+    // Durable admission: the admit record must hit the journal before the
+    // job becomes visible or acked. Appending under mu_ keeps journal order
+    // identical to admission order, which recovery relies on.
+    if (journal_ != nullptr) {
+      try {
+        journal_->append(admit_record(*job));
+        if (metrics_) metrics_->journal_records_written.inc();
+      } catch (const JournalWriteError& e) {
+        if (metrics_) metrics_->journal_write_errors.inc();
+        outcome.journal_error = e.what();
+        return outcome;
+      }
+    }
     jobs_.emplace(job->id, job);
     queue_.push_back(job);
+    if (!idempotency_key.empty()) idem_[idempotency_key] = job->id;
     if (metrics_) {
       metrics_->jobs_submitted.inc();
       metrics_->queue_depth.set(static_cast<std::int64_t>(queue_.size()));
     }
+    outcome.job = std::move(job);
   }
   cv_.notify_one();
-  return job;
+  return outcome;
 }
 
-std::vector<std::shared_ptr<Job>> JobScheduler::submit_batch(std::vector<JobRequest> requests) {
-  std::vector<std::shared_ptr<Job>> jobs;
-  if (requests.empty()) return jobs;
+JobScheduler::BatchOutcome JobScheduler::submit_batch(std::vector<JobRequest> requests) {
+  BatchOutcome outcome;
+  if (requests.empty()) return outcome;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_ || !started_ || queue_.size() + requests.size() > options_.queue_depth) {
       if (metrics_) metrics_->jobs_rejected.inc(static_cast<std::int64_t>(requests.size()));
-      return jobs;
+      outcome.overflow = true;
+      return outcome;
     }
+    std::vector<std::shared_ptr<Job>> jobs;
     jobs.reserve(requests.size());
     const double submitted = now_ms();
     for (JobRequest& req : requests) {
@@ -197,17 +356,73 @@ std::vector<std::shared_ptr<Job>> JobScheduler::submit_batch(std::vector<JobRequ
       job->params = std::move(req.params);
       job->circuit = std::move(req.circuit);
       job->submitted_ms = submitted;
+      if (journal_ != nullptr) {
+        try {
+          journal_->append(admit_record(*job));
+          if (metrics_) metrics_->journal_records_written.inc();
+        } catch (const JournalWriteError& e) {
+          // All-or-nothing in THIS process: nothing of the batch was made
+          // visible, so the client's 503 is honest. Records already written
+          // for earlier batch members stay in the journal; a crash-recovery
+          // would re-admit those as queued jobs (at-least-once).
+          if (metrics_) metrics_->journal_write_errors.inc();
+          outcome.journal_error = e.what();
+          return outcome;
+        }
+      }
       jobs_.emplace(job->id, job);
-      queue_.push_back(job);
       jobs.push_back(std::move(job));
     }
+    for (const auto& job : jobs) queue_.push_back(job);
     if (metrics_) {
       metrics_->jobs_submitted.inc(static_cast<std::int64_t>(jobs.size()));
       metrics_->queue_depth.set(static_cast<std::int64_t>(queue_.size()));
     }
+    outcome.jobs = std::move(jobs);
   }
   cv_.notify_one();
-  return jobs;
+  return outcome;
+}
+
+void JobScheduler::restore(std::vector<RestoredJob> recovered) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (RestoredJob& r : recovered) {
+    auto job = std::make_shared<Job>();
+    job->id = r.id;
+    job->type = r.type;
+    job->params = std::move(r.params);
+    job->circuit = std::move(r.circuit);
+    job->idempotency_key = r.idempotency_key;
+    job->state.store(r.state, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> jlock(job->mu);
+      job->result_json = std::move(r.result_json);
+      job->error = std::move(r.error);
+    }
+    // Resume id allocation past every recovered id so new admissions never
+    // collide with journaled ones.
+    if (job->id.size() > 4 && job->id.compare(0, 4, "job-") == 0) {
+      const int n = std::atoi(job->id.c_str() + 4);
+      if (n >= next_id_) next_id_ = n + 1;
+    }
+    if (!job->idempotency_key.empty()) idem_[job->idempotency_key] = job->id;
+    if (r.state == JobState::kQueued) {
+      job->submitted_ms = now_ms();  // queue-wait clock restarts at recovery
+      queue_.push_back(job);
+    }
+    jobs_[job->id] = job;
+  }
+  if (metrics_) metrics_->queue_depth.set(static_cast<std::int64_t>(queue_.size()));
+}
+
+void JobScheduler::journal_append_soft(const std::string& payload) {
+  if (journal_ == nullptr) return;
+  try {
+    journal_->append(payload);
+    if (metrics_) metrics_->journal_records_written.inc();
+  } catch (const JournalWriteError&) {
+    if (metrics_) metrics_->journal_write_errors.inc();
+  }
 }
 
 std::shared_ptr<Job> JobScheduler::get(const std::string& id) const {
@@ -227,6 +442,7 @@ bool JobScheduler::cancel(const std::string& id) {
       job->error = "cancelled before start";
       job->finished_ms = now_ms();
     }
+    journal_append_soft(end_record(job->id, JobState::kCancelled, "", "cancelled before start"));
     if (metrics_) metrics_->jobs_cancelled.inc();
     return true;
   }
@@ -272,6 +488,24 @@ void JobScheduler::run_job(Job& job) {
   if (metrics_) {
     metrics_->jobs_running.inc();
     metrics_->queue_wait_ms.record(t_start - job.submitted_ms);
+  }
+  journal_append_soft(start_record(job.id));
+
+  if (runtime::fault::hit(runtime::fault::kServeExecutorCrash)) {
+    // Simulated executor crash: the job dies mid-flight with NO terminal
+    // journal record — exactly what a restart after SIGKILL would find. The
+    // in-process outcome mirrors what recovery replay would surface.
+    {
+      std::lock_guard<std::mutex> lock(job.mu);
+      job.error = "interrupted: executor crashed (injected serve.executor.crash)";
+      job.finished_ms = now_ms();
+    }
+    job.state.store(JobState::kInterrupted, std::memory_order_release);
+    if (metrics_) {
+      metrics_->jobs_running.dec();
+      metrics_->jobs_interrupted.inc();
+    }
+    return;
   }
 
   if (job.params.jobs > 0) runtime::set_threads(job.params.jobs);
@@ -452,6 +686,11 @@ void JobScheduler::run_job(Job& job) {
   }
 
   const double t_end = now_ms();
+  // Terminal record BEFORE the state flip: once a poller can observe "done",
+  // the journal must already know — a crash between flip and append would
+  // otherwise resurrect a completed job as interrupted after the client saw
+  // its result.
+  journal_append_soft(end_record(job.id, final_state, result, error));
   {
     std::lock_guard<std::mutex> lock(job.mu);
     job.result_json = std::move(result);

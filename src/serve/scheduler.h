@@ -32,15 +32,28 @@
 
 #include "runtime/cancel.h"
 #include "serve/circuit_cache.h"
+#include "serve/journal.h"
 #include "serve/metrics.h"
 
 namespace statsize::serve {
 
 enum class JobType { kSsta, kSta, kMonteCarlo, kSize };
-enum class JobState { kQueued, kRunning, kDone, kCancelled, kFailed };
+
+/// kInterrupted is the recovery-surfaced terminal state: the job was running
+/// (or its executor "crashed" via the serve.executor.crash fault) when the
+/// process died, so no terminal journal record exists. It is terminal but
+/// RETRYABLE: re-submitting with the same Idempotency-Key does NOT dedup
+/// against it — it starts a fresh attempt (DESIGN.md §13).
+enum class JobState { kQueued, kRunning, kDone, kCancelled, kFailed, kInterrupted };
 
 const char* job_type_name(JobType type);
 const char* job_state_name(JobState state);
+
+/// Inverse of job_type_name / job_state_name, for journal replay. Throw
+/// std::invalid_argument on an unknown name (a corrupt-but-checksummed
+/// record is a bug, not a torn tail — fail loudly).
+JobType job_type_from_name(const std::string& name);
+JobState job_state_from_name(const std::string& name);
 
 /// Everything a job request can carry. Parsed from the POST /v1/jobs body by
 /// the server; defaults mirror the CLI's.
@@ -72,11 +85,20 @@ struct JobParams {
   int max_retries = 0;
 };
 
+/// Serializes params as one JSON object (journal admit records); the inverse
+/// of job_params_from_json. Every field round-trips bit-exactly except
+/// mc_seed, which travels through the JSON layer's double representation and
+/// is exact only up to 2^53 (the server's request parser has the same limit,
+/// so a journaled seed always round-trips to what the client could submit).
+void write_job_params(util::JsonWriter& w, const JobParams& params);
+JobParams job_params_from_json(const util::JsonValue& doc);
+
 struct Job {
   std::string id;  ///< "job-NNNNNN"
   JobType type = JobType::kSsta;
   JobParams params;
   std::shared_ptr<const CachedCircuit> circuit;
+  std::string idempotency_key;  ///< empty = none; immutable after admission
 
   std::atomic<JobState> state{JobState::kQueued};
   runtime::CancellationToken cancel;
@@ -109,14 +131,37 @@ class JobScheduler {
   JobScheduler(const JobScheduler&) = delete;
   JobScheduler& operator=(const JobScheduler&) = delete;
 
+  /// Attaches the durable journal. Must be called before start(); the
+  /// scheduler then appends admit/start/end records for every job. Admission
+  /// appends happen under the scheduler lock, so journal record order equals
+  /// admission order (recovery re-admits in original order for free).
+  void set_journal(Journal* journal) { journal_ = journal; }
+
   void start();
   /// Cancels queued and running jobs, wakes the executor, joins it. Safe to
   /// call twice.
   void stop();
 
-  /// Admission. Returns the queued job, or nullptr when the queue is full.
-  std::shared_ptr<Job> submit(JobType type, std::shared_ptr<const CachedCircuit> circuit,
-                              JobParams params);
+  /// How one submission resolved. Exactly one of job / overflow /
+  /// journal_error is meaningful: a non-null job with deduplicated=true is
+  /// an existing job answering a retried Idempotency-Key; overflow maps to
+  /// 429; a non-empty journal_error means the admit record could not be made
+  /// durable, so the job was NOT admitted (maps to 503 — the client retries
+  /// and the same key cannot double-admit).
+  struct SubmitOutcome {
+    std::shared_ptr<Job> job;
+    bool deduplicated = false;
+    bool overflow = false;
+    std::string journal_error;
+  };
+
+  /// Admission. A non-empty idempotency_key first consults the dedup index
+  /// (live jobs and journal-recovered ones alike); an existing non-interrupted
+  /// job is returned as-is with deduplicated=true. An `interrupted` match
+  /// does not dedup — the new admission replaces the mapping (retry
+  /// semantics, see JobState).
+  SubmitOutcome submit(JobType type, std::shared_ptr<const CachedCircuit> circuit,
+                       JobParams params, std::string idempotency_key = {});
 
   /// One element of a batched submission (POST /v1/jobs with a JSON array).
   struct JobRequest {
@@ -125,12 +170,40 @@ class JobScheduler {
     JobParams params;
   };
 
+  struct BatchOutcome {
+    std::vector<std::shared_ptr<Job>> jobs;  ///< request order; empty on failure
+    bool overflow = false;
+    std::string journal_error;
+  };
+
   /// All-or-nothing admission under one lock: either every request is queued
   /// (ids assigned in order, FIFO with respect to other submissions) and the
-  /// jobs come back in request order, or — when the whole batch would not
-  /// fit under the queue depth — nothing is queued and the vector is empty
-  /// (the server answers 429 for the batch).
-  std::vector<std::shared_ptr<Job>> submit_batch(std::vector<JobRequest> requests);
+  /// jobs come back in request order, or nothing is queued — overflow when
+  /// the whole batch would not fit under the queue depth (429), journal_error
+  /// when any admit record failed to persist (503; already-journaled records
+  /// of the failed batch are re-admitted on a later recovery as queued jobs,
+  /// which is the at-least-once side of the durability contract — batches
+  /// carry no idempotency keys, so clients own batch-level retries).
+  BatchOutcome submit_batch(std::vector<JobRequest> requests);
+
+  /// One journal-recovered job to reinstall at startup, before start().
+  struct RestoredJob {
+    std::string id;
+    JobType type = JobType::kSsta;
+    JobParams params;
+    std::shared_ptr<const CachedCircuit> circuit;  ///< may be null for terminal states
+    std::string idempotency_key;
+    JobState state = JobState::kQueued;  ///< kQueued re-enqueues; others install as-is
+    std::string result_json;             ///< kDone payload
+    std::string error;                   ///< failed/cancelled/interrupted reason
+  };
+
+  /// Reinstalls recovered jobs: terminal jobs become pollable again, kQueued
+  /// jobs re-enter the queue in call order under their original ids, the
+  /// idempotency index is rebuilt, and id allocation resumes past the highest
+  /// recovered id. Writes NO journal records — the admit records already live
+  /// in the journal being resumed.
+  void restore(std::vector<RestoredJob> recovered);
 
   std::shared_ptr<Job> get(const std::string& id) const;
 
@@ -144,14 +217,21 @@ class JobScheduler {
  private:
   void executor_loop();
   void run_job(Job& job);
+  /// Best-effort journal append for non-admission records (start/end):
+  /// failures are counted, not raised — availability over a lost transition
+  /// record (recovery then reports the job one state earlier, which the
+  /// at-least-once contract absorbs).
+  void journal_append_soft(const std::string& payload);
 
   const SchedulerOptions options_;
   Metrics* metrics_;
+  Journal* journal_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::shared_ptr<Job>> queue_;
   std::map<std::string, std::shared_ptr<Job>> jobs_;
+  std::map<std::string, std::string> idem_;  ///< Idempotency-Key -> job id
   int next_id_ = 1;
   bool stopping_ = false;
   bool started_ = false;

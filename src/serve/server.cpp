@@ -14,6 +14,7 @@
 
 #include "analyze/graph_audit.h"
 #include "netlist/blif.h"
+#include "runtime/fault.h"
 #include "netlist/timing_view.h"
 #include "netlist/verilog.h"
 #include "util/json.h"
@@ -87,6 +88,18 @@ Server::~Server() { stop(); }
 void Server::start() {
   if (running_.load(std::memory_order_acquire)) return;
   stopping_.store(false, std::memory_order_release);
+  draining_.store(false, std::memory_order_release);
+
+  // Durability first: open (or resume) the journal and replay it before any
+  // socket exists, so recovered state is fully installed by the time the
+  // first request can arrive. A stop()/start() cycle on the same Server
+  // keeps the already-open journal (its state was never lost).
+  if (!options_.journal_dir.empty() && journal_ == nullptr) {
+    journal_ = std::make_unique<Journal>(
+        JournalOptions{options_.journal_dir, options_.journal_fsync});
+    scheduler_.set_journal(journal_.get());
+    recover_from_journal();
+  }
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
@@ -132,6 +145,7 @@ void Server::start() {
 
 void Server::stop() {
   if (!running_.load(std::memory_order_acquire)) return;
+  draining_.store(true, std::memory_order_release);
   stopping_.store(true, std::memory_order_release);
   conn_cv_.notify_all();
   if (accept_thread_.joinable()) accept_thread_.join();
@@ -164,6 +178,12 @@ void Server::accept_loop() {
       if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
       if (stopping_.load(std::memory_order_acquire)) break;
       continue;  // transient (EMFILE etc.): keep the daemon alive
+    }
+    if (runtime::fault::hit(runtime::fault::kServeAccept)) {
+      // Injected accept failure: the peer sees its freshly established
+      // connection reset before a single byte — the client must reconnect.
+      ::close(fd);
+      continue;
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -218,6 +238,14 @@ void Server::serve_connection(int fd) {
       return;
     }
 
+    if (runtime::fault::hit(runtime::fault::kServeRead)) {
+      // Injected read failure: drop the connection after a fully parsed
+      // request, before any handling — the client cannot tell whether the
+      // request took effect, which is exactly what Idempotency-Key is for.
+      metrics_.http_requests.inc();
+      return;
+    }
+
     metrics_.http_requests.inc();
     HttpResponse response;
     try {
@@ -238,7 +266,18 @@ HttpResponse Server::handle(const HttpRequest& request) {
   const std::string_view path = path_of(request.target);
 
   if (path == "/v1/healthz" && request.method == "GET") {
+    // Liveness, not readiness: stays 200 while draining so orchestrators do
+    // not kill a daemon that is finishing in-flight work.
     return HttpResponse::json(200, "{\n  \"ok\": true\n}");
+  }
+  if (path == "/v1/readyz" && request.method == "GET") {
+    if (draining_.load(std::memory_order_acquire)) {
+      HttpResponse response =
+          HttpResponse::json(503, error_body("draining: server is shutting down"));
+      response.headers["Retry-After"] = "1";
+      return response;
+    }
+    return HttpResponse::json(200, "{\n  \"ready\": true\n}");
   }
   if (path == "/v1/stats" && request.method == "GET") return handle_stats();
   if (path == "/v1/circuits") {
@@ -261,6 +300,30 @@ HttpResponse Server::handle(const HttpRequest& request) {
     return HttpResponse::json(405, error_body("method not allowed"));
   }
   return HttpResponse::json(404, error_body("no such endpoint: " + std::string(path)));
+}
+
+bool Server::journal_upload_record(const char* kind, const std::string& base,
+                                   const std::string& body, HttpResponse* error) {
+  if (journal_ == nullptr || replaying_) return true;
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("kind").value(kind);
+  if (!base.empty()) w.key("base").value(base);
+  w.key("body").value(body);
+  w.end_object();
+  try {
+    journal_->append(os.str());
+    metrics_.journal_records_written.inc();
+    return true;
+  } catch (const JournalWriteError& e) {
+    metrics_.journal_write_errors.inc();
+    *error = HttpResponse::json(
+        503, error_body(std::string(kind) +
+                        " not durable (journal write failed: " + e.what() + "); retry"));
+    error->headers["Retry-After"] = "1";
+    return false;
+  }
 }
 
 HttpResponse Server::handle_upload(const HttpRequest& request) {
@@ -313,6 +376,12 @@ HttpResponse Server::handle_upload(const HttpRequest& request) {
     fresh->key = key;
     fresh->name = name;
     fresh->format = format;
+    // Journal before insert: a 503 here must leave no cache entry, or the
+    // client's retry would hit the cache and skip journaling forever.
+    HttpResponse journal_error;
+    if (!journal_upload_record("circuit", "", request.body, &journal_error)) {
+      return journal_error;
+    }
     CircuitCache::InsertResult inserted = cache_.insert(std::move(fresh));
     entry = inserted.entry;
     cached = inserted.existed;  // concurrent identical upload won the race
@@ -469,6 +538,10 @@ HttpResponse Server::handle_patch(const HttpRequest& request, const std::string&
     fresh->base = base;
     fresh->patched_view = std::move(view);
     fresh->num_edits = base->num_edits + edits.size();
+    HttpResponse journal_error;
+    if (!journal_upload_record("patch", base->key, request.body, &journal_error)) {
+      return journal_error;
+    }
     CircuitCache::InsertResult inserted = cache_.insert(std::move(fresh));
     entry = inserted.entry;
     cached = inserted.existed;
@@ -584,7 +657,16 @@ HttpResponse Server::handle_submit(const HttpRequest& request) {
   } catch (const util::JsonParseError& e) {
     return HttpResponse::json(400, parse_error_body(e));
   }
-  if (body.is_array()) return handle_submit_batch(body);
+  const std::string idempotency_key(request.header("idempotency-key"));
+  if (body.is_array()) {
+    if (!idempotency_key.empty()) {
+      return HttpResponse::json(
+          400, error_body("Idempotency-Key applies to a single job submission, "
+                          "not a batch (submit batch elements individually to "
+                          "deduplicate them)"));
+    }
+    return handle_submit_batch(body);
+  }
   if (!body.is_object()) {
     return HttpResponse::json(
         400, error_body("body must be a JSON object (or an array of them to batch)"));
@@ -592,26 +674,36 @@ HttpResponse Server::handle_submit(const HttpRequest& request) {
   JobScheduler::JobRequest req;
   HttpResponse error;
   if (!parse_job_request(body, &req, &error)) return error;
-  const JobType type = req.type;
-  const std::string key = req.circuit->key;
 
-  std::shared_ptr<Job> job =
-      scheduler_.submit(req.type, std::move(req.circuit), std::move(req.params));
-  if (!job) {
+  JobScheduler::SubmitOutcome outcome = scheduler_.submit(
+      req.type, std::move(req.circuit), std::move(req.params), idempotency_key);
+  if (!outcome.journal_error.empty()) {
+    HttpResponse response = HttpResponse::json(
+        503, error_body("admission not durable (journal write failed: " +
+                        outcome.journal_error + "); retry"));
+    response.headers["Retry-After"] = "1";
+    return response;
+  }
+  if (outcome.job == nullptr) {
     HttpResponse response = HttpResponse::json(
         429, error_body("job queue full (retry later)"));
     response.headers["Retry-After"] = "1";
     return response;
   }
+  const std::shared_ptr<Job>& job = outcome.job;
   std::ostringstream os;
   util::JsonWriter w(os);
   w.begin_object();
   w.key("id").value(job->id);
+  // Echo the admitted job's own type/circuit: on a dedup hit these are the
+  // ORIGINAL admission's, which is what the retried request actually got.
   w.key("state").value(job_state_name(job->state.load(std::memory_order_acquire)));
-  w.key("type").value(job_type_name(type));
-  w.key("circuit").value(key);
+  w.key("type").value(job_type_name(job->type));
+  w.key("circuit").value(job->circuit ? job->circuit->key : "");
+  w.key("deduplicated").value(outcome.deduplicated);
   w.end_object();
-  return HttpResponse::json(202, os.str());
+  // 200 (not 202) for a dedup hit: nothing new was accepted for processing.
+  return HttpResponse::json(outcome.deduplicated ? 200 : 202, os.str());
 }
 
 HttpResponse Server::handle_submit_batch(const util::JsonValue& body) {
@@ -635,7 +727,15 @@ HttpResponse Server::handle_submit_batch(const util::JsonValue& body) {
   echo.reserve(requests.size());
   for (const auto& r : requests) echo.emplace_back(r.type, r.circuit->key);
 
-  std::vector<std::shared_ptr<Job>> jobs = scheduler_.submit_batch(std::move(requests));
+  JobScheduler::BatchOutcome outcome = scheduler_.submit_batch(std::move(requests));
+  if (!outcome.journal_error.empty()) {
+    HttpResponse response = HttpResponse::json(
+        503, error_body("batch admission not durable (journal write failed: " +
+                        outcome.journal_error + "); retry"));
+    response.headers["Retry-After"] = "1";
+    return response;
+  }
+  const std::vector<std::shared_ptr<Job>>& jobs = outcome.jobs;
   if (jobs.empty()) {
     HttpResponse response = HttpResponse::json(
         429, error_body("job queue cannot take the whole batch (retry later)"));
@@ -683,6 +783,109 @@ HttpResponse Server::handle_stats() {
   std::ostringstream os;
   metrics_.write_json(os);
   return HttpResponse::json(200, os.str());
+}
+
+void Server::recover_from_journal() {
+  const std::vector<Journal::Record>& records = journal_->replay();
+  metrics_.journal_records_replayed.inc(static_cast<std::int64_t>(records.size()));
+  metrics_.journal_truncated_bytes.inc(journal_->truncated_bytes());
+  if (records.empty()) return;
+
+  // Circuit/patch records are re-driven through the real upload/patch
+  // handlers (identical parsing, identical content-hash keys); replaying_
+  // suppresses re-journaling inside them. Job records are folded into one
+  // RestoredJob per id: the latest observed transition decides the state.
+  replaying_ = true;
+  struct Recovered {
+    JobScheduler::RestoredJob job;
+    std::string circuit_key;
+    bool started = false;
+    bool ended = false;
+  };
+  std::vector<Recovered> pending;  ///< admission order == journal order
+  std::map<std::string, std::size_t> by_id;
+  for (const Journal::Record& rec : records) {
+    try {
+      if (rec.kind == "circuit" || rec.kind == "patch") {
+        HttpRequest req;
+        req.body = rec.doc.string_or("body", "");
+        if (rec.kind == "circuit") {
+          req.method = "POST";
+          req.target = "/v1/circuits";
+          handle_upload(req);
+        } else {
+          const std::string base = rec.doc.string_or("base", "");
+          req.method = "PATCH";
+          req.target = "/v1/circuits/" + base;
+          handle_patch(req, base);
+        }
+      } else if (rec.kind == "admit") {
+        Recovered r;
+        r.job.id = rec.doc.string_or("id", "");
+        if (r.job.id.empty()) continue;
+        r.job.type = job_type_from_name(rec.doc.string_or("type", "ssta"));
+        if (const util::JsonValue* params = rec.doc.find("params")) {
+          r.job.params = job_params_from_json(*params);
+        }
+        r.job.idempotency_key = rec.doc.string_or("idempotency_key", "");
+        r.circuit_key = rec.doc.string_or("circuit", "");
+        by_id[r.job.id] = pending.size();
+        pending.push_back(std::move(r));
+      } else if (rec.kind == "start") {
+        const auto it = by_id.find(rec.doc.string_or("id", ""));
+        if (it != by_id.end()) pending[it->second].started = true;
+      } else if (rec.kind == "end") {
+        const auto it = by_id.find(rec.doc.string_or("id", ""));
+        if (it == by_id.end()) continue;
+        const JobState state = job_state_from_name(rec.doc.string_or("state", "failed"));
+        Recovered& r = pending[it->second];
+        r.job.state = state;
+        r.job.result_json = rec.doc.string_or("result", "");
+        r.job.error = rec.doc.string_or("error", "");
+        r.ended = true;
+      }
+      // Unknown kinds are skipped: a newer daemon's records must not brick
+      // an older one pointed at the same directory.
+    } catch (const std::exception&) {
+      // A checksummed-but-unreplayable record (say, a circuit whose text no
+      // longer parses) must not keep the daemon down; any job referencing
+      // the missing state fails below with a named error instead.
+    }
+  }
+  replaying_ = false;
+  metrics_.circuits_cached.set(static_cast<std::int64_t>(cache_.size()));
+
+  std::vector<JobScheduler::RestoredJob> restored;
+  restored.reserve(pending.size());
+  for (Recovered& r : pending) {
+    r.job.circuit = cache_.find(r.circuit_key);
+    if (r.ended) {
+      // Terminal before the crash: reinstall verbatim so GET /v1/jobs/<id>
+      // keeps answering with the exact pre-crash result.
+      metrics_.jobs_recovered.inc();
+    } else if (r.started) {
+      // Running at crash: terminal-but-retryable. We cannot know how far it
+      // got, so we never silently re-run it (a size job mutates warm-start
+      // state); the client re-submits under its idempotency key.
+      r.job.state = JobState::kInterrupted;
+      r.job.error =
+          "interrupted: daemon crashed while this job was running (re-submit to retry)";
+      metrics_.jobs_interrupted.inc();
+    } else if (r.job.circuit == nullptr) {
+      // Queued at crash but its circuit did not survive replay (torn tail or
+      // eviction): a named failure, never a crash or a silent drop.
+      r.job.state = JobState::kFailed;
+      r.job.error = "recovery failed: circuit " + r.circuit_key +
+                    " is not in the recovered cache (journal truncated or entry "
+                    "evicted); re-upload it and re-submit";
+      metrics_.jobs_recovered.inc();
+    } else {
+      r.job.state = JobState::kQueued;  // re-admitted in original order
+      metrics_.jobs_recovered.inc();
+    }
+    restored.push_back(std::move(r.job));
+  }
+  scheduler_.restore(std::move(restored));
 }
 
 }  // namespace statsize::serve

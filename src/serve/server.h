@@ -11,7 +11,15 @@
 //   GET    /v1/jobs/<id>       poll state + result
 //   DELETE /v1/jobs/<id>       cooperative cancel
 //   GET    /v1/stats           serve::Metrics as JSON
-//   GET    /v1/healthz         liveness
+//   GET    /v1/healthz         liveness (200 even while draining)
+//   GET    /v1/readyz          readiness: 503 + Retry-After once draining
+//
+// Crash safety (DESIGN.md §13): with ServerOptions::journal_dir set, every
+// upload/patch/admission/transition is appended to a durable journal before
+// it is acknowledged, and start() replays the journal — circuits re-parsed
+// through the same upload path, queued-at-crash jobs re-admitted in original
+// order, running-at-crash jobs surfaced as `interrupted`. POST /v1/jobs
+// honors an Idempotency-Key header so client retries never double-submit.
 //
 // Threading: one accept thread (SO_RCVTIMEO-paced so stop() is prompt) feeds
 // a bounded fd queue; `io_threads` workers each own one connection at a time
@@ -47,6 +55,10 @@ struct ServerOptions {
   /// Per-recv timeout on accepted sockets; bounds how long stop() waits for
   /// an idle keep-alive connection to notice shutdown.
   double io_recv_timeout_seconds = 0.2;
+  /// Non-empty enables the durable job journal (created under this dir) and
+  /// startup recovery replay from any journal already there.
+  std::string journal_dir;
+  FsyncPolicy journal_fsync = FsyncPolicy::kNone;
 };
 
 class Server {
@@ -70,6 +82,17 @@ class Server {
   /// joins everything. Idempotent.
   void stop();
 
+  /// Marks the server draining: /v1/readyz starts answering 503 +
+  /// Retry-After while /v1/healthz stays 200 and in-flight work proceeds.
+  /// Called by the CLI's SIGINT/SIGTERM handler path ahead of stop() so load
+  /// balancers stop routing before the listener goes away.
+  void begin_drain() { draining_.store(true, std::memory_order_release); }
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  /// The journal, when enabled (valid after start()); tests use it to
+  /// inspect replay/truncation counters.
+  Journal* journal() { return journal_.get(); }
+
   Metrics& metrics() { return metrics_; }
   CircuitCache& cache() { return cache_; }
   JobScheduler& scheduler() { return scheduler_; }
@@ -82,6 +105,16 @@ class Server {
   void accept_loop();
   void io_loop();
   void serve_connection(int fd);
+  /// Startup recovery: replays the opened journal's records — circuit/patch
+  /// bodies re-driven through the upload/patch handlers (replaying_ set so
+  /// they do not re-journal), jobs reconstructed and handed to
+  /// JobScheduler::restore. Runs before any thread exists.
+  void recover_from_journal();
+  /// Appends a circuit/patch journal record carrying the raw request body
+  /// (replay re-drives it through the same handler). False → `*error` holds
+  /// the ready 503 and nothing may be inserted into the cache.
+  bool journal_upload_record(const char* kind, const std::string& base,
+                             const std::string& body, HttpResponse* error);
 
   HttpResponse handle_upload(const HttpRequest& request);
   HttpResponse handle_list_circuits();
@@ -100,11 +133,14 @@ class Server {
   Metrics metrics_;
   CircuitCache cache_;
   JobScheduler scheduler_;
+  std::unique_ptr<Journal> journal_;
+  bool replaying_ = false;  ///< true only inside recover_from_journal()
 
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
 
   std::thread accept_thread_;
   std::vector<std::thread> io_threads_;

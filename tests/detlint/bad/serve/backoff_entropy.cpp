@@ -1,0 +1,23 @@
+// Corpus: retry-backoff jitter drawn from ambient entropy. A client fleet
+// jittered this way is irreproducible — the retry schedule (and therefore
+// which request lands first after a 503) changes run to run, which breaks
+// the serve layer's replayable-chaos contract. DET002 must fire on both the
+// hidden-seed generator and the hardware entropy source; the fix is the
+// seeded SplitMix64 stream in good/serve/backoff_seeded.cpp.
+#include <cstdlib>
+#include <random>
+
+namespace statsize::serve {
+
+double jitter_ms(double base_ms) {
+  std::random_device rd;  // DET002: hardware entropy in the retry schedule
+  const double u = static_cast<double>(rd()) / 4294967296.0;
+  return base_ms * (0.5 + 0.5 * u);
+}
+
+double legacy_jitter_ms(double base_ms) {
+  // DET002: rand() hides global seed state — no way to replay this schedule.
+  return base_ms * (static_cast<double>(std::rand()) / RAND_MAX);
+}
+
+}  // namespace statsize::serve

@@ -1,0 +1,25 @@
+// Corpus: the sanctioned way to jitter a retry schedule — the house
+// SplitMix64 stream advanced from an explicit seed (mirrors
+// serve::Client::backoff_schedule). Fully replayable: the same seed produces
+// the same delays on every run and every host, so chaos tests can assert the
+// exact schedule. Must scan clean.
+#include <cstdint>
+
+namespace statsize::serve {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic jitter in [0.5, 1.0) * base_ms, advanced from `state` —
+/// seeded once from ClientOptions::jitter_seed, never from the environment.
+double jitter_ms(double base_ms, std::uint64_t& state) {
+  const double u = static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+  return base_ms * (0.5 + 0.5 * u);
+}
+
+}  // namespace statsize::serve

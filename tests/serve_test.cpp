@@ -575,6 +575,39 @@ TEST_F(ServeTest, PatchedSizeOverHttpMatchesInProcessWarmResize) {
 }
 
 // ---------------------------------------------------------------------------
+// Liveness vs readiness during the drain window
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeTest, ReadyzFlipsDuringDrainWhileHealthzStaysLive) {
+  StartServer();
+  EXPECT_EQ(client_->request("GET", "/v1/healthz").status, 200);
+  serve::ApiResult ready = client_->request("GET", "/v1/readyz");
+  EXPECT_EQ(ready.status, 200) << ready.body;
+  EXPECT_TRUE(ready.json().bool_or("ready", false));
+
+  // The CLI's signal path calls begin_drain() ahead of stop(): readiness
+  // flips so load balancers stop routing, liveness must NOT (a restart here
+  // would cut the very drain we are advertising).
+  server_->begin_drain();
+  EXPECT_EQ(client_->request("GET", "/v1/healthz").status, 200);
+  EXPECT_EQ(client_->request("GET", "/v1/readyz").status, 503);
+
+  // Work already in the building still completes during the window.
+  const std::string key = client_->upload(kC17, "blif", "c17");
+  const std::string id = client_->submit(job_body(key, "ssta"));
+  EXPECT_EQ(client_->wait(id).string_or("state", ""), "done");
+
+  // Retry-After rides the 503 so clients back off politely (handle() is the
+  // socket-free dispatch path; ApiResult does not expose headers).
+  serve::HttpRequest request;
+  request.method = "GET";
+  request.target = "/v1/readyz";
+  serve::HttpResponse response = server_->handle(request);
+  EXPECT_EQ(response.status, 503);
+  EXPECT_FALSE(response.headers["Retry-After"].empty());
+}
+
+// ---------------------------------------------------------------------------
 // CircuitCache: LRU + shared-lock reads
 // ---------------------------------------------------------------------------
 

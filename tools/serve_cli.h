@@ -1,9 +1,13 @@
 // Serve-family subcommands of the statsize CLI:
 //
-//   statsize serve   — run the HTTP daemon (see src/serve/)
+//   statsize serve   — run the HTTP daemon (see src/serve/); --journal <dir>
+//                      makes jobs crash-safe (recovery replay on restart)
 //   statsize ssta    — one-shot SSTA with a machine-comparable result line
-//   statsize submit  — upload a circuit + submit a job (optionally wait)
-//   statsize poll    — print one job document
+//   statsize submit  — upload a circuit + submit a job (optionally wait);
+//                      --idempotency-key makes retries submit-once,
+//                      --http-retries/--backoff-ms retry transport failures
+//   statsize poll    — print one job document (exit 5 = interrupted by a
+//                      daemon crash; safe to re-submit)
 //   statsize cancel  — cooperative cancel of a queued/running job
 //
 // Implemented in statsize_serve_cli.cpp; dispatched from statsize_cli.cpp's

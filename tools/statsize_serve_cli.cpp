@@ -77,6 +77,8 @@ int run_serve(int argc, char** argv) {
   args.add_int("queue-depth", "queued jobs before submissions get 429", 64);
   args.add_flag("no-serial-cutoff", "skip installing each circuit's granularity advice");
   args.add_string("stats-out", "write final /v1/stats JSON here on shutdown ('-' = stdout)");
+  args.add_string("journal", "durable job journal directory (crash recovery; see DESIGN.md §13)");
+  args.add_string("journal-fsync", "journal durability: none | always", "none");
   args.add_int("jobs", "worker threads (0 = STATSIZE_JOBS or hardware)", 0);
   if (!args.parse(argc, argv)) return 0;
   if (const int jobs = args.get_int("jobs"); jobs > 0) runtime::set_threads(jobs);
@@ -87,6 +89,8 @@ int run_serve(int argc, char** argv) {
   options.cache_capacity = static_cast<std::size_t>(args.get_int("cache-capacity"));
   options.scheduler.queue_depth = static_cast<std::size_t>(args.get_int("queue-depth"));
   options.scheduler.apply_serial_cutoff = !args.get_flag("no-serial-cutoff");
+  if (args.has("journal")) options.journal_dir = args.get_string("journal");
+  options.journal_fsync = serve::parse_fsync_policy(args.get_string("journal-fsync"));
 
   runtime::install_interrupt_handlers();
   serve::Server server(options);
@@ -97,6 +101,9 @@ int run_serve(int argc, char** argv) {
   while (!runtime::interrupt_requested()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
+  // Flip readiness before tearing anything down: load balancers polling
+  // /v1/readyz see 503 + Retry-After while in-flight jobs finish draining.
+  server.begin_drain();
   std::fprintf(stderr, "statsize serve: signal %d, draining...\n",
                runtime::interrupt_signal());
   server.stop();
@@ -141,7 +148,8 @@ int run_ssta(int argc, char** argv) {
   return 0;
 }
 
-/// Exit codes for submit --wait / poll: 0 done, 3 cancelled, 4 failed.
+/// Exit codes for submit --wait / poll: 0 done, 3 cancelled, 4 failed,
+/// 5 interrupted (daemon crashed mid-run; the job is safe to re-submit).
 int report_job_document(const util::JsonValue& doc) {
   const std::string state = doc.string_or("state", "?");
   std::printf("job %s: %s\n", doc.string_or("id", "?").c_str(), state.c_str());
@@ -163,7 +171,26 @@ int report_job_document(const util::JsonValue& doc) {
   if (state == "done") return 0;
   if (state == "cancelled") return 3;
   if (state == "failed") return 4;
+  if (state == "interrupted") {
+    std::printf("hint: the daemon crashed while this job was running; re-submit it\n");
+    return 5;
+  }
   return 0;
+}
+
+/// Shared resilience flags for the client-side subcommands. `prefix` lets
+/// submit avoid colliding with its size-job `--retries` (multistart) flag.
+void add_client_flags(util::ArgParser& args, const char* retries_flag) {
+  args.add_int(retries_flag, "transport/backpressure retries (0 = fail fast)", 0);
+  args.add_double("backoff-ms", "base retry delay; doubles per attempt, jittered", 100.0);
+}
+
+serve::ClientOptions client_options_from(const util::ArgParser& args,
+                                         const char* retries_flag) {
+  serve::ClientOptions options;
+  options.retries = args.get_int(retries_flag);
+  options.backoff_ms = args.get_double("backoff-ms");
+  return options;
 }
 
 int run_submit(int argc, char** argv) {
@@ -190,11 +217,15 @@ int run_submit(int argc, char** argv) {
   args.add_int("job-threads", "worker threads on the daemon for this job (0 = leave)", 0);
   args.add_flag("wait", "poll until the job finishes and print the result");
   args.add_double("timeout", "--wait: give up after this many seconds (0 = forever)", 0.0);
+  args.add_string("idempotency-key",
+                  "dedup token: retrying with the same key never double-submits");
+  add_client_flags(args, "http-retries");  // --retries already means size multistart
   if (!args.parse(argc, argv)) return 0;
   if (!args.has("port")) throw std::invalid_argument("--port is required");
 
   const CircuitText circuit = circuit_text_for(args.get_string("circuit"));
-  serve::Client client(args.get_string("host"), args.get_int("port"));
+  serve::Client client(args.get_string("host"), args.get_int("port"),
+                       client_options_from(args, "http-retries"));
   const std::string key =
       client.upload(circuit.text, circuit.format, args.get_string("circuit"));
   std::fprintf(stderr, "uploaded %s -> %s\n", args.get_string("circuit").c_str(),
@@ -222,7 +253,9 @@ int run_submit(int argc, char** argv) {
   w.key("max_retries").value(args.get_int("retries"));
   w.end_object();
 
-  const std::string id = client.submit(os.str());
+  const std::string id = client.submit(
+      os.str(), args.has("idempotency-key") ? args.get_string("idempotency-key")
+                                            : std::string());
   std::printf("submitted %s\n", id.c_str());
   if (!args.get_flag("wait")) return 0;
   return report_job_document(client.wait(id, 0.05, args.get_double("timeout")));
@@ -313,12 +346,14 @@ int run_poll(int argc, char** argv) {
   args.add_string("host", "daemon host", "127.0.0.1");
   args.add_int("port", "daemon port");
   args.add_flag("raw", "print the raw JSON document instead of the summary");
+  add_client_flags(args, "retries");
   if (!args.parse(argc, argv)) return 0;
   if (!args.has("port")) throw std::invalid_argument("--port is required");
   if (args.positionals().size() != 1) {
     throw std::invalid_argument("expected exactly one job id");
   }
-  serve::Client client(args.get_string("host"), args.get_int("port"));
+  serve::Client client(args.get_string("host"), args.get_int("port"),
+                       client_options_from(args, "retries"));
   serve::ApiResult result = client.job(args.positionals()[0]);
   if (!result.ok()) {
     std::fprintf(stderr, "error (%d): %s\n", result.status, result.body.c_str());
@@ -336,12 +371,14 @@ int run_cancel(int argc, char** argv) {
   args.allow_positionals("job id (job-NNNNNN)");
   args.add_string("host", "daemon host", "127.0.0.1");
   args.add_int("port", "daemon port");
+  add_client_flags(args, "retries");
   if (!args.parse(argc, argv)) return 0;
   if (!args.has("port")) throw std::invalid_argument("--port is required");
   if (args.positionals().size() != 1) {
     throw std::invalid_argument("expected exactly one job id");
   }
-  serve::Client client(args.get_string("host"), args.get_int("port"));
+  serve::Client client(args.get_string("host"), args.get_int("port"),
+                       client_options_from(args, "retries"));
   serve::ApiResult result = client.cancel(args.positionals()[0]);
   std::printf("%s\n", result.body.c_str());
   return result.ok() ? 0 : 1;
